@@ -1,0 +1,121 @@
+"""Shared selection-instance builders for the benchmark harness.
+
+Two generators:
+
+- :func:`paper_grid_instance` — the paper's literal candidate set (k-d
+  tree spatial 4^2..4^6 x temporal 2^4..2^8, crossed with the 7
+  encodings) with Eq. 7 costs.  ``Np`` uses the closed form for
+  equal-count partitionings under the uniform-position query model,
+  which lets the 10^6-partition schemes be modelled exactly at any data
+  scale (a sample-built box array would be degenerate there; see
+  EXPERIMENTS.md).
+- :func:`structured_instance` — randomized workloads/scheme subsets with
+  the same cost structure, for solver-scaling sweeps (Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SelectionInstance
+from repro.encoding import ROW_BYTES
+from repro.workload import PAPER_QUERY_FRACTIONS, PAPER_QUERY_WEIGHTS
+
+#: (1/ScanRate in us/record, ExtraTime s, compression ratio) per encoding —
+#: Table II (Amazon S3 + EMR column) and Table I magnitudes.
+ENCODING_PARAMS: dict[str, tuple[float, float, float]] = {
+    "ROW-PLAIN": (85.0, 30.0, 1.000),
+    "ROW-SNAPPY": (90.2, 30.2, 0.485),
+    "COL-SNAPPY": (57.0, 30.5, 0.312),
+    "ROW-GZIP": (90.7, 28.7, 0.283),
+    "COL-GZIP": (51.7, 28.7, 0.179),
+    "ROW-LZMA2": (54.4, 29.0, 0.213),
+    "COL-LZMA2": (38.7, 29.6, 0.156),
+}
+
+
+def _np_closed_form(
+    spatial_leaves: int, time_slices: int,
+    spatial_frac: np.ndarray, temporal_frac: np.ndarray,
+) -> np.ndarray:
+    """Expected involved partitions for an equal-count s x s x t layout
+    under uniformly positioned queries: per dimension a query covering
+    fraction f of the axis touches ``1 + f (k - 1)`` of ``k`` slices in
+    expectation (the Eq. 11/12 sum in closed form for equi-spaced cuts)."""
+    side = np.sqrt(spatial_leaves)
+    return (
+        (1.0 + spatial_frac * (side - 1.0)) ** 2
+        * (1.0 + temporal_frac * (time_slices - 1.0))
+    )
+
+
+def paper_grid_instance(
+    n_records: float,
+    fractions: tuple[tuple[float, float], ...] = PAPER_QUERY_FRACTIONS,
+    weights: tuple[float, ...] = PAPER_QUERY_WEIGHTS,
+) -> SelectionInstance:
+    """The paper's 25 x 7 = 175-column instance at a given data size.
+
+    (The paper counts 150 candidates; their grid is 25 schemes x 7
+    encodings too, so we keep all 175 columns and let dominance pruning
+    do its work.)  Budget is left at 0; use ``with_budget``.
+    """
+    fr = np.asarray(fractions, dtype=np.float64)
+    spatial_frac, temporal_frac = fr[:, 0], fr[:, 1]
+    columns, storage, names = [], [], []
+    for s in range(2, 7):
+        for t in range(4, 9):
+            spatial, slices = 4**s, 2**t
+            np_q = _np_closed_form(spatial, slices, spatial_frac, temporal_frac)
+            n_partitions = spatial * slices
+            for enc, (us_per_record, extra, ratio) in ENCODING_PARAMS.items():
+                columns.append(
+                    np_q * (n_records / n_partitions) * us_per_record * 1e-6
+                    + np_q * extra
+                )
+                storage.append(n_records * ROW_BYTES * ratio)
+                names.append(f"KD{spatial}xT{slices}/{enc}")
+    return SelectionInstance(
+        costs=np.stack(columns, axis=1),
+        weights=np.asarray(weights, dtype=np.float64),
+        storage=np.array(storage),
+        budget=0.0,
+        replica_names=tuple(names),
+        query_labels=tuple(f"q{i + 1}" for i in range(len(fractions))),
+    )
+
+
+def paper_budget(instance: SelectionInstance, copies: int = 3) -> float:
+    """The Section V-C budget: ``copies`` exact copies of the optimal
+    single replica (optimal ignoring any budget)."""
+    unbounded = instance.with_budget(float("inf"))
+    j, _ = unbounded.best_single()
+    return float(copies * instance.storage[j])
+
+
+def structured_instance(
+    n: int, m: int, seed: int, budget_copies: float = 3.0, n_records: float = 65e6
+) -> SelectionInstance:
+    """Randomized instances with the true cost-model structure, for the
+    Figure 3 solver-scaling sweeps."""
+    rng = np.random.default_rng(seed)
+    schemes = [(4**s, 2**t) for s in range(1, 8) for t in range(2, 10)]
+    rng.shuffle(schemes)
+    schemes = schemes[: int(np.ceil(m / len(ENCODING_PARAMS)))]
+    fractions = np.exp(rng.uniform(np.log(1e-3), np.log(0.9), size=(n, 2)))
+    columns, storage = [], []
+    for spatial, slices in schemes:
+        np_q = _np_closed_form(spatial, slices, fractions[:, 0], fractions[:, 1])
+        n_partitions = spatial * slices
+        for us_per_record, extra, ratio in ENCODING_PARAMS.values():
+            columns.append(
+                np_q * (n_records / n_partitions) * us_per_record * 1e-6
+                + np_q * extra
+            )
+            storage.append(n_records * ROW_BYTES * ratio)
+    costs = np.stack(columns, axis=1)[:, :m]
+    storage_arr = np.array(storage)[:m]
+    return SelectionInstance(
+        costs, rng.uniform(0.1, 1.0, n), storage_arr,
+        float(budget_copies * storage_arr.min()),
+    )

@@ -1,0 +1,35 @@
+"""Shared reporting helper for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rows/series are (a) printed straight to the terminal (bypassing pytest's
+capture, so they land in ``bench_output.txt``) and (b) written to
+``benchmarks/results/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, title: str, lines: list[str], capsys) -> str:
+    """Print a result block through the capture and persist it."""
+    text = "\n".join([f"== {title} ==", *lines, ""])
+    with capsys.disabled():
+        print("\n" + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text + "\n")
+    return text
+
+
+def fmt_row(values, widths) -> str:
+    """Fixed-width row formatting for result tables."""
+    cells = []
+    for value, width in zip(values, widths):
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.3f}")
+        else:
+            cells.append(f"{str(value):>{width}}")
+    return "  ".join(cells)

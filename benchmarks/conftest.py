@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Expensive inputs (the synthetic taxi sample, calibrated cost models) are
+session-scoped so the table/figure benches share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    cost_model_for,
+    make_cluster,
+    paper_encoding_schemes,
+    synthetic_shanghai_taxis,
+)
+
+
+@pytest.fixture(scope="session")
+def taxi_sample():
+    """The evaluation sample: a synthetic stand-in for the paper's 65M
+    Shanghai records, at laptop scale."""
+    return synthetic_shanghai_taxis(30_000, seed=2014, num_taxis=64)
+
+
+@pytest.fixture(scope="session")
+def emr_cluster():
+    return make_cluster("amazon-s3-emr", seed=2014)
+
+
+@pytest.fixture(scope="session")
+def hadoop_cluster():
+    return make_cluster("local-hadoop", seed=2014)
+
+
+@pytest.fixture(scope="session")
+def emr_cost_model(emr_cluster):
+    """Cost model calibrated on the simulated EMR environment with the
+    paper's 7 encodings."""
+    return cost_model_for(
+        emr_cluster, [s.name for s in paper_encoding_schemes()],
+    )
+
+
+@pytest.fixture(scope="session")
+def hadoop_cost_model(hadoop_cluster):
+    return cost_model_for(
+        hadoop_cluster, [s.name for s in paper_encoding_schemes()],
+    )

@@ -1,0 +1,62 @@
+"""Ablation — analytic Np (Eq. 11-12) vs Monte-Carlo estimation.
+
+The paper argues the integral form (Eq. 8) "would be infeasible, or at
+least extremely inefficient" and derives the closed form instead.  This
+bench quantifies that choice: accuracy of both estimators against a
+dense positional average, and the speed gap.
+
+Expected shape (asserted): analytic matches Monte-Carlo within a few
+percent everywhere and is at least an order of magnitude faster.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import CompositeScheme, KdTreePartitioner, ReplicaProfile, expected_partitions
+from repro.costmodel import monte_carlo_partitions
+from repro.workload import GroupedQuery
+
+from benchmarks._report import emit, fmt_row
+
+
+@pytest.fixture(scope="module")
+def profile(taxi_sample):
+    partitioning = CompositeScheme(KdTreePartitioner(64), 16).build(taxi_sample)
+    return ReplicaProfile.from_partitioning(
+        partitioning, "ROW-PLAIN", len(taxi_sample), 0.0)
+
+
+def test_ablation_np_accuracy_and_speed(profile, benchmark, capsys):
+    u = profile.universe
+    rng = np.random.default_rng(3)
+    rows = []
+    max_err = 0.0
+    for frac in (0.01, 0.05, 0.1, 0.3, 0.6, 0.9):
+        g = GroupedQuery(u.width * frac, u.height * frac, u.duration * frac)
+        t0 = time.perf_counter()
+        analytic = expected_partitions(profile, g)
+        t_analytic = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        mc = monte_carlo_partitions(profile, g, rng, trials=2000)
+        t_mc = time.perf_counter() - t0
+        err = abs(analytic - mc) / mc
+        max_err = max(max_err, err)
+        rows.append((frac, analytic, mc, err, t_analytic * 1e3, t_mc * 1e3))
+
+    g_mid = GroupedQuery(u.width * 0.2, u.height * 0.2, u.duration * 0.2)
+    benchmark(lambda: expected_partitions(profile, g_mid))
+
+    lines = [fmt_row(
+        ["size frac", "analytic", "monte-carlo", "rel err", "t_ana ms", "t_mc ms"],
+        [9, 9, 11, 8, 9, 9])]
+    for frac, analytic, mc, err, ta, tm in rows:
+        lines.append(fmt_row([frac, analytic, mc, err, ta, tm],
+                             [9, 9, 11, 8, 9, 9]))
+    speedup = float(np.mean([r[5] / max(r[4], 1e-9) for r in rows]))
+    lines.append(f"mean speedup analytic vs 2000-trial MC: {speedup:,.0f}x")
+    emit("ablation_np", "Ablation: analytic Np vs Monte-Carlo", lines, capsys)
+
+    assert max_err < 0.06
+    assert speedup > 10

@@ -1,0 +1,94 @@
+"""Ablation — partial replication (the paper's stated future work).
+
+A partial replica covering only the hot downtown core costs a fraction
+of a full replica's storage but can answer only queries contained in its
+coverage.  This bench selects replica sets with and without partial
+candidates under a tight budget and measures the workload-cost gain on a
+hotspot-heavy positioned workload.
+
+Expected shape (asserted): with the same budget, adding partial
+candidates never hurts, and under a hotspot-skewed workload it yields a
+strictly cheaper selection that includes at least one partial replica.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CompositeScheme,
+    KdTreePartitioner,
+    Query,
+    ReplicaProfile,
+    branch_and_bound_select,
+)
+from repro.core import PartialReplica, partial_selection_instance, record_fraction_in_box
+from repro.geometry import Box3
+from repro.workload import Workload
+
+from benchmarks._report import emit, fmt_row
+
+
+@pytest.fixture(scope="module")
+def setup(taxi_sample, emr_cost_model):
+    n_records = 65e6
+    profiles = []
+    for leaves, slices, enc in [(16, 16, "COL-LZMA2"), (256, 16, "COL-LZMA2"),
+                                (16, 64, "COL-GZIP")]:
+        part = CompositeScheme(KdTreePartitioner(leaves), slices).build(taxi_sample)
+        ratio = {"COL-LZMA2": 0.156, "COL-GZIP": 0.179}[enc]
+        profiles.append(ReplicaProfile.from_partitioning(
+            part, enc, n_records, n_records * 41 * ratio))
+    u = profiles[0].universe
+    hot = Box3(121.3, 121.7, 31.05, 31.4, u.t_min, u.t_max)
+    frac = record_fraction_in_box(taxi_sample, hot)
+    partials = [
+        PartialReplica(profiles[1], hot, frac),
+        PartialReplica(profiles[2], hot, frac),
+    ]
+    # Hotspot-skewed positioned workload: most queries hit downtown.
+    rng = np.random.default_rng(4)
+    entries = []
+    for i in range(14):
+        w = float(rng.uniform(0.02, 0.06) * (hot.x_max - hot.x_min))
+        h = float(rng.uniform(0.02, 0.06) * (hot.y_max - hot.y_min))
+        t = float(rng.uniform(0.01, 0.2) * u.duration)
+        entries.append((Query(
+            w, h, t,
+            float(rng.uniform(hot.x_min + w, hot.x_max - w)),
+            float(rng.uniform(hot.y_min + h, hot.y_max - h)),
+            float(rng.uniform(u.t_min + t, u.t_max - t)),
+        ), 5.0))
+    entries.append((Query.from_box(u), 1.0))  # the occasional full scan
+    return profiles, partials, Workload(entries), frac
+
+
+def test_ablation_partial_replication(setup, emr_cost_model, benchmark, capsys):
+    profiles, partials, workload, frac = setup
+    budget = profiles[0].storage_bytes * 1.6  # < two full replicas
+
+    without = partial_selection_instance(
+        emr_cost_model, workload, profiles, [], budget)
+    with_partial = partial_selection_instance(
+        emr_cost_model, workload, profiles, partials, budget)
+
+    sel_without = branch_and_bound_select(without)
+    sel_with = branch_and_bound_select(with_partial)
+    benchmark(lambda: branch_and_bound_select(with_partial))
+
+    chosen = [with_partial.name_of(j) for j in sel_with.selected]
+    lines = [
+        f"hot range holds {frac:.0%} of the records; budget = 1.6 full replicas",
+        fmt_row(["candidates", "workload cost s", "selected"], [12, 16, 40]),
+        fmt_row(["full only", sel_without.cost,
+                 ", ".join(without.name_of(j) for j in sel_without.selected)],
+                [12, 16, 40]),
+        fmt_row(["+ partial", sel_with.cost, ", ".join(chosen)], [12, 16, 40]),
+        f"gain from partial replication: "
+        f"{(1 - sel_with.cost / sel_without.cost):.1%}",
+    ]
+    emit("ablation_partial", "Ablation: partial replication (future work)",
+         lines, capsys)
+
+    assert sel_with.cost <= sel_without.cost + 1e-9
+    assert any("@partial" in name for name in chosen)
+    assert sel_with.cost < sel_without.cost * 0.999

@@ -1,0 +1,121 @@
+"""Ablation — the non-skew assumption of the cost model (Section IV-A).
+
+The paper's Eq. 7 assumes every partition holds |D|/|P| records, which
+the equal-count k-d layouts satisfy by construction.  This bench
+quantifies what the assumption costs on layouts that *don't* satisfy it
+(uniform grids over hotspot-skewed taxi data) by comparing both
+estimators against ground truth (actual records in the involved
+partitions).
+
+Expected shape (asserted): on the equal-count layout both estimators are
+equally accurate; on the skewed grid the skew-aware estimator's scan-term
+error is far below the naive one's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    CostModel,
+    EncodingCostParams,
+    ReplicaProfile,
+    expected_scanned_records,
+)
+from repro.partition import CompositeScheme, GridPartitioner, KdTreePartitioner
+from repro.workload import Query
+
+from benchmarks._report import emit, fmt_row
+
+
+@pytest.fixture(scope="module")
+def layouts(taxi_sample):
+    return {
+        "equal-count KD64xT4": CompositeScheme(KdTreePartitioner(64), 4)
+        .build(taxi_sample),
+        "uniform grid 8x8x4": GridPartitioner(8, 8, 4).build(taxi_sample),
+    }
+
+
+def sample_queries(universe, rng, n=40):
+    out = []
+    for _ in range(n):
+        frac = float(np.exp(rng.uniform(np.log(0.03), np.log(0.5))))
+        w, h, t = universe.width * frac, universe.height * frac, universe.duration * frac
+        out.append(Query(
+            w, h, t,
+            rng.uniform(universe.x_min + w / 2, universe.x_max - w / 2),
+            rng.uniform(universe.y_min + h / 2, universe.y_max - h / 2),
+            rng.uniform(universe.t_min + t / 2, universe.t_max - t / 2),
+        ))
+    return out
+
+
+def test_ablation_skew_assumption(layouts, taxi_sample, benchmark, capsys):
+    n = len(taxi_sample)
+    rng = np.random.default_rng(7)
+    lines = [fmt_row(
+        ["layout", "skew", "naive err", "aware err"], [20, 6, 10, 10])]
+    errors = {}
+    for label, partitioning in layouts.items():
+        profile = ReplicaProfile.from_partitioning(
+            partitioning, "ROW-PLAIN", n, 0.0, with_counts=True)
+        queries = sample_queries(profile.universe, rng)
+        naive_errs, aware_errs = [], []
+        for q in queries:
+            involved = partitioning.involved(q.box())
+            truth = float(partitioning.counts[involved].sum())
+            if truth == 0:
+                continue
+            naive = len(involved) * n / partitioning.n_partitions
+            aware = expected_scanned_records(profile, q)
+            naive_errs.append(abs(naive - truth) / truth)
+            aware_errs.append(abs(aware - truth) / truth)
+        errors[label] = (float(np.mean(naive_errs)), float(np.mean(aware_errs)))
+        lines.append(fmt_row(
+            [label, partitioning.skew(), errors[label][0], errors[label][1]],
+            [20, 6, 10, 10]))
+    lines.append("(mean relative error of the scan-record estimate over 40 queries)")
+    emit("ablation_skew", "Ablation: non-skew assumption of Eq. 7", lines, capsys)
+
+    profile = ReplicaProfile.from_partitioning(
+        layouts["uniform grid 8x8x4"], "ROW-PLAIN", n, 0.0, with_counts=True)
+    q = sample_queries(profile.universe, np.random.default_rng(1), n=1)[0]
+    benchmark(lambda: expected_scanned_records(profile, q))
+
+    equal_naive, equal_aware = errors["equal-count KD64xT4"]
+    grid_naive, grid_aware = errors["uniform grid 8x8x4"]
+    # On the equal-count layout the assumption is harmless...
+    assert equal_naive < 0.05 and equal_aware < 0.05
+    # ...on the skewed grid it is not, and the skew-aware path fixes it.
+    assert grid_naive > 3 * grid_aware
+    assert grid_aware < 0.05
+
+
+def test_skew_aware_routing_changes_decisions(layouts, taxi_sample,
+                                              benchmark, capsys):
+    """The assumption can flip replica-routing decisions on skewed
+    layouts: report how often naive and skew-aware Eq. 7 disagree."""
+    n = len(taxi_sample)
+    model = CostModel({
+        "ROW-PLAIN": EncodingCostParams(scan_rate=10_000, extra_time=0.05),
+    })
+    profiles = [
+        ReplicaProfile.from_partitioning(p, "ROW-PLAIN", n, 0.0, with_counts=True)
+        for p in layouts.values()
+    ]
+    rng = np.random.default_rng(11)
+    queries = sample_queries(profiles[0].universe, rng, n=60)
+    disagreements = 0
+    for q in queries:
+        naive_pick = int(np.argmin([model.query_cost(q, p) for p in profiles]))
+        aware_pick = int(np.argmin(
+            [model.query_cost_skew_aware(q, p) for p in profiles]))
+        disagreements += naive_pick != aware_pick
+    benchmark.pedantic(
+        lambda: model.query_cost_skew_aware(queries[0], profiles[1]),
+        rounds=10, iterations=1,
+    )
+    lines = [f"routing disagreements: {disagreements}/60 queries"]
+    emit("ablation_skew_routing",
+         "Ablation: routing decisions, naive vs skew-aware", lines, capsys)
+    assert disagreements >= 1

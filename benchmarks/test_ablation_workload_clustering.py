@@ -1,0 +1,76 @@
+"""Ablation — workload reduction by k-means clustering (Section III-C1).
+
+The paper clusters query range sizes and selects replicas using only the
+cluster centers.  This bench measures the fidelity cost: select on the
+reduced workload, evaluate the chosen replica set on the *full* workload
+and compare with selecting on the full workload directly.
+
+Expected shape (asserted): fidelity improves with k, and even modest k
+(the paper uses 8 grouped queries) stays within a few percent of the
+full-workload selection while shrinking the instance dramatically.
+"""
+
+import numpy as np
+import pytest
+
+from repro import branch_and_bound_select, reduce_workload
+from repro.workload import GroupedQuery, Workload
+
+from benchmarks._instances import paper_budget, paper_grid_instance
+from benchmarks._report import emit, fmt_row
+
+N_QUERIES = 200
+K_SWEEP = (4, 8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def full_workload():
+    rng = np.random.default_rng(10)
+    entries = {}
+    while len(entries) < N_QUERIES:
+        fx, ft = np.exp(rng.uniform(np.log(1e-3), np.log(0.9), 2))
+        g = GroupedQuery(fx, fx, ft)  # fractions stored directly as extents
+        if g not in entries:
+            entries[g] = float(rng.uniform(0.1, 1.0))
+    return Workload(list(entries.items()))
+
+
+def workload_instance(workload, n_records=65e7):
+    fractions = tuple((q.width, q.duration) for q in workload.queries())
+    weights = tuple(workload.weights())
+    return paper_grid_instance(n_records, fractions=fractions, weights=weights)
+
+
+def test_ablation_workload_clustering(full_workload, benchmark, capsys):
+    full_inst = workload_instance(full_workload)
+    full_inst = full_inst.with_budget(paper_budget(full_inst, copies=3))
+    reference = branch_and_bound_select(full_inst)
+    ref_cost = full_inst.workload_cost(reference.selected)
+
+    benchmark(lambda: reduce_workload(full_workload, 8, np.random.default_rng(1)))
+
+    lines = [fmt_row(["k", "sel. on reduced", "evaluated on full", "vs direct"],
+                     [4, 16, 18, 10])]
+    fidelity = {}
+    name_to_col = {full_inst.name_of(j): j for j in range(full_inst.n_replicas)}
+    for k in K_SWEEP:
+        red = reduce_workload(full_workload, k, np.random.default_rng(k))
+        red_inst = workload_instance(red.reduced)
+        red_inst = red_inst.with_budget(full_inst.budget)
+        sel = branch_and_bound_select(red_inst)
+        # Evaluate the replica set chosen on the reduced workload against
+        # the full workload (columns align by replica name).
+        cols = [name_to_col[red_inst.name_of(j)] for j in sel.selected]
+        cost_on_full = full_inst.workload_cost(cols)
+        fidelity[k] = cost_on_full / ref_cost
+        lines.append(fmt_row(
+            [k, red_inst.workload_cost(sel.selected), cost_on_full, fidelity[k]],
+            [4, 16, 18, 10]))
+    lines.append(f"(direct full-workload selection cost: {ref_cost:.1f}; "
+                 f"workload {N_QUERIES} -> k queries)")
+    emit("ablation_clustering", "Ablation: k-means workload reduction", lines, capsys)
+
+    assert fidelity[K_SWEEP[-1]] <= fidelity[K_SWEEP[0]] + 1e-9
+    assert fidelity[8] < 1.10
+    for k in K_SWEEP:
+        assert fidelity[k] >= 1.0 - 1e-9

@@ -1,0 +1,105 @@
+"""Extension bench — unit placement vs query makespan and recovery.
+
+Connects the placement and scheduling layers: how much does spreading a
+replica's storage units across the cluster help query makespan, and what
+does recovering from a node failure cost in each layout?
+
+Expected shape (asserted): spread placement yields near-perfect data
+locality and much lower full-scan makespan than a hot-node layout; the
+recovery-time estimate grows with lost-unit count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterPlacement,
+    EnvironmentSpec,
+    LOCAL_HADOOP,
+    LocalityScheduler,
+    estimate_recovery_seconds,
+)
+
+#: Scan-dominated environment for the locality experiment: at bench scale
+#: each unit holds a few hundred records, so per-task startup must be
+#: small (and per-record work large) for placement effects to be visible
+#: above the fixed overheads — as they are at production unit sizes.
+SCAN_BOUND = EnvironmentSpec(
+    name="scan-bound",
+    map_slots=16,
+    task_startup_seconds=0.2,
+    task_startup_jitter=0.0,
+    unit_lookup_seconds=0.05,
+    effective_io_bandwidth=82_000.0,
+    parse_seconds_per_record={"ROW": 20e-3, "COL": 10e-3},
+    decompress_seconds_per_byte={"PLAIN": 0.0, "SNAPPY": 0.0, "GZIP": 0.0,
+                                 "LZMA2": 0.0},
+    cleanup_seconds=0.05,
+)
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage import InMemoryStore, build_replica
+from repro.workload import Query
+
+from benchmarks._report import emit, fmt_row
+
+
+@pytest.fixture(scope="module")
+def replicas(taxi_sample):
+    a = build_replica(taxi_sample, CompositeScheme(KdTreePartitioner(16), 8),
+                      encoding_scheme_by_name("COL-GZIP"), InMemoryStore(),
+                      name="a")
+    b = build_replica(taxi_sample, CompositeScheme(KdTreePartitioner(4), 4),
+                      encoding_scheme_by_name("ROW-PLAIN"), InMemoryStore(),
+                      name="b")
+    return a, b
+
+
+def test_ext_placement_vs_makespan(replicas, taxi_sample, benchmark, capsys):
+    a, _ = replicas
+    scan = Query.from_box(taxi_sample.bounding_box())
+    lines = [fmt_row(["placement", "makespan s", "locality"], [12, 11, 9])]
+    results = {}
+    for label, nodes in (("spread", None), ("hot-node", [0])):
+        placement = ClusterPlacement(8, rng=np.random.default_rng(3))
+        placement.add_replica(a, policy="spread", nodes=nodes)
+        sched = LocalityScheduler(SCAN_BOUND, placement, slots_per_node=2,
+                                  network_bandwidth=500.0)
+        result = sched.run_query("a", scan)
+        results[label] = result
+        lines.append(fmt_row(
+            [label, result.makespan, f"{result.locality_fraction:.0%}"],
+            [12, 11, 9]))
+    placement = ClusterPlacement(8, rng=np.random.default_rng(3))
+    placement.add_replica(a, policy="spread")
+    sched = LocalityScheduler(SCAN_BOUND, placement, slots_per_node=2)
+    benchmark(lambda: sched.run_query("a", scan))
+    emit("ext_locality", "Extension: placement vs full-scan makespan",
+         lines, capsys)
+    assert results["spread"].locality_fraction > 0.6
+    assert results["spread"].locality_fraction > \
+        results["hot-node"].locality_fraction + 0.2
+    assert results["spread"].makespan < results["hot-node"].makespan * 0.8
+
+
+def test_ext_recovery_time_estimate(replicas, benchmark, capsys):
+    a, b = replicas
+    placement = ClusterPlacement(6, rng=np.random.default_rng(5))
+    placement.add_replica(a, nodes=[0, 1, 2])
+    placement.add_replica(b, nodes=[3, 4, 5])
+    report = placement.fail_node(1)
+    plan = placement.plan_recovery(report)
+    full = estimate_recovery_seconds(placement, plan, LOCAL_HADOOP)
+    # A partial plan with half the steps should cost roughly half.
+    from repro.cluster import RecoveryPlan
+    half_plan = RecoveryPlan(steps=plan.steps[:len(plan.steps) // 2],
+                             unrecoverable=())
+    half = estimate_recovery_seconds(placement, half_plan, LOCAL_HADOOP)
+    benchmark(lambda: estimate_recovery_seconds(placement, plan, LOCAL_HADOOP))
+    lines = [
+        f"lost units: {len(report.lost)}; plan complete: {plan.is_complete}",
+        f"estimated recovery: {full:.1f}s (half plan: {half:.1f}s)",
+    ]
+    emit("ext_recovery_time", "Extension: recovery-time estimation",
+         lines, capsys)
+    assert 0 < half < full

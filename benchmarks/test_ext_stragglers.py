@@ -1,0 +1,95 @@
+"""Extension bench — stragglers and speculative execution.
+
+The paper's EMR jobs ran 20 mappers per measurement; real MapReduce
+fleets suffer stragglers, which inflate job makespan (and would bias the
+Table II calibration if not controlled).  This bench quantifies the
+straggler tail on the simulated environments and how much Hadoop-style
+speculation claws back.
+
+Expected shape (asserted): stragglers inflate mean makespan well beyond
+the clean baseline; speculation recovers a large share of that
+inflation; calibration (which averages task times rather than taking the
+makespan) stays accurate even under stragglers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import calibrate_environment
+from repro.cluster import LOCAL_HADOOP, MapTask, SimulatedCluster, StragglerModel
+
+from benchmarks._report import emit, fmt_row
+
+STRAGGLER = StragglerModel(probability=0.1, slowdown=(5.0, 10.0))
+SEEDS = range(10)
+TASKS = [MapTask("COL-GZIP", 50_000)] * 40
+
+
+def mean_makespan(**kwargs) -> tuple[float, int]:
+    spans, launched = [], 0
+    for seed in SEEDS:
+        cluster = SimulatedCluster(LOCAL_HADOOP, seed=seed, **kwargs)
+        job = cluster.run_map_only_job(TASKS)
+        spans.append(job.makespan)
+        launched += job.backups_launched
+    return float(np.mean(spans)), launched
+
+
+def test_ext_straggler_tail_and_speculation(benchmark, capsys):
+    clean, _ = mean_makespan()
+    straggly, _ = mean_makespan(straggler=STRAGGLER)
+    speculated, launched = mean_makespan(straggler=STRAGGLER,
+                                         speculative_execution=True)
+    recovered = (straggly - speculated) / (straggly - clean)
+    lines = [
+        fmt_row(["configuration", "mean makespan s"], [24, 16]),
+        fmt_row(["clean", clean], [24, 16]),
+        fmt_row(["10% stragglers", straggly], [24, 16]),
+        fmt_row(["stragglers + speculation", speculated], [24, 16]),
+        f"speculation recovered {recovered:.0%} of the straggler inflation "
+        f"({launched} backups across {len(list(SEEDS))} jobs)",
+    ]
+    benchmark.pedantic(
+        lambda: SimulatedCluster(LOCAL_HADOOP, seed=0, straggler=STRAGGLER,
+                                 speculative_execution=True)
+        .run_map_only_job(TASKS),
+        rounds=3, iterations=1,
+    )
+    emit("ext_stragglers", "Extension: straggler tail and speculation",
+         lines, capsys)
+    assert straggly > clean * 1.3
+    assert clean < speculated < straggly
+    # The speculate-at-idle policy only fires once the task queue drains
+    # (and backups can straggle too), so it recovers a meaningful share
+    # of the tail, not all of it.
+    assert recovered > 0.2
+
+
+def test_ext_calibration_robust_to_stragglers(benchmark, capsys):
+    """Calibration averages 20 mapper times per point; rare heavy
+    stragglers shift the mean a little but the fitted parameters stay in
+    regime (the paper's measurement procedure is naturally robust)."""
+    clean_cluster = SimulatedCluster(LOCAL_HADOOP, seed=3)
+    dirty_cluster = SimulatedCluster(
+        LOCAL_HADOOP, seed=3,
+        straggler=StragglerModel(probability=0.03, slowdown=(3.0, 6.0)))
+    clean = calibrate_environment(clean_cluster, ["COL-GZIP"])["COL-GZIP"]
+    dirty = calibrate_environment(dirty_cluster, ["COL-GZIP"])["COL-GZIP"]
+    benchmark.pedantic(
+        lambda: calibrate_environment(
+            SimulatedCluster(LOCAL_HADOOP, seed=4), ["COL-GZIP"],
+            sizes=(5_000, 100_000)),
+        rounds=1, iterations=1,
+    )
+    lines = [
+        f"clean fit: 1/ScanRate {1e6 / clean.params.scan_rate:.1f} us/rec, "
+        f"Extra {clean.params.extra_time:.2f}s, R^2 {clean.r_squared:.4f}",
+        f"straggly fit: 1/ScanRate {1e6 / dirty.params.scan_rate:.1f} us/rec, "
+        f"Extra {dirty.params.extra_time:.2f}s, R^2 {dirty.r_squared:.4f}",
+    ]
+    emit("ext_calibration_stragglers",
+         "Extension: calibration robustness under stragglers", lines, capsys)
+    assert 1e6 / dirty.params.scan_rate == pytest.approx(
+        1e6 / clean.params.scan_rate, rel=0.5)
+    assert dirty.params.extra_time == pytest.approx(
+        clean.params.extra_time, rel=0.5)

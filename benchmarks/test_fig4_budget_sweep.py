@@ -1,0 +1,87 @@
+"""Figure 4 — overall query cost relative to ideal vs storage budget.
+
+The paper sweeps the storage budget (x-axis: budget relative to 3 copies
+of the optimal single replica) and plots Single / Greedy / MIP / Ideal.
+Expected shape (asserted):
+
+- the exact (MIP) solution stays close to the ideal regardless of budget
+  and beats the single replica substantially (paper: "up to 80%" faster);
+- the greedy approximation ratio decreases sharply as the budget grows
+  and is below 1.2 for relative budgets > 1;
+- more budget never hurts any method.
+"""
+
+import pytest
+
+from repro import AdvisorConfig, ReplicaAdvisor, paper_encoding_schemes, paper_workload
+from repro.partition import small_partitioning_schemes
+
+from benchmarks._report import emit, fmt_row
+
+FACTORS = (0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+
+
+@pytest.fixture(scope="module")
+def advisor(taxi_sample, emr_cost_model):
+    return ReplicaAdvisor(
+        sample=taxi_sample,
+        partitioning_schemes=small_partitioning_schemes(
+            spatial_leaves=(4, 16, 64, 256), time_slices=(4, 16, 64)),
+        encoding_schemes=paper_encoding_schemes(),
+        cost_model=emr_cost_model,
+        config=AdvisorConfig(n_records=65_000_000),
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(advisor):
+    workload = paper_workload(advisor.universe)
+    base = advisor.single_replica_budget(workload, copies=3)
+    rows = {}
+    for factor in FACTORS:
+        greedy = advisor.recommend(workload, base * factor, method="greedy")
+        exact = advisor.recommend(workload, base * factor, method="exact")
+        rows[factor] = (greedy, exact)
+    return workload, base, rows
+
+
+def test_fig4_budget_sweep(sweep, advisor, benchmark, capsys):
+    workload, base, rows = sweep
+    benchmark.pedantic(
+        lambda: advisor.recommend(workload, base, method="greedy"),
+        rounds=1, iterations=1,
+    )
+    ideal = rows[1.0][1].ideal_cost
+    single = rows[1.0][1].single_cost
+    lines = [fmt_row(
+        ["rel.budget", "Single/Ideal", "Greedy/Ideal", "MIP/Ideal", "#sel"],
+        [10, 13, 13, 12, 5])]
+    for factor in FACTORS:
+        greedy, exact = rows[factor]
+        lines.append(fmt_row(
+            [factor, single / ideal, greedy.cost / ideal, exact.cost / ideal,
+             len(exact.replica_names)],
+            [10, 13, 13, 12, 5]))
+    lines.append("")
+    lines.append("paper Fig 4: MIP hugs the ideal at every budget; greedy ratio")
+    lines.append("falls below 1.2 once the relative budget exceeds 1.")
+    emit("fig4", "Figure 4: relative overall query cost vs storage budget",
+         lines, capsys)
+
+    # Shape assertions.
+    for factor in FACTORS:
+        greedy, exact = rows[factor]
+        assert exact.cost <= greedy.cost + 1e-9
+        assert exact.cost <= single + 1e-9
+    # Exact close to ideal once the budget reaches the paper's baseline.
+    for factor in (1.0, 1.5, 2.0, 3.0):
+        assert rows[factor][1].cost / ideal < 1.10
+    # Greedy ratio < 1.2 for relative budget > 1 (paper's claim).
+    for factor in (1.5, 2.0, 3.0):
+        assert rows[factor][0].cost / ideal < 1.2
+    # Monotone in budget for both methods.
+    for which in (0, 1):
+        costs = [rows[f][which].cost for f in FACTORS]
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+    # Diverse replicas beat the single replica clearly at the 1x budget.
+    assert rows[1.0][1].speedup_vs_single > 1.15

@@ -1,0 +1,80 @@
+"""Figure 5 — measured Cost(q, p) vs partition size, with fitted lines.
+
+The paper's measurement procedure (Section V-B): per encoding, scan 5
+sets of 20 equal-size partitions, average the mapper times, then fit
+Eq. 6 by linear regression.  The left panels show the measured points,
+the right panels the fitted lines; the text concludes Cost(q, p) is
+"well-fitted by Equation 6 especially when the size of partition is
+relatively large".
+
+Expected shape (asserted): residuals shrink with partition size, fits are
+tight (R^2), and the fitted ExtraTime per environment matches the
+environment's startup magnitude.
+"""
+
+import pytest
+
+from repro import calibrate_environment
+
+from benchmarks._report import emit, fmt_row
+
+SIZES = (5_000, 20_000, 50_000, 100_000, 200_000)
+SHOWN = ("ROW-PLAIN", "ROW-GZIP", "COL-LZMA2")  # the paper plots 3 fits
+
+
+@pytest.fixture(scope="module")
+def measurements(emr_cluster, hadoop_cluster):
+    return {
+        "amazon-s3-emr": calibrate_environment(emr_cluster, list(SHOWN), sizes=SIZES),
+        "local-hadoop": calibrate_environment(hadoop_cluster, list(SHOWN), sizes=SIZES),
+    }
+
+
+def test_fig5_measured_and_fitted(measurements, benchmark, capsys):
+    benchmark.pedantic(
+        lambda: calibrate_environment(
+            _fresh_cluster(), ["ROW-PLAIN"], sizes=(5_000, 100_000)),
+        rounds=1, iterations=1,
+    )
+    lines = []
+    for env, fits in measurements.items():
+        lines.append(f"[{env}]")
+        header = ["partition |D(p)|"] + [f"{n} meas/fit" for n in SHOWN]
+        lines.append(fmt_row(header, [16, 22, 22, 22]))
+        for size in SIZES:
+            row = [size]
+            for name in SHOWN:
+                fit = fits[name]
+                measured = next(p.seconds for p in fit.points
+                                if p.partition_records == size)
+                row.append(f"{measured:8.2f} / {fit.predicted(size):8.2f}")
+            lines.append(fmt_row(row, [16, 22, 22, 22]))
+        for name in SHOWN:
+            fit = fits[name]
+            lines.append(
+                f"  fit {name}: Cost = |D(p)| / {fit.params.scan_rate:,.0f} "
+                f"+ {fit.params.extra_time:.2f}s   R^2={fit.r_squared:.4f}"
+            )
+        lines.append("")
+    emit("fig5", "Figure 5: measured Cost(q, p) and Eq. 6 fits", lines, capsys)
+
+    for fits in measurements.values():
+        for fit in fits.values():
+            assert fit.r_squared > 0.98
+            # "Well-fitted especially when partitions are large": the
+            # relative error at the largest size beats the smallest.
+            small, large = fit.points[0], fit.points[-1]
+            err_small = abs(fit.predicted(small.partition_records) - small.seconds) \
+                / small.seconds
+            err_large = abs(fit.predicted(large.partition_records) - large.seconds) \
+                / large.seconds
+            assert err_large <= err_small + 0.02
+    emr = measurements["amazon-s3-emr"]["ROW-PLAIN"].params.extra_time
+    local = measurements["local-hadoop"]["ROW-PLAIN"].params.extra_time
+    assert emr > 4 * local  # 30s-class vs 5s-class ExtraTime
+
+
+def _fresh_cluster():
+    from repro import make_cluster
+
+    return make_cluster("amazon-s3-emr", seed=77)

@@ -1,0 +1,81 @@
+"""Table I — compression ratio of every encoding scheme.
+
+Paper values (ratio vs uncompressed row binary):
+
+                Uncompressed   Snappy        GZip          LZMA2
+                Row    Col     Row    Col    Row    Col    Row    Col
+    ratio       1      0.557   0.485  0.312  0.283  0.179  0.213  0.156
+
+Expected shape (asserted): column < row for every compressor, and
+LZMA2 < GZip < Snappy < Uncompressed within each layout.
+"""
+
+import pytest
+
+from repro import all_encoding_schemes, encoding_scheme_by_name, measure_compression_ratio
+
+from benchmarks._report import emit, fmt_row
+
+COMPRESSORS = ("PLAIN", "SNAPPY", "GZIP", "LZMA2")
+
+
+@pytest.fixture(scope="module")
+def ratios(taxi_sample):
+    sample = taxi_sample.head(15_000).sorted_by_time()
+    return {
+        s.name: measure_compression_ratio(s, sample)
+        for s in all_encoding_schemes()
+    }
+
+
+def test_table1_compression_ratios(ratios, benchmark, capsys):
+    """Regenerate Table I and verify its shape."""
+    benchmark.pedantic(
+        lambda: measure_compression_ratio(
+            encoding_scheme_by_name("COL-GZIP"), _bench_sample(benchmark)),
+        rounds=1, iterations=1,
+    )
+    lines = [fmt_row(["", *COMPRESSORS], [10, 8, 8, 8, 8])]
+    for layout in ("ROW", "COL"):
+        lines.append(fmt_row(
+            [layout, *(ratios[f"{layout}-{c}"] for c in COMPRESSORS)],
+            [10, 8, 8, 8, 8],
+        ))
+    lines.append("")
+    lines.append("paper:     ROW  1.000  0.485  0.283  0.213")
+    lines.append("paper:     COL  0.557  0.312  0.179  0.156")
+    emit("table1", "Table I: compression ratios (vs uncompressed row)", lines, capsys)
+
+    # Shape assertions.
+    assert ratios["ROW-PLAIN"] == pytest.approx(1.0)
+    for layout in ("ROW", "COL"):
+        assert ratios[f"{layout}-LZMA2"] <= ratios[f"{layout}-GZIP"] \
+            < ratios[f"{layout}-SNAPPY"] < ratios[f"{layout}-PLAIN"]
+    for comp in COMPRESSORS:
+        assert ratios[f"COL-{comp}"] < ratios[f"ROW-{comp}"]
+
+
+_SAMPLE_CACHE = {}
+
+
+def _bench_sample(benchmark):
+    if "s" not in _SAMPLE_CACHE:
+        from repro import synthetic_shanghai_taxis
+        _SAMPLE_CACHE["s"] = synthetic_shanghai_taxis(2000, seed=5).sorted_by_time()
+    return _SAMPLE_CACHE["s"]
+
+
+@pytest.mark.parametrize("name", [s.name for s in all_encoding_schemes()])
+def test_encode_throughput(name, benchmark):
+    """Per-scheme encode timing (the cost of building replicas)."""
+    scheme = encoding_scheme_by_name(name)
+    sample = _bench_sample(benchmark)
+    benchmark(scheme.encode, sample)
+
+
+@pytest.mark.parametrize("name", [s.name for s in all_encoding_schemes()])
+def test_decode_throughput(name, benchmark):
+    """Per-scheme decode timing (the ScanRate side of Table II)."""
+    scheme = encoding_scheme_by_name(name)
+    blob = scheme.encode(_bench_sample(benchmark))
+    benchmark(scheme.decode, blob)

@@ -1,0 +1,83 @@
+"""Table II — measured ScanRate and ExtraCost per encoding, both
+environments.
+
+Paper values (1/ScanRate in ms per 1000 records; ExtraCost in seconds):
+
+    Amazon S3+EMR : row-plain 85.0/32.7s ... col-lzma2 38.7/29.6s
+    Local Hadoop  : row-plain 606.8/5.3s ... col-lzma2 160.0/4.6s
+
+Expected shape (asserted): EMR ExtraCost ~30 s and Hadoop ~5 s; on the
+local cluster uncompressed row is the slowest scan and compressed
+columnar the fastest; on EMR, LZMA2 scans faster than uncompressed
+(slow S3 streaming); columnar beats row for every compressor in both.
+"""
+
+import pytest
+
+from repro import calibrate_environment, paper_encoding_schemes
+
+from benchmarks._report import emit, fmt_row
+
+ENCODINGS = [s.name for s in paper_encoding_schemes()]
+
+
+@pytest.fixture(scope="module")
+def calibrations(emr_cluster, hadoop_cluster):
+    return {
+        "amazon-s3-emr": calibrate_environment(emr_cluster, ENCODINGS),
+        "local-hadoop": calibrate_environment(hadoop_cluster, ENCODINGS),
+    }
+
+
+def test_table2_scanrate_extracost(calibrations, benchmark, capsys):
+    """Regenerate Table II (14 calibrations) and verify its shape."""
+    benchmark.pedantic(
+        lambda: calibrate_environment(
+            _cluster_for_bench(), ["ROW-PLAIN"], sizes=(5_000, 100_000)),
+        rounds=1, iterations=1,
+    )
+    lines = []
+    for env, fits in calibrations.items():
+        lines.append(f"[{env}]")
+        lines.append(fmt_row(
+            ["encoding", "ms/1k rec", "ExtraCost s", "R^2"], [12, 10, 12, 7]))
+        for name in ENCODINGS:
+            fit = fits[name]
+            lines.append(fmt_row(
+                [name, 1000.0 / fit.params.scan_rate * 1000.0,
+                 fit.params.extra_time, fit.r_squared],
+                [12, 10, 12, 7],
+            ))
+        lines.append("")
+    emit("table2", "Table II: calibrated ScanRate / ExtraCost", lines, capsys)
+
+    emr, local = calibrations["amazon-s3-emr"], calibrations["local-hadoop"]
+
+    def per_rec(fits, name):
+        return 1.0 / fits[name].params.scan_rate
+
+    # ExtraCost magnitudes.
+    for name in ENCODINGS:
+        assert 20 < emr[name].params.extra_time < 45
+        assert 3 < local[name].params.extra_time < 8
+    # Local: uncompressed row slowest scan.
+    for name in ENCODINGS:
+        if name != "ROW-PLAIN":
+            assert per_rec(local, name) < per_rec(local, "ROW-PLAIN")
+    # EMR: LZMA2 beats uncompressed row (S3 streaming dominates).
+    assert per_rec(emr, "ROW-LZMA2") < per_rec(emr, "ROW-PLAIN")
+    # Columnar beats row per compressor in both environments.
+    for fits in (emr, local):
+        for codec in ("SNAPPY", "GZIP", "LZMA2"):
+            assert per_rec(fits, f"COL-{codec}") < per_rec(fits, f"ROW-{codec}")
+    # Every fit is tight (the paper: "well-fitted by Equation 6").  The
+    # startup jitter leaves a little variance, hence 0.98 rather than 1.
+    for fits in calibrations.values():
+        for fit in fits.values():
+            assert fit.r_squared > 0.98
+
+
+def _cluster_for_bench():
+    from repro import make_cluster
+
+    return make_cluster("local-hadoop", seed=99)

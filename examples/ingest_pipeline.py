@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""A day in the life of a BLOT deployment.
+
+End-to-end operational pipeline combining the library's moving parts:
+
+1. bootstrap replicas from the initial data load;
+2. ingest live GPS batches into the delta buffer (queries stay correct
+   throughout, auto-compaction folds the buffer into fresh replicas);
+3. log the served queries, detect workload drift and retune the replica
+   set with the advisor;
+4. report storage, selectivity estimates and final query statistics.
+
+    python examples/ingest_pipeline.py
+"""
+
+import numpy as np
+
+from repro import (
+    AdvisorConfig,
+    GroupedQuery,
+    ReplicaAdvisor,
+    Workload,
+    cost_model_for,
+    make_cluster,
+    paper_encoding_schemes,
+    synthetic_shanghai_taxis,
+)
+from repro.core import AdaptiveReconfigurator
+from repro.costmodel import Histogram3D
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import CompositeScheme, KdTreePartitioner, small_partitioning_schemes
+from repro.storage.ingest import IngestingBlotStore, ReplicaSpec
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+
+    # --- day 0: bootstrap -------------------------------------------------
+    full = synthetic_shanghai_taxis(30_000, seed=77, num_taxis=48)
+    initial = full.take(np.arange(0, 12_000))
+    batches = [full.take(np.arange(12_000 + i * 3_000,
+                                   12_000 + (i + 1) * 3_000))
+               for i in range(6)]
+
+    cluster = make_cluster("amazon-s3-emr", seed=2)
+    model = cost_model_for(cluster, [s.name for s in paper_encoding_schemes()])
+    store = IngestingBlotStore(
+        initial,
+        [
+            ReplicaSpec(CompositeScheme(KdTreePartitioner(16), 8),
+                        encoding_scheme_by_name("COL-GZIP"), name="fine"),
+            ReplicaSpec(CompositeScheme(KdTreePartitioner(4), 4),
+                        encoding_scheme_by_name("COL-LZMA2"), name="coarse"),
+        ],
+        cost_model=model,
+        auto_compact_at=8_000,
+    )
+    print(f"bootstrapped with {len(initial):,} records, "
+          f"replicas: {store.base.replica_names()}")
+
+    # --- live traffic -----------------------------------------------------
+    u = full.bounding_box()
+    hist = Histogram3D.build(initial, resolution=(12, 12, 8), universe=u)
+    print("\ningesting live batches:")
+    compactions_seen = 0
+    for i, batch in enumerate(batches, 1):
+        store.append(batch)
+        if store.compactions > compactions_seen:
+            # Statistics go stale as data grows: refresh at compaction,
+            # like real systems piggyback stats rebuilds on maintenance.
+            compactions_seen = store.compactions
+            hist = Histogram3D.build(store.dataset(),
+                                     resolution=(12, 12, 8), universe=u)
+        frac = float(rng.uniform(0.05, 0.3))
+        w, h, t = u.width * frac, u.height * frac, u.duration * frac
+        q = GroupedQuery(w, h, t).at(
+            rng.uniform(u.x_min + w / 2, u.x_max - w / 2),
+            rng.uniform(u.y_min + h / 2, u.y_max - h / 2),
+            rng.uniform(u.t_min + t / 2, u.t_max - t / 2))
+        res = store.query(q)
+        predicted = hist.scaled(len(store)).estimate_count(q.box())
+        print(f"  batch {i}: {len(store):,} records "
+              f"(buffer {store.buffered_records:,}, "
+              f"compactions {store.compactions}); query returned "
+              f"{res.stats.records_returned:,} (histogram predicted "
+              f"{predicted:,.0f})")
+
+    # --- retune from the log ------------------------------------------------
+    print("\nworkload drift check:")
+    advisor = ReplicaAdvisor(
+        store.dataset().sample(10_000, rng),
+        small_partitioning_schemes((4, 16, 64), (4, 16)),
+        paper_encoding_schemes(),
+        model,
+        AdvisorConfig(n_records=65_000_000, universe=u),
+    )
+    expected = Workload([
+        (GroupedQuery(u.width * 0.6, u.height * 0.6, u.duration * 0.5), 1.0),
+    ])
+    budget = advisor.single_replica_budget(expected, copies=3)
+    recon = AdaptiveReconfigurator(advisor, budget, method="exact",
+                                   threshold=0.05, min_queries=10)
+    recon.deploy_initial(expected)
+    for _ in range(15):  # interactive dashboards took over
+        frac = 0.01
+        w, h, t = u.width * frac, u.height * frac, u.duration * frac
+        recon.observe(GroupedQuery(w, h, t).at(
+            rng.uniform(u.x_min + w / 2, u.x_max - w / 2),
+            rng.uniform(u.y_min + h / 2, u.y_max - h / 2),
+            rng.uniform(u.t_min + t / 2, u.t_max - t / 2)))
+    decision = recon.evaluate()
+    print(f"  drift improvement available: {decision.improvement:.0%} "
+          f"-> retuned: {decision.retuned}")
+    if decision.retuned:
+        print(f"  new replica set: {', '.join(recon.deployed.replica_names)}")
+
+    # --- close of day -----------------------------------------------------
+    store.compact()
+    print(f"\nend of day: {len(store):,} records in "
+          f"{len(store.base.replica_names())} replicas, "
+          f"{store.base.total_storage_bytes() / 1e6:.1f} MB on disk, "
+          f"{store.compactions} compactions")
+
+
+if __name__ == "__main__":
+    main()

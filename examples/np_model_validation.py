@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validate the analytic Np model (paper Section IV-B).
+
+For grouped queries of many sizes, compares three estimates of the
+expected number of partitions to scan:
+
+- **analytic** — the closed form of Eq. 11-12 (O(|P|) per query);
+- **monte-carlo** — sample centroids uniformly over CR(QG), count box
+  intersections (the Eq. 8 integral, numerically);
+- **positional mean** — the mean of exact Np over a fresh set of sampled
+  positioned queries (an independent check of both).
+
+    python examples/np_model_validation.py
+"""
+
+import numpy as np
+
+from repro import (
+    CompositeScheme,
+    GroupedQuery,
+    KdTreePartitioner,
+    ReplicaProfile,
+    expected_partitions,
+    synthetic_shanghai_taxis,
+)
+from repro.costmodel import monte_carlo_partitions
+from repro.cluster import position_query
+
+
+def main() -> None:
+    data = synthetic_shanghai_taxis(20_000, seed=77)
+    partitioning = CompositeScheme(KdTreePartitioner(16), 8).build(data)
+    profile = ReplicaProfile.from_partitioning(
+        partitioning, "ROW-PLAIN", len(data), 0.0)
+    u = profile.universe
+    rng_mc = np.random.default_rng(1)
+    rng_pos = np.random.default_rng(2)
+
+    print(f"partitioning: {partitioning.scheme_name} "
+          f"({partitioning.n_partitions} partitions)\n")
+    print(f"{'size frac':>9s} {'analytic':>9s} {'monte-carlo':>12s} "
+          f"{'positional':>11s} {'mc err':>7s}")
+    for frac in (0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.6, 0.9):
+        g = GroupedQuery(u.width * frac, u.height * frac, u.duration * frac)
+        analytic = expected_partitions(profile, g)
+        mc = monte_carlo_partitions(profile, g, rng_mc, trials=2000)
+        positional = float(np.mean([
+            expected_partitions(profile, position_query(g, profile, rng_pos))
+            for _ in range(500)
+        ]))
+        err = abs(analytic - mc) / mc
+        print(f"{frac:9.2f} {analytic:9.2f} {mc:12.2f} {positional:11.2f} "
+              f"{err:7.2%}")
+    print("\nThe closed form tracks both sampled estimates across three\n"
+          "orders of magnitude of query size, 'without generating actual\n"
+          "replicas' (Section III-A) and without numeric integration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The full paper pipeline: calibrate, enumerate candidates, select.
+
+Reproduces the Section V-C methodology end to end at laptop scale:
+calibrate both execution environments, build the candidate replica grid,
+then sweep the storage budget comparing Single / Greedy / MIP(exact) /
+Ideal — the experiment behind Figure 4.
+
+    python examples/replica_advisor_tuning.py            # reduced grid
+    python examples/replica_advisor_tuning.py --full     # 25 x 7 = 150 candidates (slow)
+"""
+
+import argparse
+
+from repro import (
+    AdvisorConfig,
+    ReplicaAdvisor,
+    cost_model_for,
+    make_cluster,
+    paper_encoding_schemes,
+    paper_partitioning_schemes,
+    paper_workload,
+    small_partitioning_schemes,
+    synthetic_shanghai_taxis,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full 25-scheme grid")
+    parser.add_argument("--environment", default="amazon-s3-emr",
+                        choices=["amazon-s3-emr", "local-hadoop"])
+    parser.add_argument("--records", type=float, default=65e6,
+                        help="target dataset size in records")
+    args = parser.parse_args()
+
+    print(f"calibrating cost model on {args.environment} "
+          "(5 partition sizes x 20 mappers per encoding)...")
+    cluster = make_cluster(args.environment, seed=42)
+    encodings = paper_encoding_schemes()
+    model = cost_model_for(cluster, [s.name for s in encodings])
+    for name in model.encoding_names:
+        p = model.params_for(name)
+        print(f"  {name:11s} 1/ScanRate = {1e6 / p.scan_rate:8.2f} us/record   "
+              f"ExtraTime = {p.extra_time:6.2f} s")
+
+    schemes = paper_partitioning_schemes() if args.full else small_partitioning_schemes()
+    sample = synthetic_shanghai_taxis(30_000, seed=9)
+    print(f"\nbuilding {len(schemes)} partitionings x {len(encodings)} encodings "
+          f"= {len(schemes) * len(encodings)} candidate replicas "
+          f"from a {len(sample):,}-record sample...")
+    advisor = ReplicaAdvisor(
+        sample=sample,
+        partitioning_schemes=schemes,
+        encoding_schemes=encodings,
+        cost_model=model,
+        config=AdvisorConfig(n_records=args.records),
+    )
+    workload = paper_workload(advisor.universe)
+    base_budget = advisor.single_replica_budget(workload, copies=3)
+    print(f"budget unit: 3 copies of the best single replica "
+          f"= {base_budget / 1e9:.2f} GB")
+
+    print(f"\n{'rel.budget':>10s} {'Single':>10s} {'Greedy':>10s} "
+          f"{'Exact':>10s} {'Ideal':>10s} {'greedy ratio':>13s} {'#replicas':>10s}")
+    for factor in (0.5, 0.75, 1.0, 1.5, 2.0, 3.0):
+        budget = base_budget * factor
+        greedy = advisor.recommend(workload, budget, method="greedy")
+        exact = advisor.recommend(workload, budget, method="exact")
+        ratio = greedy.cost / exact.ideal_cost
+        print(f"{factor:10.2f} {exact.single_cost:10.1f} {greedy.cost:10.1f} "
+              f"{exact.cost:10.1f} {exact.ideal_cost:10.1f} {ratio:13.3f} "
+              f"{len(exact.replica_names):10d}")
+
+    report = advisor.recommend(workload, base_budget, method="exact")
+    print(f"\nselected at 1.0x budget: {', '.join(report.replica_names)}")
+    print("per-query routing:")
+    for label, replica in report.assignment.items():
+        print(f"  {label}: {replica}")
+
+
+if __name__ == "__main__":
+    main()

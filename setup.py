@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` on this offline box cannot build PEP 660 editable
+wheels, so we keep a legacy setup.py enabling
+`pip install -e . --no-build-isolation` via the setuptools develop path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,320 @@
+"""Command-line interface for the BLOT reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro info
+    python -m repro generate --records 50000 --out taxis.csv
+    python -m repro ratios --records 20000
+    python -m repro calibrate --environment local-hadoop
+    python -m repro advise --records-target 65e6 --budget-copies 3 --method exact
+    python -m repro query --input taxis.csv --frac 0.1 --encoding COL-GZIP
+
+Every subcommand is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.cluster import ENVIRONMENTS
+    from repro.encoding import paper_encoding_schemes
+    from repro.partition import paper_partitioning_schemes
+
+    print(f"repro {repro.__version__} — BLOT diverse replicas (ICDCS 2014)")
+    print(f"environments: {', '.join(sorted(ENVIRONMENTS))}")
+    print(f"encodings ({len(paper_encoding_schemes())}): "
+          + ", ".join(s.name for s in paper_encoding_schemes()))
+    schemes = paper_partitioning_schemes()
+    print(f"paper partitioning grid: {len(schemes)} schemes "
+          f"({schemes[0].name} .. {schemes[-1].name})")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data import dataset_to_csv, synthetic_shanghai_taxis
+
+    data = synthetic_shanghai_taxis(args.records, seed=args.seed,
+                                    num_taxis=args.taxis)
+    dataset_to_csv(data, args.out, header=args.header)
+    bb = data.bounding_box()
+    print(f"wrote {len(data):,} records to {args.out}")
+    print(f"bbox lon [{bb.x_min:.4f}, {bb.x_max:.4f}] "
+          f"lat [{bb.y_min:.4f}, {bb.y_max:.4f}] "
+          f"time [{bb.t_min:.0f}, {bb.t_max:.0f}]")
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    from repro.data import dataset_from_csv, synthetic_shanghai_taxis
+
+    if getattr(args, "input", None):
+        return dataset_from_csv(args.input, header=args.header)
+    return synthetic_shanghai_taxis(args.records, seed=args.seed)
+
+
+def _cmd_ratios(args: argparse.Namespace) -> int:
+    from repro.encoding import all_encoding_schemes, measure_compression_ratio
+
+    sample = _load_or_generate(args).sorted_by_time()
+    print(f"compression ratios vs uncompressed row binary "
+          f"({len(sample):,} records):")
+    for scheme in all_encoding_schemes():
+        ratio = measure_compression_ratio(scheme, sample)
+        print(f"  {scheme.name:11s} {ratio:6.3f}")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.cluster import calibrate_environment, make_cluster
+    from repro.encoding import paper_encoding_schemes
+
+    cluster = make_cluster(args.environment, seed=args.seed)
+    names = args.encodings or [s.name for s in paper_encoding_schemes()]
+    fits = calibrate_environment(cluster, names)
+    print(f"[{args.environment}] fitted Eq. 6 parameters:")
+    print(f"  {'encoding':11s} {'us/record':>10s} {'ExtraTime s':>12s} {'R^2':>7s}")
+    for name in names:
+        fit = fits[name]
+        print(f"  {name:11s} {1e6 / fit.params.scan_rate:10.2f} "
+              f"{fit.params.extra_time:12.2f} {fit.r_squared:7.4f}")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.cluster import cost_model_for, make_cluster
+    from repro.core import AdvisorConfig, ReplicaAdvisor
+    from repro.encoding import paper_encoding_schemes
+    from repro.partition import paper_partitioning_schemes, small_partitioning_schemes
+    from repro.workload import paper_workload
+
+    sample = _load_or_generate(args)
+    cluster = make_cluster(args.environment, seed=args.seed)
+    encodings = paper_encoding_schemes()
+    model = cost_model_for(cluster, [s.name for s in encodings])
+    schemes = (paper_partitioning_schemes() if args.full_grid
+               else small_partitioning_schemes((4, 16, 64, 256), (4, 16, 64)))
+    advisor = ReplicaAdvisor(
+        sample, schemes, encodings, model,
+        AdvisorConfig(n_records=args.records_target),
+    )
+    workload = paper_workload(advisor.universe)
+    budget = advisor.single_replica_budget(workload, copies=args.budget_copies)
+    report = advisor.recommend(workload, budget, method=args.method)
+    print(f"candidates: {len(advisor.candidates)}  "
+          f"budget: {budget / 1e9:.2f} GB "
+          f"({args.budget_copies} copies of {report.single_name})")
+    print(f"selected ({report.selection.solver}):")
+    for name in report.replica_names:
+        print(f"  {name}")
+    print(f"workload cost: {report.cost:.1f}s | single replica: "
+          f"{report.single_cost:.1f}s | ideal: {report.ideal_cost:.1f}s")
+    print(f"speedup vs single: {report.speedup_vs_single:.2f}x | "
+          f"approximation ratio: {report.approximation_ratio:.3f}")
+    print("routing:")
+    for label, replica in report.assignment.items():
+        print(f"  {label} -> {replica}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.encoding import encoding_scheme_by_name
+    from repro.partition import CompositeScheme, KdTreePartitioner
+    from repro.storage import BlotStore, InMemoryStore
+    from repro.workload import Query
+
+    data = _load_or_generate(args)
+    store = BlotStore(data)
+    store.add_replica(
+        CompositeScheme(KdTreePartitioner(args.spatial_leaves), args.time_slices),
+        encoding_scheme_by_name(args.encoding),
+        InMemoryStore(),
+    )
+    bb = data.bounding_box()
+    c = bb.centroid
+    q = Query(bb.width * args.frac, bb.height * args.frac,
+              bb.duration * args.frac, c.x, c.y, c.t)
+    result = store.query(q, parallelism=args.parallelism)
+    s = result.stats
+    print(f"replica {s.replica_name}: {s.records_returned:,} of "
+          f"{s.total_records:,} records returned")
+    print(f"scanned {s.records_scanned:,} records "
+          f"({s.scanned_fraction:.1%}) across {s.partitions_involved} "
+          f"partitions, {s.bytes_read / 1e6:.2f} MB read, {s.seconds * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.data import (
+        od_matrix,
+        split_trips,
+        trajectories_of,
+        trajectory_stats,
+    )
+
+    data = _load_or_generate(args)
+    trajs = trajectories_of(data)
+    stats = [trajectory_stats(oid, t) for oid, t in trajs.items()]
+    n_trips = sum(len(split_trips(t)) for t in trajs.values())
+    total_km = sum(s.length_km for s in stats)
+    print(f"fleet: {len(trajs)} vehicles, {len(data):,} samples, "
+          f"{n_trips:,} trips, {total_km:,.0f} km driven")
+    mean_occ = np.mean([s.occupied_fraction for s in stats])
+    print(f"mean occupancy {mean_occ:.0%}, mean speed "
+          f"{np.mean([s.mean_speed_kmh for s in stats]):.1f} km/h")
+    top = sorted(stats, key=lambda s: -s.length_km)[:args.top]
+    print(f"top {args.top} vehicles by distance:")
+    for s in top:
+        print(f"  taxi {s.oid:4d}: {s.length_km:8.1f} km over "
+              f"{s.duration_seconds / 3600:.1f} h, occupied "
+              f"{s.occupied_fraction:.0%}")
+    od = od_matrix(data, args.grid, args.grid)
+    flows = np.argsort(od, axis=None)[::-1]
+    print(f"top origin->destination flows ({args.grid}x{args.grid} grid):")
+    shown = 0
+    for flat in flows:
+        o, d = np.unravel_index(flat, od.shape)
+        if od[o, d] == 0 or shown >= args.top:
+            break
+        print(f"  cell {int(o):3d} -> cell {int(d):3d}: {int(od[o, d]):5d} trips")
+        shown += 1
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.storage import DirectoryStore, load_replica, verify_replica
+
+    with open(args.manifest, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+    replica = load_replica(manifest, DirectoryStore(args.store))
+    damaged = verify_replica(replica, manifest)
+    if not damaged:
+        print(f"replica {replica.name!r}: all "
+              f"{sum(1 for k in replica.unit_keys if k)} units verified OK")
+        return 0
+    print(f"replica {replica.name!r}: {len(damaged)} damaged units: "
+          + ", ".join(str(p) for p in damaged[:20])
+          + (" ..." if len(damaged) > 20 else ""))
+    return 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.storage import (
+        DirectoryStore,
+        load_replica,
+        repair_replica,
+        verify_replica,
+    )
+
+    with open(args.manifest, "r", encoding="utf-8") as f:
+        manifest = json.load(f)
+    damaged_replica = load_replica(manifest, DirectoryStore(args.store))
+    source = load_replica(args.source_manifest,
+                          DirectoryStore(args.source_store))
+    damaged = verify_replica(damaged_replica, manifest)
+    if not damaged:
+        print("nothing to repair")
+        return 0
+    restored = repair_replica(damaged_replica, damaged, source)
+    remaining = verify_replica(damaged_replica, manifest)
+    print(f"repaired {len(damaged)} units ({restored:,} records) from "
+          f"{source.name!r}; {len(remaining)} still damaged")
+    return 0 if not remaining else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BLOT diverse-replica storage (ICDCS 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common_data(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--input", help="CSV file (default: synthesize)")
+        p.add_argument("--records", type=int, default=20_000,
+                       help="records to synthesize when no --input")
+        p.add_argument("--header", action="store_true",
+                       help="CSV files carry a header row")
+        p.add_argument("--seed", type=int, default=7)
+
+    p = sub.add_parser("info", help="version, environments, scheme registry")
+    p.set_defaults(handler=_cmd_info)
+
+    p = sub.add_parser("generate", help="synthesize a taxi GPS log as CSV")
+    p.add_argument("--records", type=int, default=50_000)
+    p.add_argument("--taxis", type=int, default=64)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--header", action="store_true")
+    p.add_argument("--out", required=True)
+    p.set_defaults(handler=_cmd_generate)
+
+    p = sub.add_parser("ratios", help="Table I: compression ratios")
+    common_data(p)
+    p.set_defaults(handler=_cmd_ratios)
+
+    p = sub.add_parser("calibrate", help="Table II: ScanRate/ExtraTime fits")
+    p.add_argument("--environment", default="amazon-s3-emr")
+    p.add_argument("--encodings", nargs="*", default=None)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(handler=_cmd_calibrate)
+
+    p = sub.add_parser("advise", help="recommend a diverse replica set")
+    common_data(p)
+    p.add_argument("--records-target", type=float, default=65e6,
+                   help="size of the full dataset being planned for")
+    p.add_argument("--environment", default="amazon-s3-emr")
+    p.add_argument("--budget-copies", type=int, default=3)
+    p.add_argument("--method", default="greedy",
+                   choices=["greedy", "exact", "mip"])
+    p.add_argument("--full-grid", action="store_true",
+                   help="use the paper's full 25-scheme grid (slow)")
+    p.set_defaults(handler=_cmd_advise)
+
+    p = sub.add_parser("verify", help="CRC-check a replica against its manifest")
+    p.add_argument("--manifest", required=True)
+    p.add_argument("--store", required=True, help="replica unit directory")
+    p.set_defaults(handler=_cmd_verify)
+
+    p = sub.add_parser("repair",
+                       help="repair damaged units from a diverse replica")
+    p.add_argument("--manifest", required=True)
+    p.add_argument("--store", required=True)
+    p.add_argument("--source-manifest", required=True)
+    p.add_argument("--source-store", required=True)
+    p.set_defaults(handler=_cmd_repair)
+
+    p = sub.add_parser("analyze", help="fleet analytics (trips, OD flows)")
+    common_data(p)
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--grid", type=int, default=4)
+    p.set_defaults(handler=_cmd_analyze)
+
+    p = sub.add_parser("query", help="run one range query through the engine")
+    common_data(p)
+    p.add_argument("--frac", type=float, default=0.1,
+                   help="query extent as a fraction of the universe per axis")
+    p.add_argument("--encoding", default="COL-GZIP")
+    p.add_argument("--spatial-leaves", type=int, default=16)
+    p.add_argument("--time-slices", type=int, default=8)
+    p.add_argument("--parallelism", type=int, default=1)
+    p.set_defaults(handler=_cmd_query)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

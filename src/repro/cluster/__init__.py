@@ -1,0 +1,80 @@
+"""Simulated execution environments for BLOT systems.
+
+Discrete-event simulators of the paper's two deployments — Amazon S3 +
+EMR and a local Hadoop cluster — executing map-only partition-scan jobs
+with per-environment startup, lookup, IO and decode costs.  See
+DESIGN.md §2 for why simulation substitutes for the real clusters.
+"""
+
+from repro.cluster.cluster import (
+    JobResult,
+    MapTask,
+    SimulatedCluster,
+    StragglerModel,
+    TaskRecord,
+)
+from repro.cluster.des import Simulator
+from repro.cluster.environments import EMR_S3, ENVIRONMENTS, LOCAL_HADOOP, make_cluster
+from repro.cluster.locality import (
+    LocalityScheduler,
+    PlacedJobResult,
+    PlacedTask,
+    estimate_recovery_seconds,
+)
+from repro.cluster.placement import (
+    ClusterPlacement,
+    FailureReport,
+    LostUnit,
+    PLACEMENT_POLICIES,
+    RecoveryPlan,
+    RecoveryStep,
+)
+from repro.cluster.jobs import (
+    RoutedQueryResult,
+    calibrate_environment,
+    cost_model_for,
+    position_query,
+    query_scan_tasks,
+    simulate_query,
+    simulate_routed_query,
+)
+from repro.cluster.spec import (
+    EnvironmentSpec,
+    PAPER_TABLE1_RATIOS,
+    TaskTimeModel,
+    split_encoding_name,
+)
+
+__all__ = [
+    "ClusterPlacement",
+    "EMR_S3",
+    "ENVIRONMENTS",
+    "EnvironmentSpec",
+    "FailureReport",
+    "JobResult",
+    "LOCAL_HADOOP",
+    "LocalityScheduler",
+    "LostUnit",
+    "MapTask",
+    "PlacedJobResult",
+    "PlacedTask",
+    "PLACEMENT_POLICIES",
+    "RecoveryPlan",
+    "RecoveryStep",
+    "PAPER_TABLE1_RATIOS",
+    "RoutedQueryResult",
+    "SimulatedCluster",
+    "StragglerModel",
+    "Simulator",
+    "TaskRecord",
+    "TaskTimeModel",
+    "calibrate_environment",
+    "cost_model_for",
+    "estimate_recovery_seconds",
+    "make_cluster",
+    "position_query",
+    "query_scan_tasks",
+    "simulate_query",
+    "simulate_routed_query",
+    "split_encoding_name",
+]

@@ -1,0 +1,60 @@
+"""A small discrete-event simulation engine.
+
+Drives the cluster simulators: events are ``(time, seq, callback)``
+triples in a heap; callbacks may schedule further events.  ``seq`` breaks
+ties deterministically so simulations are reproducible event-for-event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class Simulator:
+    """Event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay}s in the past")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} < now {self._now}")
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def run(self, until: float | None = None) -> float:
+        """Process events (optionally only up to time ``until``).
+
+        Returns the final clock value.  Events scheduled during processing
+        are handled in the same run.
+        """
+        while self._heap:
+            when, _, callback = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            self._processed += 1
+            callback()
+        return self._now

@@ -1,0 +1,117 @@
+"""Query execution and calibration jobs on simulated clusters.
+
+Bridges replica geometry (cost-model :class:`ReplicaProfile`) to map-only
+scan jobs: a positioned query's involved partitions become one
+:class:`MapTask` each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import JobResult, MapTask, SimulatedCluster
+from repro.costmodel.calibrate import CalibrationResult, calibrate_encoding
+from repro.costmodel.model import CostModel, ReplicaProfile
+from repro.geometry import boxes_intersect_count, centroid_range
+from repro.workload.query import GroupedQuery, Query
+
+
+def position_query(
+    query: Query | GroupedQuery,
+    profile: ReplicaProfile,
+    rng: np.random.Generator | None = None,
+) -> Query:
+    """Positioned form of ``query``: grouped queries get a centroid drawn
+    uniformly from their admissible centroid range (Definition 6's
+    uniform-position assumption)."""
+    if isinstance(query, Query):
+        return query
+    if rng is None:
+        raise ValueError("positioning a grouped query requires an rng")
+    cr = centroid_range(profile.universe, query.size)
+    return query.at(
+        rng.uniform(cr.x_min, cr.x_max) if cr.width > 0 else cr.x_min,
+        rng.uniform(cr.y_min, cr.y_max) if cr.height > 0 else cr.y_min,
+        rng.uniform(cr.t_min, cr.t_max) if cr.duration > 0 else cr.t_min,
+    )
+
+
+def query_scan_tasks(profile: ReplicaProfile, query: Query) -> list[MapTask]:
+    """One :class:`MapTask` per involved partition of a positioned query."""
+    n_involved = boxes_intersect_count(profile.box_array, query.box())
+    return [
+        MapTask(profile.encoding_name, profile.records_per_partition)
+    ] * n_involved
+
+
+def simulate_query(
+    cluster: SimulatedCluster, profile: ReplicaProfile, query: Query
+) -> JobResult:
+    """Run a positioned query as a map-only job on the cluster."""
+    return cluster.run_map_only_job(query_scan_tasks(profile, query))
+
+
+@dataclass(frozen=True)
+class RoutedQueryResult:
+    """A simulated query execution after cost-based replica routing."""
+
+    query: Query
+    replica_name: str
+    estimated_seconds: float
+    job: JobResult
+
+
+def simulate_routed_query(
+    cluster: SimulatedCluster,
+    profiles: list[ReplicaProfile],
+    cost_model: CostModel,
+    query: Query,
+) -> RoutedQueryResult:
+    """Route ``query`` to the cheapest replica by estimated cost, then
+    actually execute it on the simulated cluster — the end-to-end path of
+    Figure 2."""
+    if not profiles:
+        raise ValueError("need at least one replica profile")
+    best, best_cost = None, float("inf")
+    for profile in profiles:
+        cost = cost_model.query_cost(query, profile)
+        if cost < best_cost:
+            best, best_cost = profile, cost
+    assert best is not None
+    job = simulate_query(cluster, best, query)
+    return RoutedQueryResult(
+        query=query, replica_name=best.name, estimated_seconds=best_cost, job=job,
+    )
+
+
+def calibrate_environment(
+    cluster: SimulatedCluster,
+    encoding_names: list[str],
+    sizes: tuple[int, ...] | None = None,
+    partitions_per_set: int | None = None,
+) -> dict[str, CalibrationResult]:
+    """Calibrate every encoding on a simulated cluster (paper Section V-B:
+    "7 x 2 = 14 measurements").  Returns per-encoding fits; feed
+    ``{name: fit.params}`` into :class:`~repro.costmodel.CostModel`."""
+    kwargs: dict = {}
+    if sizes is not None:
+        kwargs["sizes"] = sizes
+    if partitions_per_set is not None:
+        kwargs["partitions_per_set"] = partitions_per_set
+    backend = cluster.measurement_backend()
+    return {
+        name: calibrate_encoding(name, backend, **kwargs)
+        for name in encoding_names
+    }
+
+
+def cost_model_for(
+    cluster: SimulatedCluster,
+    encoding_names: list[str],
+    sizes: tuple[int, ...] | None = None,
+) -> CostModel:
+    """Convenience: calibrate and wrap into a :class:`CostModel`."""
+    fits = calibrate_environment(cluster, encoding_names, sizes=sizes)
+    return CostModel({name: fit.params for name, fit in fits.items()})

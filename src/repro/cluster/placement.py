@@ -1,0 +1,292 @@
+"""Distributed placement of storage units and node-failure recovery.
+
+In the paper's deployments a replica's storage units live on cluster
+nodes (HDFS blocks) or in an object store.  With *diverse* replicas the
+interesting placement question is anti-affinity: units of different
+replicas that cover overlapping spatio-temporal regions should land on
+different nodes, so that one node failure never takes out a region in
+every replica at once — the precondition for the paper's "diverse
+replicas can recover each other" property to survive real failures.
+
+This module provides:
+
+- :class:`ClusterPlacement` — assigns every unit of every registered
+  replica to one of ``n_nodes`` nodes (``spread``, ``random`` or
+  ``anti-affinity`` policies) and can *fail* a node, deleting its units
+  from the backing stores;
+- :meth:`ClusterPlacement.plan_recovery` — for each lost unit, pick a
+  surviving diverse replica able to answer the unit's box;
+- :meth:`ClusterPlacement.execute_recovery` — run the plan through
+  :func:`repro.storage.recovery.repair_partition`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry import Box3, boxes_intersect_mask
+from repro.storage.recovery import repair_partition
+from repro.storage.replica import StoredReplica
+
+PLACEMENT_POLICIES = ("spread", "random", "anti-affinity")
+
+
+@dataclass(frozen=True)
+class LostUnit:
+    """One storage unit destroyed by a node failure."""
+
+    replica_name: str
+    partition_id: int
+    key: str
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """Everything a node failure destroyed."""
+
+    node_id: int
+    lost: tuple[LostUnit, ...]
+
+    def lost_by_replica(self) -> dict[str, list[int]]:
+        out: dict[str, list[int]] = {}
+        for unit in self.lost:
+            out.setdefault(unit.replica_name, []).append(unit.partition_id)
+        return out
+
+
+@dataclass(frozen=True)
+class RecoveryStep:
+    """Repair one partition of one replica from a diverse source."""
+
+    replica_name: str
+    partition_id: int
+    source_name: str
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """Ordered repair steps plus anything that cannot be recovered."""
+
+    steps: tuple[RecoveryStep, ...]
+    unrecoverable: tuple[LostUnit, ...]
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.unrecoverable
+
+
+@dataclass
+class _PlacedUnit:
+    replica_name: str
+    partition_id: int
+    key: str
+    box: Box3
+    node_id: int
+    alive: bool = True
+
+
+class ClusterPlacement:
+    """Unit-to-node assignment for the diverse replicas of one dataset."""
+
+    def __init__(self, n_nodes: int, rng: np.random.Generator | None = None):
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.n_nodes = n_nodes
+        self._rng = rng or np.random.default_rng(0)
+        self._replicas: dict[str, StoredReplica] = {}
+        self._units: dict[str, _PlacedUnit] = {}  # key -> placement
+        self._load = np.zeros(n_nodes, dtype=np.int64)
+        self._failed: set[int] = set()
+        self._allowed: dict[str, list[int]] = {}  # replica -> node subset
+
+    # -- registration -----------------------------------------------------
+
+    def add_replica(
+        self,
+        replica: StoredReplica,
+        policy: str = "spread",
+        nodes: list[int] | None = None,
+    ) -> None:
+        """Place every unit of ``replica`` onto nodes.
+
+        ``nodes`` restricts placement to a node subset (rack/zone-style
+        isolation: putting different replicas on disjoint node groups
+        guarantees a single node failure never hits overlapping regions
+        of two replicas at once).
+        """
+        if policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; have {PLACEMENT_POLICIES}")
+        if replica.name in self._replicas:
+            raise ValueError(f"replica {replica.name!r} already placed")
+        allowed = list(range(self.n_nodes)) if nodes is None else list(nodes)
+        if not allowed or any(not 0 <= n < self.n_nodes for n in allowed):
+            raise ValueError(f"invalid node subset {nodes!r}")
+        self._replicas[replica.name] = replica
+        self._allowed[replica.name] = allowed
+        offset = int(self._rng.integers(len(allowed)))
+        placed = 0
+        for pid, key in enumerate(replica.unit_keys):
+            if key is None:
+                continue
+            box = Box3(*replica.partitioning.box_array[pid])
+            if policy == "spread":
+                node = allowed[(offset + placed) % len(allowed)]
+            elif policy == "random":
+                node = allowed[int(self._rng.integers(len(allowed)))]
+            else:
+                node = self._anti_affinity_node(replica.name, box, allowed)
+            self._units[key] = _PlacedUnit(replica.name, pid, key, box, node)
+            self._load[node] += 1
+            placed += 1
+
+    def _anti_affinity_node(
+        self, replica_name: str, box: Box3, allowed: list[int]
+    ) -> int:
+        """Allowed node with the fewest overlapping units of *other*
+        replicas, ties broken by load."""
+        overlap = np.zeros(self.n_nodes, dtype=np.int64)
+        for unit in self._units.values():
+            if unit.replica_name != replica_name and unit.box.intersects(box):
+                overlap[unit.node_id] += 1
+        score = overlap * (self._load.max() + 1) + self._load
+        best = min(allowed, key=lambda n: score[n])
+        return int(best)
+
+    # -- introspection ------------------------------------------------------
+
+    def replica(self, name: str) -> StoredReplica:
+        return self._replicas[name]
+
+    def node_of(self, key: str) -> int:
+        return self._units[key].node_id
+
+    def units_on(self, node_id: int) -> list[LostUnit]:
+        return [
+            LostUnit(u.replica_name, u.partition_id, u.key)
+            for u in self._units.values()
+            if u.node_id == node_id and u.alive
+        ]
+
+    def load(self) -> np.ndarray:
+        """Units per node."""
+        return self._load.copy()
+
+    def region_copies(self, box: Box3) -> dict[str, int]:
+        """How many *alive* units per replica intersect ``box`` — the
+        redundancy the region currently enjoys."""
+        out: dict[str, int] = {name: 0 for name in self._replicas}
+        for unit in self._units.values():
+            if unit.alive and unit.box.intersects(box):
+                out[unit.replica_name] += 1
+        return out
+
+    # -- failure & recovery -------------------------------------------------
+
+    def fail_node(self, node_id: int) -> FailureReport:
+        """Destroy a node: delete its units from the backing stores."""
+        if not 0 <= node_id < self.n_nodes:
+            raise ValueError(f"node {node_id} out of range")
+        if node_id in self._failed:
+            raise ValueError(f"node {node_id} already failed")
+        self._failed.add(node_id)
+        lost = []
+        for unit in self._units.values():
+            if unit.node_id == node_id and unit.alive:
+                unit.alive = False
+                replica = self._replicas[unit.replica_name]
+                replica.store.delete(unit.key)
+                lost.append(LostUnit(unit.replica_name, unit.partition_id,
+                                     unit.key))
+        return FailureReport(node_id=node_id, lost=tuple(lost))
+
+    def _source_candidates(self, damaged_name: str, box: Box3) -> list[str]:
+        """Replicas whose units covering ``box`` are all alive."""
+        out = []
+        for name, replica in self._replicas.items():
+            if name == damaged_name:
+                continue
+            involved = replica.involved_partitions(box)
+            ok = True
+            for pid in involved:
+                key = replica.unit_keys[int(pid)]
+                if key is None:
+                    continue
+                unit = self._units.get(key)
+                if unit is None or not unit.alive:
+                    ok = False
+                    break
+            if ok:
+                out.append(name)
+        return out
+
+    def plan_recovery(self, report: FailureReport) -> RecoveryPlan:
+        """Choose a surviving diverse source for every lost unit."""
+        steps = []
+        unrecoverable = []
+        for lost in report.lost:
+            replica = self._replicas[lost.replica_name]
+            box = Box3(*replica.partitioning.box_array[lost.partition_id])
+            sources = self._source_candidates(lost.replica_name, box)
+            if sources:
+                steps.append(RecoveryStep(
+                    lost.replica_name, lost.partition_id, sources[0]))
+            else:
+                unrecoverable.append(lost)
+        return RecoveryPlan(steps=tuple(steps),
+                            unrecoverable=tuple(unrecoverable))
+
+    def execute_recovery(
+        self, plan: RecoveryPlan, target_node: int | None = None
+    ) -> int:
+        """Run the plan; repaired units are re-placed on ``target_node``
+        (default: the least-loaded surviving node).  Returns records
+        restored."""
+        survivors = [n for n in range(self.n_nodes) if n not in self._failed]
+        if not survivors:
+            raise RuntimeError("no surviving nodes to place repaired units on")
+        restored = 0
+        for step in plan.steps:
+            damaged = self._replicas[step.replica_name]
+            source = self._replicas[step.source_name]
+            restored += repair_partition(damaged, step.partition_id, source)
+            key = damaged.unit_keys[step.partition_id]
+            assert key is not None
+            node = target_node
+            if node is None:
+                # Stay inside the replica's node subset (zone isolation
+                # must survive recovery); fall back to any survivor only
+                # when the whole zone is down.
+                zone = [n for n in self._allowed[step.replica_name]
+                        if n not in self._failed]
+                pool = zone or survivors
+                node = min(pool, key=lambda n: int(self._load[n]))
+            unit = self._units[key]
+            self._load[unit.node_id] -= 1
+            unit.node_id = node
+            unit.alive = True
+            self._load[node] += 1
+        return restored
+
+    def recover_all(self, report: FailureReport) -> tuple[int, RecoveryPlan]:
+        """Iterate plan/execute to a fixed point.
+
+        Units whose source regions were damaged too become recoverable
+        once those regions are repaired in earlier rounds; units lost in
+        *every* replica stay unrecoverable (with two replicas that is real
+        data loss — the scenario node-subset or anti-affinity placement
+        exists to prevent).  Returns ``(records_restored, final_plan)``
+        where the final plan holds only the truly unrecoverable units.
+        """
+        restored = 0
+        pending = report
+        while True:
+            plan = self.plan_recovery(pending)
+            if not plan.steps:
+                return restored, plan
+            restored += self.execute_recovery(plan)
+            if plan.is_complete:
+                return restored, plan
+            pending = FailureReport(pending.node_id, plan.unrecoverable)

@@ -1,0 +1,137 @@
+"""Hardware/framework specification of a simulated execution environment.
+
+The paper evaluates in two environments (Amazon S3 + EMR, and a local
+Hadoop cluster).  We cannot access either, so the cluster simulators are
+parameterized by an :class:`EnvironmentSpec` describing where time goes
+when one mapper scans one partition:
+
+    task time = startup + unit lookup
+              + compressed_bytes / effective_io_bandwidth
+              + compressed_bytes * decompress_seconds_per_byte[codec]
+              + n_records * parse_seconds_per_record[layout]
+              + cleanup
+
+``startup`` covers scheduling plus JVM/EMR task initialization (the bulk
+of the paper's ExtraCost: ~30 s on EMR, ~4-5 s on the local cluster);
+``effective_io_bandwidth`` is the per-mapper streaming rate *including*
+framework per-byte overheads, which is why it is far below raw disk/S3
+throughput.  The calibration procedure rediscovers ScanRate/ExtraTime
+from the simulated measurements exactly as the paper does from real ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.encoding.rowbin import ROW_BYTES
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Ground-truth timing parameters of a simulated cluster."""
+
+    name: str
+    map_slots: int
+    task_startup_seconds: float
+    task_startup_jitter: float  # lognormal sigma applied to startup
+    unit_lookup_seconds: float  # locating the S3 object / HDFS file
+    effective_io_bandwidth: float  # bytes/second seen by one mapper
+    parse_seconds_per_record: dict[str, float]  # layout ("ROW"/"COL") -> s
+    decompress_seconds_per_byte: dict[str, float]  # codec name -> s
+    cleanup_seconds: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.map_slots < 1:
+            raise ValueError("map_slots must be >= 1")
+        if self.effective_io_bandwidth <= 0:
+            raise ValueError("effective_io_bandwidth must be positive")
+        for layout in ("ROW", "COL"):
+            if layout not in self.parse_seconds_per_record:
+                raise ValueError(f"missing parse cost for layout {layout!r}")
+
+    def decompress_cost(self, codec: str) -> float:
+        try:
+            return self.decompress_seconds_per_byte[codec]
+        except KeyError:
+            raise KeyError(
+                f"environment {self.name!r} has no decompress cost for codec "
+                f"{codec!r}"
+            ) from None
+
+
+#: Compression ratios relative to uncompressed row binary, used as the
+#: simulators' ground truth for on-disk partition sizes.  These are the
+#: paper's measured Table I values; pass your own (e.g. measured with
+#: :func:`repro.costmodel.measure_encoding_ratios`) to override.
+PAPER_TABLE1_RATIOS: dict[str, float] = {
+    "ROW-PLAIN": 1.000,
+    "COL-PLAIN": 0.557,
+    "ROW-SNAPPY": 0.485,
+    "COL-SNAPPY": 0.312,
+    "ROW-GZIP": 0.283,
+    "COL-GZIP": 0.179,
+    "ROW-LZMA2": 0.213,
+    "COL-LZMA2": 0.156,
+}
+
+
+def split_encoding_name(encoding_name: str) -> tuple[str, str]:
+    """``"COL-GZIP" -> ("COL", "GZIP")``."""
+    layout, _, codec = encoding_name.partition("-")
+    if layout not in ("ROW", "COL") or not codec:
+        raise ValueError(f"malformed encoding name {encoding_name!r}")
+    return layout, codec
+
+
+@dataclass(frozen=True)
+class TaskTimeModel:
+    """Deterministic per-task time composition for one environment, given
+    the encoding ratios in force."""
+
+    spec: EnvironmentSpec
+    encoding_ratios: dict[str, float] = field(
+        default_factory=lambda: dict(PAPER_TABLE1_RATIOS)
+    )
+
+    def bytes_for(self, encoding_name: str, n_records: float) -> float:
+        """Stored bytes of a partition of ``n_records`` records."""
+        try:
+            ratio = self.encoding_ratios[encoding_name]
+        except KeyError:
+            raise KeyError(f"no compression ratio for {encoding_name!r}") from None
+        return n_records * ROW_BYTES * ratio
+
+    def scan_seconds(self, encoding_name: str, n_records: float) -> float:
+        """Noise-free time for the IO + decompress + parse portion."""
+        layout, codec = split_encoding_name(encoding_name)
+        nbytes = self.bytes_for(encoding_name, n_records)
+        io = nbytes / self.spec.effective_io_bandwidth
+        decompress = nbytes * self.spec.decompress_cost(codec)
+        parse = n_records * self.spec.parse_seconds_per_record[layout]
+        return io + decompress + parse
+
+    def extra_seconds(self) -> float:
+        """Noise-free per-task constant portion (the model's ExtraTime)."""
+        return (
+            self.spec.task_startup_seconds
+            + self.spec.unit_lookup_seconds
+            + self.spec.cleanup_seconds
+        )
+
+    def task_seconds(
+        self, encoding_name: str, n_records: float, rng: np.random.Generator
+    ) -> float:
+        """One mapper's end-to-end time, with startup jitter."""
+        startup = self.spec.task_startup_seconds
+        if self.spec.task_startup_jitter > 0:
+            startup *= float(
+                rng.lognormal(mean=0.0, sigma=self.spec.task_startup_jitter)
+            )
+        return (
+            startup
+            + self.spec.unit_lookup_seconds
+            + self.scan_seconds(encoding_name, n_records)
+            + self.spec.cleanup_seconds
+        )

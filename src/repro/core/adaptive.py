@@ -1,0 +1,149 @@
+"""Adaptive reconfiguration from the live query log.
+
+"Most existing BLOT systems can adaptively optimize the configuration of
+the physical storage organization ... based on analyzing the historical
+queries" (Section II-E), and the paper's workload-reduction machinery
+(Section III-C1) exists precisely so that re-selection stays cheap as
+logs grow.  This module closes that loop:
+
+- :class:`QueryLogger` accumulates executed queries and compresses them
+  into a weighted grouped workload (optionally k-means-clustered);
+- :class:`AdaptiveReconfigurator` periodically re-runs replica selection
+  against the logged workload and reports when the currently deployed
+  replica set has drifted far enough from optimal to justify rebuilding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.advisor import ReplicaAdvisor, SelectionReport
+from repro.core.grouping import reduce_workload
+from repro.workload.query import Query, Workload
+from repro.workload.generator import workload_from_query_log
+
+
+class QueryLogger:
+    """Accumulates executed queries, the raw material for retuning."""
+
+    def __init__(self) -> None:
+        self._log: list[Query] = []
+
+    def record(self, query: Query) -> None:
+        self._log.append(query)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def queries(self) -> list[Query]:
+        return list(self._log)
+
+    def clear(self) -> None:
+        self._log.clear()
+
+    def to_workload(
+        self,
+        max_grouped_queries: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> Workload:
+        """The logged queries as a weighted grouped workload.
+
+        Identical range sizes merge (Section III-C1); when the number of
+        distinct sizes still exceeds ``max_grouped_queries`` they are
+        k-means-clustered down to that many centers.
+        """
+        if not self._log:
+            raise ValueError("query log is empty")
+        workload = workload_from_query_log(self._log)
+        if max_grouped_queries is not None and len(workload) > max_grouped_queries:
+            if rng is None:
+                rng = np.random.default_rng(0)
+            workload = reduce_workload(workload, max_grouped_queries, rng).reduced
+        return workload
+
+
+@dataclass(frozen=True)
+class RetuneDecision:
+    """Outcome of one retune evaluation."""
+
+    retuned: bool
+    current_cost: float
+    optimized_cost: float
+    report: SelectionReport | None
+
+    @property
+    def improvement(self) -> float:
+        """Fractional workload-cost reduction a retune would deliver."""
+        if self.current_cost <= 0:
+            return 0.0
+        return 1.0 - self.optimized_cost / self.current_cost
+
+
+class AdaptiveReconfigurator:
+    """Re-selects the replica set when the logged workload drifts.
+
+    ``threshold`` is the minimum fractional improvement that justifies
+    rebuilding replicas (rebuilds are expensive: the whole dataset is
+    re-partitioned and re-encoded), ``min_queries`` the minimum log size
+    before retuning is considered.
+    """
+
+    def __init__(
+        self,
+        advisor: ReplicaAdvisor,
+        budget: float,
+        method: str = "greedy",
+        threshold: float = 0.10,
+        min_queries: int = 50,
+        max_grouped_queries: int = 16,
+    ):
+        if not 0 <= threshold < 1:
+            raise ValueError("threshold must be in [0, 1)")
+        if min_queries < 1:
+            raise ValueError("min_queries must be >= 1")
+        self._advisor = advisor
+        self._budget = budget
+        self._method = method
+        self._threshold = threshold
+        self._min_queries = min_queries
+        self._max_grouped = max_grouped_queries
+        self.logger = QueryLogger()
+        self.deployed: SelectionReport | None = None
+
+    def deploy_initial(self, workload: Workload) -> SelectionReport:
+        """Select and deploy the first replica set for an expected
+        workload (before any live queries exist)."""
+        self.deployed = self._advisor.recommend(
+            workload, self._budget, method=self._method)
+        return self.deployed
+
+    def observe(self, query: Query) -> None:
+        """Record one executed query."""
+        self.logger.record(query)
+
+    def evaluate(self, rng: np.random.Generator | None = None) -> RetuneDecision:
+        """Compare the deployed set against a re-optimized one on the
+        logged workload; redeploy when the improvement clears the
+        threshold (the log is then cleared — a new epoch starts)."""
+        if self.deployed is None:
+            raise RuntimeError("no replica set deployed; call deploy_initial first")
+        if len(self.logger) < self._min_queries:
+            return RetuneDecision(False, 0.0, 0.0, None)
+        workload = self.logger.to_workload(self._max_grouped, rng)
+        instance = self._advisor.build_instance(workload, self._budget)
+        name_to_col = {instance.name_of(j): j
+                       for j in range(instance.n_replicas)}
+        deployed_cols = [name_to_col[name] for name in self.deployed.replica_names]
+        current_cost = instance.workload_cost(deployed_cols)
+        candidate = self._advisor.recommend(
+            workload, self._budget, method=self._method)
+        improvement = (
+            1.0 - candidate.cost / current_cost if current_cost > 0 else 0.0
+        )
+        if improvement >= self._threshold:
+            self.deployed = candidate
+            self.logger.clear()
+            return RetuneDecision(True, current_cost, candidate.cost, candidate)
+        return RetuneDecision(False, current_cost, candidate.cost, None)

@@ -1,0 +1,41 @@
+"""Exhaustive reference solver for small instances.
+
+Enumerates all ``2^m`` subsets — only usable for ``m ≲ 20`` — and exists
+to validate the branch-and-bound and MIP solvers in tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.problem import Selection, SelectionInstance
+
+_MAX_REPLICAS = 22
+
+
+def brute_force_select(instance: SelectionInstance) -> Selection:
+    """Provably optimal selection by exhaustive enumeration."""
+    m = instance.n_replicas
+    if m > _MAX_REPLICAS:
+        raise ValueError(
+            f"brute force is limited to {_MAX_REPLICAS} replicas, got {m}"
+        )
+    best: tuple[int, ...] = ()
+    best_capped = instance.capped_workload_cost(())
+    explored = 1
+    for k in range(1, m + 1):
+        for subset in combinations(range(m), k):
+            explored += 1
+            if not instance.is_feasible(subset):
+                continue
+            capped = instance.capped_workload_cost(subset)
+            if capped < best_capped - 1e-15:
+                best, best_capped = subset, capped
+    return Selection(
+        selected=best,
+        cost=instance.workload_cost(best),
+        storage=instance.storage_of(best),
+        optimal=True,
+        solver="brute-force",
+        nodes_explored=explored,
+    )

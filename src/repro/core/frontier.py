@@ -1,0 +1,103 @@
+"""Cost-vs-budget frontier computation (the data behind Figure 4).
+
+Given a selection instance, sweep the storage budget and record, per
+method, the workload cost and selected replica set.  Used by the Figure
+4 bench, the advisor-tuning example and anyone sizing the storage budget
+for a deployment ("how much replication budget buys how much latency?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.bnb import branch_and_bound_select
+from repro.core.greedy import greedy_select
+from repro.core.localsearch import local_search_select
+from repro.core.problem import Selection, SelectionInstance
+
+METHODS: dict[str, Callable[[SelectionInstance], Selection]] = {
+    "greedy": greedy_select,
+    "local-search": local_search_select,
+    "exact": branch_and_bound_select,
+}
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One (budget, method) evaluation."""
+
+    budget: float
+    relative_budget: float
+    method: str
+    cost: float
+    cost_over_ideal: float
+    n_selected: int
+    selected_names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BudgetFrontier:
+    """The full sweep plus its reference costs."""
+
+    points: tuple[FrontierPoint, ...]
+    ideal_cost: float
+    single_cost: float
+    unit_budget: float
+
+    def series(self, method: str) -> list[FrontierPoint]:
+        """Points of one method, in increasing budget order."""
+        out = [p for p in self.points if p.method == method]
+        if not out:
+            raise KeyError(f"no frontier series for method {method!r}")
+        return sorted(out, key=lambda p: p.budget)
+
+    def knee(self, method: str, tolerance: float = 0.05) -> FrontierPoint:
+        """The smallest budget at which ``method`` lands within
+        ``tolerance`` of the ideal cost — the budget worth paying for."""
+        for point in self.series(method):
+            if point.cost_over_ideal <= 1.0 + tolerance:
+                return point
+        return self.series(method)[-1]
+
+
+def cost_budget_frontier(
+    instance: SelectionInstance,
+    factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0, 3.0),
+    methods: tuple[str, ...] = ("greedy", "exact"),
+    copies: int = 3,
+) -> BudgetFrontier:
+    """Sweep budgets of ``factor x (copies of the optimal single replica)``.
+
+    ``instance``'s own budget is ignored; the unit budget follows the
+    paper's Section V-C convention.
+    """
+    for method in methods:
+        if method not in METHODS:
+            raise ValueError(f"unknown method {method!r}; have {sorted(METHODS)}")
+    if not factors:
+        raise ValueError("need at least one budget factor")
+    unbounded = instance.with_budget(float("inf"))
+    single_j, single_cost = unbounded.best_single()
+    unit = float(copies * instance.storage[single_j])
+    ideal = instance.ideal_cost()
+    points = []
+    for factor in factors:
+        budgeted = instance.with_budget(unit * factor)
+        for method in methods:
+            selection = METHODS[method](budgeted)
+            points.append(FrontierPoint(
+                budget=unit * factor,
+                relative_budget=factor,
+                method=method,
+                cost=selection.cost,
+                cost_over_ideal=selection.cost / ideal if ideal > 0 else 1.0,
+                n_selected=len(selection.selected),
+                selected_names=tuple(selection.names(budgeted)),
+            ))
+    return BudgetFrontier(
+        points=tuple(points),
+        ideal_cost=ideal,
+        single_cost=single_cost,
+        unit_budget=unit,
+    )

@@ -1,0 +1,95 @@
+"""Algorithm 1: the greedy replica selection heuristic.
+
+Repeatedly add the replica maximizing
+
+    score(r) = (Cost(W, R) - Cost(W, R ∪ {r})) / Storage(r)
+
+until the budget is exhausted or no replica improves the workload cost.
+Two clarifications relative to the paper's pseudocode (documented here
+because the pseudocode is loose on both):
+
+- the storage constraint is *hard* (Section II-E), so only replicas whose
+  size fits the remaining budget are considered in each round;
+- ``Cost(W, ∅)`` uses the worst-finite-candidate convention of
+  :class:`~repro.core.problem.SelectionInstance`, making the first
+  iteration's gain finite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import Selection, SelectionInstance
+
+_EPS_STORAGE = 1e-12
+
+
+@dataclass(frozen=True)
+class GreedyStep:
+    """One round of Algorithm 1, for traces and the ablation bench."""
+
+    replica: int
+    gain: float
+    score: float
+    cost_after: float
+    storage_after: float
+
+
+def greedy_select(
+    instance: SelectionInstance, trace: list[GreedyStep] | None = None
+) -> Selection:
+    """Run Algorithm 1 on ``instance``.
+
+    Runs in ``O(k · m · n)`` for ``k`` selected replicas.  Returns a
+    feasible (possibly empty) selection; ``optimal`` is never claimed.
+    """
+    n, m = instance.n_queries, instance.n_replicas
+    weights = instance.weights
+    selected: list[int] = []
+    remaining = np.ones(m, dtype=bool)
+    current = instance.empty_set_costs.copy()  # per-query cost under R
+    current_cost = float(np.dot(weights, current))
+    used = 0.0
+
+    while used < instance.budget:
+        best_j = -1
+        best_score = 0.0
+        best_gain = 0.0
+        best_new = None
+        for j in np.flatnonzero(remaining):
+            if used + instance.storage[j] > instance.budget + 1e-9:
+                continue
+            new = np.minimum(current, instance.capped_costs[:, j])
+            gain = current_cost - float(np.dot(weights, new))
+            score = gain / max(float(instance.storage[j]), _EPS_STORAGE)
+            if score > best_score:
+                best_score = score
+                best_gain = gain
+                best_j = j
+                best_new = new
+        if best_j < 0:
+            break
+        selected.append(int(best_j))
+        remaining[best_j] = False
+        assert best_new is not None
+        current = best_new
+        current_cost -= best_gain
+        used += float(instance.storage[best_j])
+        if trace is not None:
+            trace.append(GreedyStep(
+                replica=int(best_j),
+                gain=best_gain,
+                score=best_score,
+                cost_after=current_cost,
+                storage_after=used,
+            ))
+
+    return Selection(
+        selected=tuple(selected),
+        cost=instance.workload_cost(selected),
+        storage=used,
+        optimal=False,
+        solver="greedy",
+    )

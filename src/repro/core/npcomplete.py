@@ -1,0 +1,67 @@
+"""The Theorem 1 reduction: set cover ≤p replica selection.
+
+The paper proves NP-completeness by mapping a set-cover decision instance
+``(U, S, k)`` to a selection instance: one unit-weight query per element,
+one unit-storage replica per set, cost 0 when the set covers the element
+and +inf otherwise, budget ``k``.  The instance's optimal workload cost
+is 0 iff a cover of size ≤ k exists.  These converters let the tests (and
+the curious) execute the proof.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import Selection, SelectionInstance
+
+
+def selection_instance_from_set_cover(
+    n_elements: int, sets: list[set[int]], k: int
+) -> SelectionInstance:
+    """Build the Theorem 1 instance for set-cover ``(U, S, k)``.
+
+    Elements are ``0..n_elements-1``; every element must belong to at
+    least one set (otherwise the selection instance would have a query
+    with no finite cost, mirroring a trivially infeasible cover).
+    """
+    if n_elements < 1:
+        raise ValueError("need at least one element")
+    if not sets:
+        raise ValueError("need at least one set")
+    if not 1 <= k <= len(sets):
+        raise ValueError(f"k must be in [1, {len(sets)}]")
+    covered = set().union(*sets)
+    missing = set(range(n_elements)) - covered
+    if missing:
+        raise ValueError(f"elements {sorted(missing)} are in no set")
+    costs = np.full((n_elements, len(sets)), np.inf)
+    for j, s in enumerate(sets):
+        for x in s:
+            if not 0 <= x < n_elements:
+                raise ValueError(f"set {j} contains unknown element {x}")
+            costs[x, j] = 0.0
+    return SelectionInstance(
+        costs=costs,
+        weights=np.ones(n_elements),
+        storage=np.ones(len(sets)),
+        budget=float(k),
+        replica_names=tuple(f"set-{j}" for j in range(len(sets))),
+        query_labels=tuple(f"element-{x}" for x in range(n_elements)),
+    )
+
+
+def set_cover_from_selection(selection: Selection) -> set[int]:
+    """Read the chosen sets back out of a selection (Theorem 1's ``S*``)."""
+    return set(selection.selected)
+
+
+def set_cover_decision(
+    n_elements: int, sets: list[set[int]], k: int, solver
+) -> tuple[bool, set[int] | None]:
+    """Decide set cover by solving the reduced selection instance with any
+    exact solver.  Returns ``(feasible, cover_or_None)``."""
+    instance = selection_instance_from_set_cover(n_elements, sets, k)
+    selection = solver(instance)
+    if selection.cost == 0.0:
+        return True, set_cover_from_selection(selection)
+    return False, None

@@ -1,0 +1,228 @@
+"""The replica selection problem (paper Section III-A).
+
+Given a workload ``W``, candidate replicas ``R_C`` with storage sizes,
+and a storage budget ``b``, find ``R* ⊆ R_C`` minimizing
+
+    Cost(W, R) = Σ_i w_i · min_{r_j ∈ R} Cost(q_i, r_j)
+
+subject to ``Storage(R) ≤ b``.  A :class:`SelectionInstance` is the
+numeric form every solver in this package consumes: the (n × m) cost
+matrix, per-query weights, per-replica storage sizes and the budget.
+Costs may be ``+inf`` ("this replica cannot answer this query", used by
+the NP-completeness reduction and partial replication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+# Two cost views live on an instance:
+#
+# - the *true* costs, possibly +inf ("replica cannot answer the query");
+#   `workload_cost`/`per_query_cost` report these;
+# - the *capped* costs, where +inf is replaced by a big-M so large that any
+#   selection leaving a positive-weight query uncovered costs more than
+#   every fully-covered selection.  Solvers minimize the capped objective:
+#   when a fully-finite selection exists the minimizers coincide, and the
+#   capped domain gives Algorithm 1 a finite, monotone objective with
+#   Cost(W, ∅) = Σ_i w_i · (worst capped candidate of q_i).
+
+
+@dataclass(frozen=True)
+class SelectionInstance:
+    """Numeric replica-selection instance.
+
+    ``costs[i, j] = Cost(q_i, r_j)`` (unweighted), ``weights[i] = w_i``,
+    ``storage[j] = Storage(r_j)``, ``budget = b``.  ``replica_names`` and
+    ``query_labels`` are carried for reporting only.
+    """
+
+    costs: np.ndarray
+    weights: np.ndarray
+    storage: np.ndarray
+    budget: float
+    replica_names: tuple[str, ...] = ()
+    query_labels: tuple[str, ...] = ()
+    capped_costs: np.ndarray = field(init=False)
+    big_cost: float = field(init=False)
+    empty_set_costs: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        costs = np.asarray(self.costs, dtype=np.float64)
+        weights = np.asarray(self.weights, dtype=np.float64)
+        storage = np.asarray(self.storage, dtype=np.float64)
+        object.__setattr__(self, "costs", costs)
+        object.__setattr__(self, "weights", weights)
+        object.__setattr__(self, "storage", storage)
+        if costs.ndim != 2:
+            raise ValueError("costs must be a 2-D (queries x replicas) matrix")
+        n, m = costs.shape
+        if weights.shape != (n,):
+            raise ValueError(f"weights shape {weights.shape} != ({n},)")
+        if storage.shape != (m,):
+            raise ValueError(f"storage shape {storage.shape} != ({m},)")
+        if np.any(weights < 0):
+            raise ValueError("weights must be non-negative")
+        if np.any(storage < 0):
+            raise ValueError("storage sizes must be non-negative")
+        if np.any(np.isnan(costs)) or np.any(costs < 0):
+            raise ValueError("costs must be non-negative and not NaN")
+        if self.budget < 0:
+            raise ValueError("budget must be non-negative")
+        if self.replica_names and len(self.replica_names) != m:
+            raise ValueError(f"{len(self.replica_names)} names for {m} replicas")
+        if self.query_labels and len(self.query_labels) != n:
+            raise ValueError(f"{len(self.query_labels)} labels for {n} queries")
+        # Every query must be answerable by at least one candidate.
+        finite_mask = np.isfinite(costs)
+        if n > 0 and m > 0 and not finite_mask.any(axis=1).all():
+            raise ValueError(
+                "some query has no finite cost on any candidate replica"
+            )
+        # Capped domain: +inf -> big-M exceeding any fully-covered total.
+        if finite_mask.all():
+            big = float(costs.max(initial=0.0)) + 1.0
+            capped = costs
+        else:
+            worst_finite = np.where(finite_mask, costs, 0.0).max(axis=1)
+            covered_total = float(np.dot(weights, worst_finite))
+            positive = weights[weights > 0]
+            w_min = float(positive.min()) if positive.size else 1.0
+            big = (covered_total / w_min) * 2.0 + 1.0
+            capped = np.where(finite_mask, costs, big)
+        object.__setattr__(self, "big_cost", big)
+        object.__setattr__(self, "capped_costs", capped)
+        object.__setattr__(
+            self,
+            "empty_set_costs",
+            capped.max(axis=1, initial=0.0) if m > 0 else np.zeros(n),
+        )
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.costs.shape[0])
+
+    @property
+    def n_replicas(self) -> int:
+        return int(self.costs.shape[1])
+
+    def name_of(self, j: int) -> str:
+        return self.replica_names[j] if self.replica_names else f"r{j}"
+
+    # -- objective -----------------------------------------------------------
+
+    def per_query_cost(self, selected: Sequence[int]) -> np.ndarray:
+        """Unweighted ``Cost(q_i, R)`` for every query (Definition 7).
+
+        For an empty selection, falls back to the documented
+        ``Cost(W, ∅)`` convention.
+        """
+        idx = np.asarray(list(selected), dtype=np.int64)
+        if idx.size == 0:
+            return self.empty_set_costs.copy()
+        return self.costs[:, idx].min(axis=1)
+
+    def workload_cost(self, selected: Sequence[int]) -> float:
+        """``Cost(W, R)``: weighted sum of per-query minima (true costs,
+        ``+inf`` when some positive-weight query is unanswerable)."""
+        per_query = self.per_query_cost(selected)
+        # Avoid 0 * inf = nan for zero-weight unanswerable queries.
+        relevant = self.weights > 0
+        return float(np.dot(self.weights[relevant], per_query[relevant]))
+
+    def capped_workload_cost(self, selected: Sequence[int]) -> float:
+        """The solver objective: like :meth:`workload_cost` but over the
+        capped cost matrix (always finite)."""
+        idx = np.asarray(list(selected), dtype=np.int64)
+        if idx.size == 0:
+            per_query = self.empty_set_costs
+        else:
+            per_query = self.capped_costs[:, idx].min(axis=1)
+        return float(np.dot(self.weights, per_query))
+
+    def assignment(self, selected: Sequence[int]) -> np.ndarray:
+        """For each query, the replica index (into the full candidate set)
+        it is routed to under selection ``selected``."""
+        idx = np.asarray(list(selected), dtype=np.int64)
+        if idx.size == 0:
+            raise ValueError("cannot assign queries with no replicas selected")
+        return idx[self.costs[:, idx].argmin(axis=1)]
+
+    # -- constraints -------------------------------------------------------------
+
+    def storage_of(self, selected: Sequence[int]) -> float:
+        """``Storage(R)`` of a selection."""
+        idx = np.asarray(list(selected), dtype=np.int64)
+        return float(self.storage[idx].sum()) if idx.size else 0.0
+
+    def is_feasible(self, selected: Sequence[int]) -> bool:
+        return self.storage_of(selected) <= self.budget + 1e-9
+
+    # -- reference selections ----------------------------------------------------
+
+    def ideal_cost(self) -> float:
+        """Cost with *every* candidate available, ignoring the budget —
+        the paper's "Ideal" line (always approximation ratio 1.00)."""
+        return self.workload_cost(range(self.n_replicas))
+
+    def best_single(self) -> tuple[int, float]:
+        """The optimal single replica (the paper's "Single" baseline):
+        the feasible replica minimizing ``Cost(W, {r})``.
+
+        Returns ``(replica_index, cost)``.  Raises if no single replica
+        fits the budget.
+        """
+        feasible = np.flatnonzero(self.storage <= self.budget + 1e-9)
+        if feasible.size == 0:
+            raise ValueError("no single replica fits the storage budget")
+        costs = [self.workload_cost([j]) for j in feasible]
+        k = int(np.argmin(costs))
+        return int(feasible[k]), float(costs[k])
+
+    # -- transforms -----------------------------------------------------------
+
+    def restricted_to(self, replica_indices: Sequence[int]) -> "SelectionInstance":
+        """A sub-instance over a subset of candidate replicas (used by
+        pruning).  Selection indices of the sub-instance refer to its own
+        column order."""
+        idx = np.asarray(list(replica_indices), dtype=np.int64)
+        return SelectionInstance(
+            costs=self.costs[:, idx],
+            weights=self.weights,
+            storage=self.storage[idx],
+            budget=self.budget,
+            replica_names=tuple(self.name_of(j) for j in idx)
+            if self.replica_names else (),
+            query_labels=self.query_labels,
+        )
+
+    def with_budget(self, budget: float) -> "SelectionInstance":
+        """The same instance under a different storage budget."""
+        return SelectionInstance(
+            costs=self.costs,
+            weights=self.weights,
+            storage=self.storage,
+            budget=budget,
+            replica_names=self.replica_names,
+            query_labels=self.query_labels,
+        )
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A solver's answer: chosen replica indices plus bookkeeping."""
+
+    selected: tuple[int, ...]
+    cost: float
+    storage: float
+    optimal: bool
+    solver: str
+    nodes_explored: int = 0
+
+    def names(self, instance: SelectionInstance) -> list[str]:
+        return [instance.name_of(j) for j in self.selected]

@@ -1,0 +1,46 @@
+"""Query cost estimation for BLOT systems (paper Section IV).
+
+``Cost(q, p) = |D(p)|/ScanRate + ExtraTime`` with an analytic expected
+partition count for grouped queries, plus the regression-based
+calibration of ScanRate/ExtraTime and replica storage estimation.
+"""
+
+from repro.costmodel.calibrate import (
+    DEFAULT_MEASUREMENT_SIZES,
+    DEFAULT_PARTITIONS_PER_SET,
+    CalibrationResult,
+    MeasurementPoint,
+    calibrate_encoding,
+    fit_cost_params,
+)
+from repro.costmodel.model import (
+    CostModel,
+    EncodingCostParams,
+    ReplicaProfile,
+    expected_partitions,
+    expected_scanned_records,
+    monte_carlo_partitions,
+)
+from repro.costmodel.selectivity import Histogram3D
+from repro.costmodel.storage_size import (
+    estimate_replica_storage,
+    measure_encoding_ratios,
+)
+
+__all__ = [
+    "Histogram3D",
+    "CalibrationResult",
+    "CostModel",
+    "DEFAULT_MEASUREMENT_SIZES",
+    "DEFAULT_PARTITIONS_PER_SET",
+    "EncodingCostParams",
+    "MeasurementPoint",
+    "ReplicaProfile",
+    "calibrate_encoding",
+    "estimate_replica_storage",
+    "expected_partitions",
+    "expected_scanned_records",
+    "fit_cost_params",
+    "measure_encoding_ratios",
+    "monte_carlo_partitions",
+]

@@ -1,0 +1,292 @@
+"""The query cost model (paper Section IV).
+
+The cost of processing one involved partition is
+
+    Cost(q, p) = |D(p)| / ScanRate + ExtraTime                     (Eq. 6)
+
+and, under non-skewed partitioning with ``Np(q, r)`` involved partitions,
+
+    Cost(q, r) = Np/|P(r)| * |D|/ScanRate + Np * ExtraTime         (Eq. 7)
+
+``Np`` is exact for positioned queries (count box intersections) and
+analytic for grouped queries (Eq. 11-12, via
+:func:`repro.geometry.intersection_probabilities`).  A Monte-Carlo
+estimator is included for validating the analytic formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.geometry import (
+    Box3,
+    boxes_intersect_count,
+    centroid_range,
+    intersection_probabilities,
+)
+from repro.partition.base import Partitioning
+from repro.workload.query import AnyQuery, GroupedQuery, Query, Workload
+
+
+@dataclass(frozen=True, slots=True)
+class EncodingCostParams:
+    """Calibrated per-(environment, encoding) constants of Eq. 6.
+
+    ``scan_rate`` is records/second; ``extra_time`` is seconds per involved
+    partition (task startup, object lookup, decoder setup, cleanup).
+    """
+
+    scan_rate: float
+    extra_time: float
+
+    def __post_init__(self) -> None:
+        if self.scan_rate <= 0:
+            raise ValueError("scan_rate must be positive")
+        if self.extra_time < 0:
+            raise ValueError("extra_time must be non-negative")
+
+    def partition_cost(self, n_records: float) -> float:
+        """Eq. 6 for a partition of ``n_records`` records."""
+        return n_records / self.scan_rate + self.extra_time
+
+
+@dataclass(frozen=True)
+class ReplicaProfile:
+    """Everything the cost model needs to know about a candidate replica.
+
+    A profile abstracts a replica ``r = <D, P, E>`` down to its partition
+    geometry and aggregate sizes, so costs can be estimated *without
+    generating the actual replica* (Section III-A).  ``n_records`` and
+    ``storage_bytes`` describe the target dataset, which may be far larger
+    than the sample the partitioning was built on; :meth:`scaled` rescales
+    both for the data-growth experiments (Figure 6).
+    """
+
+    name: str
+    partitioning_name: str
+    encoding_name: str
+    box_array: np.ndarray
+    universe: Box3
+    n_records: float
+    storage_bytes: float
+    #: Optional per-partition share of the records (sums to 1).  When
+    #: present, the skew-aware cost path can weight scan cost by actual
+    #: partition sizes instead of assuming |D|/|P| everywhere.
+    count_fractions: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.box_array, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 6:
+            raise ValueError(f"box_array must be (n, 6), got {arr.shape}")
+        if self.n_records <= 0:
+            raise ValueError("n_records must be positive")
+        if self.storage_bytes < 0:
+            raise ValueError("storage_bytes must be non-negative")
+        if self.count_fractions is not None:
+            fractions = np.asarray(self.count_fractions, dtype=np.float64)
+            if fractions.shape != (arr.shape[0],):
+                raise ValueError(
+                    f"count_fractions shape {fractions.shape} does not match "
+                    f"{arr.shape[0]} partitions"
+                )
+            if np.any(fractions < 0) or not np.isclose(fractions.sum(), 1.0):
+                raise ValueError("count_fractions must be non-negative and sum to 1")
+            object.__setattr__(self, "count_fractions", fractions)
+
+    @property
+    def n_partitions(self) -> int:
+        return int(self.box_array.shape[0])
+
+    @property
+    def records_per_partition(self) -> float:
+        """``|D| / |P(r)|`` — the non-skew assumption of Section IV-A."""
+        return self.n_records / self.n_partitions
+
+    @staticmethod
+    def from_partitioning(
+        partitioning: Partitioning,
+        encoding_name: str,
+        n_records: float,
+        storage_bytes: float,
+        name: str | None = None,
+        with_counts: bool = False,
+    ) -> "ReplicaProfile":
+        """Profile a realized partitioning + encoding combination.
+
+        ``with_counts=True`` records the partitioning's per-partition
+        record shares, enabling the skew-aware cost path.
+        """
+        fractions = None
+        if with_counts:
+            total = partitioning.counts.sum()
+            if total > 0:
+                fractions = partitioning.counts / total
+        return ReplicaProfile(
+            name=name or f"{partitioning.scheme_name}/{encoding_name}",
+            partitioning_name=partitioning.scheme_name,
+            encoding_name=encoding_name,
+            box_array=partitioning.box_array,
+            universe=partitioning.universe,
+            n_records=float(n_records),
+            storage_bytes=float(storage_bytes),
+            count_fractions=fractions,
+        )
+
+    def scaled(self, factor: float) -> "ReplicaProfile":
+        """The same physical organization holding ``factor`` times the
+        data (records and storage scale together; geometry is unchanged
+        because partition *boundaries* come from data quantiles)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            n_records=self.n_records * factor,
+            storage_bytes=self.storage_bytes * factor,
+        )
+
+
+def expected_partitions(profile: ReplicaProfile, query: AnyQuery) -> float:
+    """``Np(q, r)``: exact for positioned queries, analytic expectation
+    (Eq. 11) for grouped queries."""
+    if isinstance(query, Query):
+        return float(boxes_intersect_count(profile.box_array, query.box()))
+    return float(
+        intersection_probabilities(profile.box_array, profile.universe, query.size).sum()
+    )
+
+
+def expected_scanned_records(profile: ReplicaProfile, query: AnyQuery) -> float:
+    """Expected records scanned, weighting each partition by its actual
+    size — the skew-aware refinement of Eq. 7's ``Np · |D|/|P|`` term.
+
+    Requires ``profile.count_fractions``; for positioned queries sums the
+    sizes of the exactly-involved partitions, for grouped queries weights
+    each partition's size by its Eq. 12 intersection probability.
+    """
+    if profile.count_fractions is None:
+        raise ValueError(
+            f"profile {profile.name!r} carries no partition counts; build it "
+            "with from_partitioning(..., with_counts=True)"
+        )
+    if isinstance(query, Query):
+        from repro.geometry import boxes_intersect_mask
+
+        mask = boxes_intersect_mask(profile.box_array, query.box())
+        share = float(profile.count_fractions[mask].sum())
+    else:
+        probs = intersection_probabilities(
+            profile.box_array, profile.universe, query.size)
+        share = float(np.dot(probs, profile.count_fractions))
+    return share * profile.n_records
+
+
+def monte_carlo_partitions(
+    profile: ReplicaProfile,
+    query: GroupedQuery,
+    rng: np.random.Generator,
+    trials: int = 1000,
+) -> float:
+    """Monte-Carlo estimate of ``Np(QG, r)`` by sampling centroids
+    uniformly over ``CR(QG)`` — the brute-force baseline the analytic
+    formula replaces (Eq. 8)."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    cr = centroid_range(profile.universe, query.size)
+    total = 0
+    for _ in range(trials):
+        center = (
+            rng.uniform(cr.x_min, cr.x_max) if cr.width > 0 else cr.x_min,
+            rng.uniform(cr.y_min, cr.y_max) if cr.height > 0 else cr.y_min,
+            rng.uniform(cr.t_min, cr.t_max) if cr.duration > 0 else cr.t_min,
+        )
+        box = Box3.from_center_size(center, *query.size)
+        total += boxes_intersect_count(profile.box_array, box)
+    return total / trials
+
+
+class CostModel:
+    """Estimates ``Cost(q, r)`` for any query on any replica profile.
+
+    Parameterized by calibrated :class:`EncodingCostParams` per encoding
+    scheme name — one :class:`CostModel` per execution environment.
+    """
+
+    def __init__(self, encoding_params: dict[str, EncodingCostParams]):
+        if not encoding_params:
+            raise ValueError("need parameters for at least one encoding scheme")
+        self._params = dict(encoding_params)
+
+    @property
+    def encoding_names(self) -> list[str]:
+        return sorted(self._params)
+
+    def params_for(self, encoding_name: str) -> EncodingCostParams:
+        try:
+            return self._params[encoding_name]
+        except KeyError:
+            raise KeyError(
+                f"no cost parameters calibrated for encoding {encoding_name!r}; "
+                f"have {sorted(self._params)}"
+            ) from None
+
+    def query_cost(self, query: AnyQuery, profile: ReplicaProfile) -> float:
+        """Eq. 7: expected seconds to evaluate ``query`` on ``profile``."""
+        params = self.params_for(profile.encoding_name)
+        np_q = expected_partitions(profile, query)
+        scan = np_q * profile.records_per_partition / params.scan_rate
+        return scan + np_q * params.extra_time
+
+    def query_makespan(
+        self, query: AnyQuery, profile: ReplicaProfile, map_slots: int
+    ) -> float:
+        """Wall-clock estimate under parallel scanning (Section II-D's
+        "scanning multiple partitions simultaneously").
+
+        Eq. 7 measures total work (all involved partitions end-to-end);
+        with ``map_slots`` parallel mappers the job runs in waves, so the
+        makespan is ``ceil(Np / slots)`` times one partition's cost."""
+        if map_slots < 1:
+            raise ValueError("map_slots must be >= 1")
+        params = self.params_for(profile.encoding_name)
+        np_q = expected_partitions(profile, query)
+        per_task = params.partition_cost(profile.records_per_partition)
+        waves = np.ceil(np_q / map_slots)
+        return float(max(waves, 1.0 if np_q > 0 else 0.0) * per_task) \
+            if np_q > 0 else 0.0
+
+    def query_cost_skew_aware(
+        self, query: AnyQuery, profile: ReplicaProfile
+    ) -> float:
+        """Skew-aware variant of Eq. 7: the scan term uses the involved
+        partitions' *actual* record counts instead of the |D|/|P| average.
+        Coincides with :meth:`query_cost` on non-skewed partitionings; on
+        skewed ones (uniform grids over hotspot data) it corrects the
+        systematic error the non-skew assumption introduces."""
+        params = self.params_for(profile.encoding_name)
+        scanned = expected_scanned_records(profile, query)
+        np_q = expected_partitions(profile, query)
+        return scanned / params.scan_rate + np_q * params.extra_time
+
+    def cost_matrix(
+        self, workload: Workload, profiles: list[ReplicaProfile]
+    ) -> np.ndarray:
+        """``c[i, j] = Cost(q_i, r_j)`` (unweighted) for the whole workload
+        — the input of the replica selection problem."""
+        matrix = np.empty((len(workload), len(profiles)), dtype=np.float64)
+        for i, query in enumerate(workload.queries()):
+            for j, profile in enumerate(profiles):
+                matrix[i, j] = self.query_cost(query, profile)
+        return matrix
+
+    def workload_cost(
+        self, workload: Workload, profiles: list[ReplicaProfile]
+    ) -> float:
+        """``Cost(W, R)`` (Definition 7): each query routed to its cheapest
+        replica among ``profiles``, weighted by the workload weights."""
+        if not profiles:
+            raise ValueError("workload cost over an empty replica set is undefined")
+        matrix = self.cost_matrix(workload, profiles)
+        best = matrix.min(axis=1)
+        return float(np.dot(workload.weights(), best))

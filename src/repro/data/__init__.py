@@ -1,0 +1,49 @@
+"""The BLOT data model and dataset substrate.
+
+A BLOT system stores *location tracking records* of the form
+``(OID, TIME, LOC, A1..Am)`` (paper Section II-A).  This package provides:
+
+- :mod:`repro.data.record` — the record schema (3 core attributes plus the
+  5 taxi common attributes used throughout the evaluation);
+- :mod:`repro.data.dataset` — a columnar, numpy-backed :class:`Dataset`
+  container with spatio-temporal filtering;
+- :mod:`repro.data.csvio` — CSV import/export (the paper's uncompressed
+  baseline format);
+- :mod:`repro.data.generator` — a synthetic taxi-fleet GPS simulator that
+  stands in for the proprietary Shanghai taxi log (see DESIGN.md §2).
+"""
+
+from repro.data.csvio import dataset_from_csv, dataset_to_csv
+from repro.data.dataset import Dataset
+from repro.data.generator import FleetConfig, TaxiFleetGenerator, synthetic_shanghai_taxis
+from repro.data.record import COMMON_FIELDS, CORE_FIELDS, FIELDS, Field, Record
+from repro.data.trajectory import (
+    TrajectoryStats,
+    objects_through,
+    od_matrix,
+    path_length_km,
+    split_trips,
+    trajectories_of,
+    trajectory_stats,
+)
+
+__all__ = [
+    "COMMON_FIELDS",
+    "CORE_FIELDS",
+    "Dataset",
+    "FIELDS",
+    "Field",
+    "FleetConfig",
+    "Record",
+    "TaxiFleetGenerator",
+    "TrajectoryStats",
+    "dataset_from_csv",
+    "dataset_to_csv",
+    "objects_through",
+    "od_matrix",
+    "path_length_km",
+    "split_trips",
+    "synthetic_shanghai_taxis",
+    "trajectories_of",
+    "trajectory_stats",
+]

@@ -1,0 +1,108 @@
+"""Record schema for location tracking data.
+
+The paper's data model (Definition in Section II-A) is
+``(OID, TIME, LOC, A1, ..., Am)`` where the first three are *core*
+attributes and the rest are dataset-specific *common* attributes.  The
+evaluation dataset is a taxi GPS log with "8 attributes (including the 3
+core attributes)", so we fix five taxi-flavoured common attributes.
+
+``LOC`` is a 2-D point and is stored as the two columns ``x`` (longitude)
+and ``y`` (latitude); it still counts as a single attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Field:
+    """One column of the dataset schema."""
+
+    name: str
+    dtype: np.dtype
+    kind: str  # "core" or "common"
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("core", "common"):
+            raise ValueError(f"unknown field kind: {self.kind!r}")
+
+
+FIELDS: tuple[Field, ...] = (
+    Field("oid", np.dtype(np.int32), "core", "object (taxi) identifier"),
+    Field("t", np.dtype(np.float64), "core", "timestamp, seconds since the Unix epoch"),
+    Field("x", np.dtype(np.float64), "core", "longitude, degrees east"),
+    Field("y", np.dtype(np.float64), "core", "latitude, degrees north"),
+    Field("speed", np.dtype(np.float32), "common", "instantaneous speed, km/h"),
+    Field("heading", np.dtype(np.float32), "common", "heading, degrees clockwise from north"),
+    Field("occupied", np.dtype(np.uint8), "common", "1 when carrying passengers"),
+    Field("trip_id", np.dtype(np.int32), "common", "monotone per-taxi trip counter"),
+    Field("odometer", np.dtype(np.float32), "common", "cumulative distance this shift, km"),
+)
+"""The full schema: 3 core attributes (OID, TIME, LOC) over 4 columns, plus
+5 common attributes — the paper's "8 attributes" taxi layout."""
+
+FIELD_NAMES: tuple[str, ...] = tuple(f.name for f in FIELDS)
+CORE_FIELDS: tuple[str, ...] = tuple(f.name for f in FIELDS if f.kind == "core")
+COMMON_FIELDS: tuple[str, ...] = tuple(f.name for f in FIELDS if f.kind == "common")
+
+FIELD_BY_NAME: dict[str, Field] = {f.name: f for f in FIELDS}
+
+
+class Record(NamedTuple):
+    """A single materialized location tracking record.
+
+    :class:`repro.data.dataset.Dataset` stores data columnar; ``Record`` is
+    the row view used by iteration, the row encoder and tests.
+    """
+
+    oid: int
+    t: float
+    x: float
+    y: float
+    speed: float
+    heading: float
+    occupied: int
+    trip_id: int
+    odometer: float
+
+
+def empty_columns() -> dict[str, np.ndarray]:
+    """Fresh zero-length column arrays for every schema field."""
+    return {f.name: np.empty(0, dtype=f.dtype) for f in FIELDS}
+
+
+def validate_columns(columns: dict[str, np.ndarray]) -> int:
+    """Check a column dict against the schema.
+
+    Returns the common row count; raises ``ValueError`` on missing/extra
+    fields, dtype mismatches, or ragged column lengths.
+    """
+    missing = set(FIELD_NAMES) - set(columns)
+    extra = set(columns) - set(FIELD_NAMES)
+    if missing:
+        raise ValueError(f"missing columns: {sorted(missing)}")
+    if extra:
+        raise ValueError(f"unexpected columns: {sorted(extra)}")
+    length: int | None = None
+    for field in FIELDS:
+        col = columns[field.name]
+        if not isinstance(col, np.ndarray):
+            raise ValueError(f"column {field.name!r} is not a numpy array")
+        if col.dtype != field.dtype:
+            raise ValueError(
+                f"column {field.name!r} has dtype {col.dtype}, expected {field.dtype}"
+            )
+        if col.ndim != 1:
+            raise ValueError(f"column {field.name!r} must be 1-D")
+        if length is None:
+            length = col.shape[0]
+        elif col.shape[0] != length:
+            raise ValueError(
+                f"column {field.name!r} has length {col.shape[0]}, expected {length}"
+            )
+    return int(length or 0)

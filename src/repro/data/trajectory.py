@@ -1,0 +1,152 @@
+"""Trajectory views over location tracking data.
+
+BLOT systems store *tracking* data: per-object time series.  The systems
+the paper abstracts (TrajStore in particular) expose trajectory-level
+operations on top of range filtering; this module provides that layer:
+
+- :func:`trajectories_of` — per-object time-ordered sub-datasets;
+- :func:`split_trips` — cut one taxi's stream into passenger trips using
+  the occupancy attribute;
+- :class:`TrajectoryStats` — length/duration/speed summaries;
+- :func:`objects_through` — "which taxis crossed region R during T",
+  expressed as one engine range query plus a distinct-OID reduction.
+
+Everything consumes the plain :class:`~repro.data.dataset.Dataset`
+container, so these helpers run equally on raw data and on the output of
+:class:`~repro.storage.engine.BlotStore` queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.geometry import Box3
+
+#: Rough km per degree at the dataset's latitude; consistent with the
+#: fleet generator's motion model.
+_KM_PER_DEG_LON = 95.0
+_KM_PER_DEG_LAT = 111.0
+
+
+def trajectories_of(dataset: Dataset) -> dict[int, Dataset]:
+    """Split a dataset into per-object, time-ordered trajectories."""
+    ordered = dataset.sorted_by("oid", "t")
+    oids = ordered.column("oid")
+    out: dict[int, Dataset] = {}
+    if len(ordered) == 0:
+        return out
+    boundaries = np.flatnonzero(np.diff(oids)) + 1
+    start = 0
+    for end in list(boundaries) + [len(ordered)]:
+        chunk = ordered.take(np.arange(start, end))
+        out[int(oids[start])] = chunk
+        start = end
+    return out
+
+
+def path_length_km(trajectory: Dataset) -> float:
+    """Polyline length of a time-ordered trajectory, in km (Manhattan
+    metric, matching the street-grid motion model)."""
+    if len(trajectory) < 2:
+        return 0.0
+    x = trajectory.column("x")
+    y = trajectory.column("y")
+    return float(
+        (np.abs(np.diff(x)) * _KM_PER_DEG_LON).sum()
+        + (np.abs(np.diff(y)) * _KM_PER_DEG_LAT).sum()
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TrajectoryStats:
+    """Summary of one object's trajectory."""
+
+    oid: int
+    n_points: int
+    duration_seconds: float
+    length_km: float
+    mean_speed_kmh: float
+    occupied_fraction: float
+
+
+def trajectory_stats(oid: int, trajectory: Dataset) -> TrajectoryStats:
+    """Compute :class:`TrajectoryStats` for a time-ordered trajectory."""
+    if len(trajectory) == 0:
+        raise ValueError("empty trajectory")
+    t = trajectory.column("t")
+    duration = float(t[-1] - t[0])
+    length = path_length_km(trajectory)
+    return TrajectoryStats(
+        oid=oid,
+        n_points=len(trajectory),
+        duration_seconds=duration,
+        length_km=length,
+        mean_speed_kmh=length / (duration / 3600.0) if duration > 0 else 0.0,
+        occupied_fraction=float(trajectory.column("occupied").mean()),
+    )
+
+
+def split_trips(trajectory: Dataset) -> list[Dataset]:
+    """Cut one object's time-ordered stream into passenger trips.
+
+    A trip is a maximal run of samples with ``occupied == 1`` sharing one
+    ``trip_id``.  Returns trips in time order.
+    """
+    if len(trajectory) == 0:
+        return []
+    occupied = trajectory.column("occupied").astype(bool)
+    trip_ids = trajectory.column("trip_id")
+    trips: list[Dataset] = []
+    run_start: int | None = None
+    for i in range(len(trajectory)):
+        in_trip = bool(occupied[i])
+        if in_trip and run_start is None:
+            run_start = i
+        boundary = (
+            run_start is not None
+            and (not in_trip or trip_ids[i] != trip_ids[run_start])
+        )
+        if boundary:
+            trips.append(trajectory.take(np.arange(run_start, i)))
+            run_start = i if in_trip else None
+    if run_start is not None:
+        trips.append(trajectory.take(np.arange(run_start, len(trajectory))))
+    return trips
+
+
+def objects_through(records: Dataset, region: Box3 | None = None) -> list[int]:
+    """Distinct object ids present in ``records`` (optionally filtered to
+    ``region`` first) — the "which taxis crossed this area" analytics
+    primitive, fed by an engine range query."""
+    data = records if region is None else records.filter_box(region)
+    return sorted(int(v) for v in np.unique(data.column("oid")))
+
+
+def od_matrix(
+    dataset: Dataset, nx: int, ny: int, universe: Box3 | None = None
+) -> np.ndarray:
+    """Origin-destination matrix over an ``nx x ny`` spatial grid.
+
+    Counts passenger trips by (origin cell, destination cell), the core
+    artifact of the paper's "urban transportation planning" motivation.
+    Cells are numbered row-major: ``cell = ix * ny + iy``.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    u = universe or dataset.bounding_box()
+    matrix = np.zeros((nx * ny, nx * ny), dtype=np.int64)
+
+    def cell_of(x: float, y: float) -> int:
+        ix = min(int((x - u.x_min) / max(u.width, 1e-300) * nx), nx - 1)
+        iy = min(int((y - u.y_min) / max(u.height, 1e-300) * ny), ny - 1)
+        return ix * ny + iy
+
+    for trajectory in trajectories_of(dataset).values():
+        for trip in split_trips(trajectory):
+            first = trip.record_at(0)
+            last = trip.record_at(len(trip) - 1)
+            matrix[cell_of(first.x, first.y), cell_of(last.x, last.y)] += 1
+    return matrix

@@ -1,0 +1,43 @@
+"""Physical data encodings for BLOT partitions (paper Section II-C).
+
+A partition can be stored row-major or columnar (with per-column delta /
+RLE / XOR-float encodings) and optionally compressed by a general
+compressor (our from-scratch Snappy, zlib-Gzip, or LZMA2).  The paper's 7
+candidate schemes come from :func:`paper_encoding_schemes`.
+"""
+
+from repro.encoding.base import (
+    Compressor,
+    EncodingScheme,
+    GzipCompression,
+    Lzma2Compression,
+    NoCompression,
+    SnappyCompression,
+    all_encoding_schemes,
+    encoding_scheme_by_name,
+    measure_compression_ratio,
+    paper_encoding_schemes,
+)
+from repro.encoding.columnar import decode_columns, encode_columns
+from repro.encoding.rowbin import ROW_BYTES, decode_rows, encode_rows
+from repro.encoding.snappy import snappy_compress, snappy_decompress
+
+__all__ = [
+    "Compressor",
+    "EncodingScheme",
+    "GzipCompression",
+    "Lzma2Compression",
+    "NoCompression",
+    "ROW_BYTES",
+    "SnappyCompression",
+    "all_encoding_schemes",
+    "decode_columns",
+    "decode_rows",
+    "encode_columns",
+    "encode_rows",
+    "encoding_scheme_by_name",
+    "measure_compression_ratio",
+    "paper_encoding_schemes",
+    "snappy_compress",
+    "snappy_decompress",
+]

@@ -1,0 +1,47 @@
+"""Byte-level run-length encoding.
+
+Used for low-cardinality columns such as ``occupied`` where long runs of
+identical values dominate (a taxi stays occupied/vacant across many
+consecutive GPS samples).  The format is a varint run count followed by
+``(value_byte, varint_run_length)`` pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+
+
+def rle_encode_bytes(values: bytes | np.ndarray) -> bytes:
+    """Run-length encode a byte sequence."""
+    arr = np.frombuffer(bytes(values), dtype=np.uint8)
+    out = bytearray()
+    if arr.size == 0:
+        encode_uvarint(0, out)
+        return bytes(out)
+    # Boundaries where the value changes.
+    change = np.flatnonzero(np.diff(arr)) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [arr.size]))
+    encode_uvarint(len(starts), out)
+    for s, e in zip(starts, ends):
+        out.append(int(arr[s]))
+        encode_uvarint(int(e - s), out)
+    return bytes(out)
+
+
+def rle_decode_bytes(data: bytes | memoryview, pos: int = 0) -> tuple[bytes, int]:
+    """Decode one RLE block; returns ``(values, next_pos)``."""
+    n_runs, pos = decode_uvarint(data, pos)
+    chunks = []
+    for _ in range(n_runs):
+        if pos >= len(data):
+            raise ValueError("truncated RLE block")
+        value = data[pos]
+        pos += 1
+        run, pos = decode_uvarint(data, pos)
+        if run == 0:
+            raise ValueError("zero-length RLE run")
+        chunks.append(bytes([value]) * run)
+    return b"".join(chunks), pos

@@ -1,0 +1,123 @@
+"""LEB128 variable-length integers and zigzag transforms.
+
+These are the byte-level primitives of the columnar encoder: small
+magnitudes (deltas of sorted or slowly-varying columns) become single
+bytes.  All functions are pure and operate on Python ints / numpy arrays;
+the encoders keep hot paths allocation-light by appending into a shared
+``bytearray``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append one unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def decode_uvarint(data: bytes | memoryview, pos: int) -> tuple[int, int]:
+    """Decode one unsigned varint at ``pos``; return ``(value, next_pos)``."""
+    result = 0
+    shift = 0
+    n = len(data)
+    while True:
+        if pos >= n:
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map signed to unsigned: 0,-1,1,-2,... -> 0,1,2,3,..."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_svarint(value: int, out: bytearray) -> None:
+    """Append one zigzag-encoded signed varint to ``out``."""
+    encode_uvarint(_zigzag64(value), out)
+
+
+def decode_svarint(data: bytes | memoryview, pos: int) -> tuple[int, int]:
+    """Decode one signed (zigzag) varint; return ``(value, next_pos)``."""
+    raw, pos = decode_uvarint(data, pos)
+    return zigzag_decode(raw), pos
+
+
+def _zigzag64(value: int) -> int:
+    """Zigzag for arbitrary Python ints (the columns fit in 64 bits)."""
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def encode_uvarint_array(values: np.ndarray | list[int], out: bytearray) -> None:
+    """Append a sequence of unsigned varints (no length prefix)."""
+    for v in values:
+        v = int(v)
+        if v < 0:
+            raise ValueError(f"uvarint cannot encode negative value {v}")
+        while v >= 0x80:
+            out.append((v & 0x7F) | 0x80)
+            v >>= 7
+        out.append(v)
+
+
+def decode_uvarint_array(
+    data: bytes | memoryview, pos: int, count: int
+) -> tuple[list[int], int]:
+    """Decode ``count`` consecutive unsigned varints starting at ``pos``."""
+    values = []
+    n = len(data)
+    for _ in range(count):
+        result = 0
+        shift = 0
+        while True:
+            if pos >= n:
+                raise ValueError("truncated varint stream")
+            byte = data[pos]
+            pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+            if shift > 70:
+                raise ValueError("varint too long")
+        values.append(result)
+    return values, pos
+
+
+def encode_svarint_array(values: np.ndarray | list[int], out: bytearray) -> None:
+    """Append a sequence of zigzag signed varints (no length prefix)."""
+    for v in values:
+        v = int(v)
+        z = (v << 1) if v >= 0 else ((-v) << 1) - 1
+        while z >= 0x80:
+            out.append((z & 0x7F) | 0x80)
+            z >>= 7
+        out.append(z)
+
+
+def decode_svarint_array(
+    data: bytes | memoryview, pos: int, count: int
+) -> tuple[list[int], int]:
+    """Decode ``count`` zigzag signed varints starting at ``pos``."""
+    raw, pos = decode_uvarint_array(data, pos, count)
+    return [(u >> 1) ^ -(u & 1) for u in raw], pos

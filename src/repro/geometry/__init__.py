@@ -1,0 +1,35 @@
+"""Spatio-temporal geometry primitives for BLOT systems.
+
+Everything in the paper lives in a 3-D space: two spatial dimensions
+(``x`` = longitude, ``y`` = latitude) and one temporal dimension (``t``,
+seconds since an epoch).  Partitions, queries and the dataset bounding box
+``U`` are all axis-aligned cuboids in this space; this package provides the
+:class:`Box3` cuboid type and the vectorized box-array helpers used by the
+analytic cost model (Eq. 8-12 of the paper).
+"""
+
+from repro.geometry.box import (
+    BOX_COLUMNS,
+    Box3,
+    array_to_boxes,
+    boxes_intersect_count,
+    boxes_intersect_mask,
+    boxes_to_array,
+    centroid_range,
+    centroid_range_volumes,
+    intersection_probabilities,
+)
+from repro.geometry.point import Point3
+
+__all__ = [
+    "BOX_COLUMNS",
+    "Box3",
+    "Point3",
+    "array_to_boxes",
+    "boxes_to_array",
+    "boxes_intersect_count",
+    "boxes_intersect_mask",
+    "centroid_range",
+    "centroid_range_volumes",
+    "intersection_probabilities",
+]

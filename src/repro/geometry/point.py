@@ -1,0 +1,26 @@
+"""A point in the (x, y, t) spatio-temporal space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point3:
+    """An immutable point in (x, y, t) space.
+
+    ``x`` and ``y`` are the two spatial coordinates (longitude and latitude
+    in the taxi dataset); ``t`` is the timestamp in seconds.
+    """
+
+    x: float
+    y: float
+    t: float
+
+    def translated(self, dx: float = 0.0, dy: float = 0.0, dt: float = 0.0) -> "Point3":
+        """Return a copy of this point shifted by the given offsets."""
+        return Point3(self.x + dx, self.y + dy, self.t + dt)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        """Return ``(x, y, t)``."""
+        return (self.x, self.y, self.t)

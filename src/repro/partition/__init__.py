@@ -1,0 +1,35 @@
+"""Spatio-temporal partitioning schemes for BLOT systems (Section II-B).
+
+The paper's candidate layouts partition space with an equal-count k-d
+tree and refine each spatial cell into equi-depth temporal slices; this
+package also provides uniform grids and adaptive quadtrees for
+illustrations and ablations, plus the global partitioning index.
+"""
+
+from repro.partition.base import Partitioning, PartitioningScheme, check_partitioning
+from repro.partition.composite import (
+    CompositeScheme,
+    paper_partitioning_schemes,
+    small_partitioning_schemes,
+)
+from repro.partition.grid import GridPartitioner
+from repro.partition.index import PartitionIndex
+from repro.partition.kdtree import KdTreePartitioner
+from repro.partition.quadtree import QuadtreePartitioner
+from repro.partition.temporal import TemporalSlicer, equi_depth_boundaries, slice_labels
+
+__all__ = [
+    "CompositeScheme",
+    "GridPartitioner",
+    "KdTreePartitioner",
+    "PartitionIndex",
+    "Partitioning",
+    "PartitioningScheme",
+    "QuadtreePartitioner",
+    "TemporalSlicer",
+    "check_partitioning",
+    "equi_depth_boundaries",
+    "paper_partitioning_schemes",
+    "slice_labels",
+    "small_partitioning_schemes",
+]

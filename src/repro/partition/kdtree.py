@@ -1,0 +1,157 @@
+"""Equal-count k-d tree spatial partitioner.
+
+The paper's evaluation partitions space "according to a k-d tree index
+which recursively decomposes the space by alternatively using each space
+dimension" with equal record counts per leaf (Section V-A) — the
+non-skewed property the cost model relies on.
+
+Split positions come from data quantiles: each internal node cuts at the
+value that sends (as nearly as duplicate coordinates allow) the first
+``L_left/L`` fraction of its records to the left child.
+
+Placement is *canonical half-open*: a record goes left iff its coordinate
+is strictly below the cut value, so ties never straddle a boundary and a
+partition's exact contents can be recomputed from the partition boxes
+alone — the property replica recovery relies on
+(:mod:`repro.storage.recovery`).  With duplicate coordinates (taxis
+dwelling at a stand emit identical positions) leaf counts may deviate
+from perfect balance by the size of the tied group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.geometry import Box3
+from repro.partition.base import Partitioning, PartitioningScheme
+
+_AXES = ("x", "y")
+
+
+def _canonical_cut(sorted_values: np.ndarray, target: int) -> tuple[float, int]:
+    """Cut value for a canonical half-open split near position ``target``.
+
+    Returns ``(boundary, left_count)`` where ``left_count = #{v < boundary}``
+    is as close to ``target`` as duplicate values allow.  The boundary is
+    the midpoint between the last left and first right (distinct) values,
+    so ``v < boundary`` reproduces the split exactly from the boundary
+    alone *and* the boundary never collides with the data maximum — which
+    matters because a face equal to the universe's upper bound is treated
+    as closed by the canonical placement rule.
+    """
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0, 0
+    if target <= 0:
+        return float(sorted_values[0]), 0
+    if target >= n:
+        return float(sorted_values[-1]), n  # degenerate: all left
+    pivot = sorted_values[target]
+    # Option A: cut below the pivot's tied group (ties go right).
+    below = int(np.searchsorted(sorted_values, pivot, side="left"))
+    # Option B: cut above the tied group (ties go left).
+    above = int(np.searchsorted(sorted_values, pivot, side="right"))
+    candidates = []
+    if below > 0:
+        candidates.append((abs(target - below), below))
+    if above < n:
+        candidates.append((abs(target - above), above))
+    if not candidates:
+        # Every value is identical: no non-degenerate cut exists.
+        return float(pivot), 0
+    _, left_count = min(candidates)
+    last_left = float(sorted_values[left_count - 1])
+    first_right = float(sorted_values[left_count])
+    boundary = (last_left + first_right) / 2.0
+    # Guard against midpoint rounding onto an endpoint (adjacent floats):
+    # keep the invariant last_left < boundary <= first_right.
+    if boundary <= last_left:
+        boundary = first_right
+    return boundary, left_count
+
+
+@dataclass(frozen=True)
+class KdTreePartitioner(PartitioningScheme):
+    """Spatial-only equal-count k-d tree with ``n_leaves`` leaves.
+
+    ``n_leaves`` may be any integer >= 1 (the paper uses powers of 4 so the
+    alternating x/y splits tile space like a square grid).  Leaf boxes span
+    the universe's full time range.
+    """
+
+    n_leaves: int
+
+    def __post_init__(self) -> None:
+        if self.n_leaves < 1:
+            raise ValueError("n_leaves must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return f"KD{self.n_leaves}"
+
+    @property
+    def n_partitions(self) -> int:
+        return self.n_leaves
+
+    def build(self, dataset: Dataset, universe: Box3 | None = None) -> Partitioning:
+        if len(dataset) == 0:
+            raise ValueError("cannot build a k-d tree on an empty dataset")
+        u = universe or dataset.bounding_box()
+        coords = {axis: dataset.column(axis) for axis in _AXES}
+        labels = np.empty(len(dataset), dtype=np.int64)
+        boxes: list[tuple[float, float, float, float]] = []
+
+        def split(indices: np.ndarray, bounds: tuple[float, float, float, float],
+                  leaves: int, depth: int) -> None:
+            """bounds = (x_min, x_max, y_min, y_max)."""
+            if leaves == 1:
+                labels[indices] = len(boxes)
+                boxes.append(bounds)
+                return
+            left_leaves = leaves // 2
+            target = round(len(indices) * left_leaves / leaves)
+            target = min(max(target, 0), len(indices))
+            # Prefer the alternating axis, but fall back to the other one
+            # when tied coordinates make its best cut badly unbalanced.
+            preferred = _AXES[depth % len(_AXES)]
+            other = _AXES[(depth + 1) % len(_AXES)]
+            options = []
+            for axis_name in (preferred, other):
+                values = coords[axis_name][indices]
+                boundary, left_count = _canonical_cut(np.sort(values), target)
+                options.append((abs(left_count - target), axis_name,
+                                boundary, left_count))
+            if options[0][0] <= options[1][0]:
+                _, axis, boundary, left_count = options[0]
+            else:
+                _, axis, boundary, left_count = options[1]
+            values = coords[axis][indices]
+            if left_count <= 0:
+                boundary = bounds[0] if axis == "x" else bounds[2]
+            elif left_count >= len(indices):
+                boundary = bounds[1] if axis == "x" else bounds[3]
+            left_mask = values < boundary
+            left_idx = indices[left_mask]
+            right_idx = indices[~left_mask]
+            if axis == "x":
+                left_bounds = (bounds[0], boundary, bounds[2], bounds[3])
+                right_bounds = (boundary, bounds[1], bounds[2], bounds[3])
+            else:
+                left_bounds = (bounds[0], bounds[1], bounds[2], boundary)
+                right_bounds = (bounds[0], bounds[1], boundary, bounds[3])
+            split(left_idx, left_bounds, left_leaves, depth + 1)
+            split(right_idx, right_bounds, leaves - left_leaves, depth + 1)
+
+        split(
+            np.arange(len(dataset)),
+            (u.x_min, u.x_max, u.y_min, u.y_max),
+            self.n_leaves,
+            0,
+        )
+        box_array = np.empty((len(boxes), 6), dtype=np.float64)
+        for i, (x0, x1, y0, y1) in enumerate(boxes):
+            box_array[i] = (x0, x1, y0, y1, u.t_min, u.t_max)
+        return Partitioning(self.name, u, box_array, labels)

@@ -1,0 +1,78 @@
+"""Point-region quadtree partitioner.
+
+An alternative adaptive spatial scheme (cited by the paper's related work
+via Samet's survey): recursively split the most populated spatial cell
+into four equal quadrants until the target leaf count is reached.  Unlike
+the equal-count k-d tree, leaves have equal *extent* locally but skewed
+counts globally — useful as an ablation of the non-skew assumption in the
+cost model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.geometry import Box3
+from repro.partition.base import Partitioning, PartitioningScheme
+
+
+@dataclass(frozen=True)
+class QuadtreePartitioner(PartitioningScheme):
+    """Adaptive quadtree with exactly ``n_leaves`` spatial leaves.
+
+    ``n_leaves`` must be of the form ``3k + 1`` (every split replaces one
+    leaf with four).  Leaves span the universe's full time range.
+    """
+
+    n_leaves: int
+
+    def __post_init__(self) -> None:
+        if self.n_leaves < 1 or (self.n_leaves - 1) % 3 != 0:
+            raise ValueError("quadtree leaf count must be 1 + 3k")
+
+    @property
+    def name(self) -> str:
+        return f"Q{self.n_leaves}"
+
+    @property
+    def n_partitions(self) -> int:
+        return self.n_leaves
+
+    def build(self, dataset: Dataset, universe: Box3 | None = None) -> Partitioning:
+        if len(dataset) == 0:
+            raise ValueError("cannot build a quadtree on an empty dataset")
+        u = universe or dataset.bounding_box()
+        x = dataset.column("x")
+        y = dataset.column("y")
+        # Max-heap of (-count, tiebreak, bounds, indices).
+        counter = itertools.count()
+        heap: list[tuple[int, int, tuple[float, float, float, float], np.ndarray]] = [
+            (-len(dataset), next(counter), (u.x_min, u.x_max, u.y_min, u.y_max),
+             np.arange(len(dataset)))
+        ]
+        while len(heap) < self.n_leaves:
+            neg_count, _, bounds, indices = heapq.heappop(heap)
+            x0, x1, y0, y1 = bounds
+            mx, my = (x0 + x1) / 2.0, (y0 + y1) / 2.0
+            xi, yi = x[indices], y[indices]
+            west = xi < mx
+            south = yi < my
+            quadrants = (
+                ((x0, mx, y0, my), indices[west & south]),
+                ((x0, mx, my, y1), indices[west & ~south]),
+                ((mx, x1, y0, my), indices[~west & south]),
+                ((mx, x1, my, y1), indices[~west & ~south]),
+            )
+            for qbounds, qidx in quadrants:
+                heapq.heappush(heap, (-len(qidx), next(counter), qbounds, qidx))
+        labels = np.empty(len(dataset), dtype=np.int64)
+        box_array = np.empty((self.n_leaves, 6), dtype=np.float64)
+        for leaf_id, (_, _, (x0, x1, y0, y1), indices) in enumerate(heap):
+            labels[indices] = leaf_id
+            box_array[leaf_id] = (x0, x1, y0, y1, u.t_min, u.t_max)
+        return Partitioning(self.name, u, box_array, labels)

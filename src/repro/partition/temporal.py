@@ -1,0 +1,78 @@
+"""Equi-depth temporal slicing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.geometry import Box3
+from repro.partition.base import Partitioning, PartitioningScheme
+
+
+def equi_depth_boundaries(
+    times: np.ndarray, n_slices: int, t_min: float, t_max: float
+) -> np.ndarray:
+    """``n_slices + 1`` slice boundaries with near-equal record counts.
+
+    Interior boundaries are time quantiles of ``times``; the outer
+    boundaries are pinned to ``[t_min, t_max]`` so the slices cover the
+    universe's time range even when built from a sample.
+    """
+    if n_slices < 1:
+        raise ValueError("n_slices must be >= 1")
+    if times.size == 0:
+        return np.linspace(t_min, t_max, n_slices + 1)
+    interior = np.quantile(times, np.linspace(0, 1, n_slices + 1)[1:-1])
+    # Interior boundaries must stay strictly below t_max: a face equal to
+    # the universe's upper bound would read as closed under the canonical
+    # half-open placement rule and make ownership ambiguous.
+    interior = np.minimum(interior, np.nextafter(t_max, t_min))
+    boundaries = np.concatenate(([t_min], interior, [t_max]))
+    # Quantiles of skewed samples may dip outside [t_min, t_max] pins or
+    # invert at the edges; enforce monotonicity.
+    return np.maximum.accumulate(np.clip(boundaries, t_min, t_max))
+
+
+def slice_labels(times: np.ndarray, boundaries: np.ndarray) -> np.ndarray:
+    """Slice index per record.  Records on an interior boundary go right,
+    matching half-open ``[b_i, b_{i+1})`` slices (last slice closed)."""
+    labels = np.searchsorted(boundaries[1:-1], times, side="right")
+    return labels.astype(np.int64)
+
+
+@dataclass(frozen=True)
+class TemporalSlicer(PartitioningScheme):
+    """Time-only partitioning into ``n_slices`` equi-depth slices spanning
+    the whole spatial extent."""
+
+    n_slices: int
+
+    def __post_init__(self) -> None:
+        if self.n_slices < 1:
+            raise ValueError("n_slices must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return f"T{self.n_slices}"
+
+    @property
+    def n_partitions(self) -> int:
+        return self.n_slices
+
+    def build(self, dataset: Dataset, universe: Box3 | None = None) -> Partitioning:
+        if len(dataset) == 0:
+            raise ValueError("cannot slice an empty dataset")
+        u = universe or dataset.bounding_box()
+        times = dataset.column("t")
+        boundaries = equi_depth_boundaries(times, self.n_slices, u.t_min, u.t_max)
+        labels = slice_labels(times, boundaries)
+        box_array = np.empty((self.n_slices, 6), dtype=np.float64)
+        box_array[:, 0] = u.x_min
+        box_array[:, 1] = u.x_max
+        box_array[:, 2] = u.y_min
+        box_array[:, 3] = u.y_max
+        box_array[:, 4] = boundaries[:-1]
+        box_array[:, 5] = boundaries[1:]
+        return Partitioning(self.name, u, box_array, labels)

@@ -1,0 +1,66 @@
+"""The BLOT storage engine: storage units, replicas, query processing."""
+
+from repro.storage.engine import (
+    BlotStore,
+    QueryResult,
+    QueryStats,
+    ReplicaExists,
+)
+from repro.storage.manifest import (
+    build_manifest,
+    load_replica,
+    save_manifest,
+    verify_replica,
+)
+from repro.storage.measure import LocalScanMeasurer
+from repro.storage.recovery import (
+    RecoveryError,
+    rebuild_replica,
+    recover_dataset,
+    repair_partition,
+    repair_replica,
+)
+from repro.storage.ingest import IngestingBlotStore, ReplicaSpec
+from repro.storage.replica import (
+    StoredReplica,
+    build_mixed_replica,
+    build_replica,
+    temperature_policy,
+)
+from repro.storage.unit import (
+    DirectoryStore,
+    DuplicateUnit,
+    InMemoryStore,
+    SegmentFileStore,
+    UnitNotFound,
+    UnitStore,
+)
+
+__all__ = [
+    "BlotStore",
+    "DirectoryStore",
+    "DuplicateUnit",
+    "InMemoryStore",
+    "IngestingBlotStore",
+    "LocalScanMeasurer",
+    "ReplicaSpec",
+    "QueryResult",
+    "QueryStats",
+    "RecoveryError",
+    "ReplicaExists",
+    "SegmentFileStore",
+    "StoredReplica",
+    "UnitNotFound",
+    "UnitStore",
+    "build_manifest",
+    "build_mixed_replica",
+    "build_replica",
+    "temperature_policy",
+    "load_replica",
+    "rebuild_replica",
+    "recover_dataset",
+    "repair_partition",
+    "repair_replica",
+    "save_manifest",
+    "verify_replica",
+]

@@ -1,0 +1,142 @@
+"""Continuous ingestion on top of immutable replicas.
+
+Location tracking data arrives as a live feed (taxis report every ~30 s),
+while BLOT replicas are bulk-organized immutable structures.  Following
+the standard log-structured pattern (TrajStore buffers inserts the same
+way), :class:`IngestingBlotStore` keeps
+
+- a set of **base replicas** over the data at the last compaction, and
+- an in-memory **delta buffer** of everything appended since.
+
+Queries merge base-replica scans with a brute-force filter of the buffer
+(the buffer is small by construction); :meth:`compact` folds the buffer
+into fresh replicas — the moment at which the replica advisor may also
+be re-consulted (see :mod:`repro.core.adaptive`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.model import CostModel
+from repro.data.dataset import Dataset
+from repro.encoding.base import EncodingScheme
+from repro.geometry import Box3
+from repro.partition.base import PartitioningScheme
+from repro.storage.engine import BlotStore, QueryResult, QueryStats
+from repro.storage.unit import InMemoryStore
+from repro.workload.query import Query
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Recipe for one diverse replica, re-applied at every compaction."""
+
+    scheme: PartitioningScheme
+    encoding: EncodingScheme
+    name: str | None = None
+
+
+class IngestingBlotStore:
+    """A BLOT store that accepts appends between compactions."""
+
+    def __init__(
+        self,
+        initial: Dataset,
+        replica_specs: list[ReplicaSpec],
+        cost_model: CostModel | None = None,
+        auto_compact_at: int | None = None,
+    ):
+        """``auto_compact_at`` triggers :meth:`compact` automatically once
+        the buffer holds that many records (None disables)."""
+        if not replica_specs:
+            raise ValueError("need at least one replica spec")
+        if auto_compact_at is not None and auto_compact_at < 1:
+            raise ValueError("auto_compact_at must be >= 1")
+        self._specs = list(replica_specs)
+        self._cost_model = cost_model
+        self._auto_compact_at = auto_compact_at
+        self._buffer: list[Dataset] = []
+        self._compactions = 0
+        self._base = self._build_base(initial)
+
+    def _build_base(self, dataset: Dataset) -> BlotStore:
+        store = BlotStore(dataset, cost_model=self._cost_model)
+        for spec in self._specs:
+            store.add_replica(spec.scheme, spec.encoding, InMemoryStore(),
+                              name=spec.name)
+        return store
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def base(self) -> BlotStore:
+        """The immutable replica set over data up to the last compaction."""
+        return self._base
+
+    @property
+    def buffered_records(self) -> int:
+        return sum(len(d) for d in self._buffer)
+
+    def dataset(self) -> Dataset:
+        """The full logical dataset (base + buffer)."""
+        return Dataset.concat([self._base.dataset, *self._buffer])
+
+    def __len__(self) -> int:
+        return len(self._base.dataset) + self.buffered_records
+
+    # -- writes ----------------------------------------------------------------
+
+    @property
+    def compactions(self) -> int:
+        """How many compactions have run (manual + automatic)."""
+        return self._compactions
+
+    def append(self, records: Dataset) -> None:
+        """Ingest a batch of new records (visible to queries immediately);
+        may trigger an automatic compaction."""
+        if len(records):
+            self._buffer.append(records)
+            if (self._auto_compact_at is not None
+                    and self.buffered_records >= self._auto_compact_at):
+                self.compact()
+
+    def compact(self) -> None:
+        """Fold the buffer into fresh base replicas.
+
+        All replica specs are rebuilt over the merged dataset; the
+        universe grows if buffered records fell outside the previous
+        bounding box.
+        """
+        if not self._buffer:
+            return
+        merged = self.dataset().sorted_by_time()
+        self._buffer.clear()
+        self._base = self._build_base(merged)
+        self._compactions += 1
+
+    # -- reads ----------------------------------------------------------------
+
+    def query(self, query: Query | Box3, replica: str | None = None) -> QueryResult:
+        """Range query over base replicas plus the delta buffer."""
+        q = Query.from_box(query) if isinstance(query, Box3) else query
+        box = q.box()
+        base_result = self._base.query(q, replica=replica)
+        if not self._buffer:
+            return base_result
+        extra_scanned = self.buffered_records
+        matches = [d.filter_box(box) for d in self._buffer]
+        merged = Dataset.concat([base_result.records, *matches])
+        stats = base_result.stats
+        return QueryResult(
+            records=merged,
+            stats=QueryStats(
+                replica_name=stats.replica_name,
+                partitions_involved=stats.partitions_involved,
+                records_scanned=stats.records_scanned + extra_scanned,
+                records_returned=len(merged),
+                bytes_read=stats.bytes_read,
+                seconds=stats.seconds,
+                total_records=len(self),
+            ),
+        )

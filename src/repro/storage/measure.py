@@ -1,0 +1,74 @@
+"""Local wall-clock scan measurement (the in-process calibration backend).
+
+The paper measures ``Cost(q, p)`` by timing mappers that each scan one
+partition.  This backend does the single-node equivalent: encode
+partitions of controlled sizes, then time decode + filter end-to-end.
+The fitted slope/intercept capture the *real* per-record decode rate and
+per-partition setup overhead of each encoding on this machine.
+
+For the cluster-shaped numbers of Table II use the simulated environments
+in :mod:`repro.cluster` instead.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.encoding.base import EncodingScheme, encoding_scheme_by_name
+
+
+class LocalScanMeasurer:
+    """Callable backend for :func:`repro.costmodel.calibrate_encoding`.
+
+    ``measurer(encoding_name, partition_records, partitions_per_set)``
+    returns the average wall seconds to scan one partition of the given
+    size, averaged over ``partitions_per_set`` distinct partitions.
+    """
+
+    def __init__(self, dataset: Dataset, repeats: int = 1):
+        if len(dataset) == 0:
+            raise ValueError("measurement dataset must be non-empty")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self._dataset = dataset.sorted_by_time()
+        self._repeats = repeats
+
+    def _partitions(self, partition_records: int, count: int) -> list[Dataset]:
+        """``count`` consecutive chunks of ``partition_records`` records,
+        cycling through the dataset when it is shorter than needed."""
+        n = len(self._dataset)
+        if partition_records < 1:
+            raise ValueError("partition_records must be >= 1")
+        if partition_records > n:
+            raise ValueError(
+                f"partition of {partition_records} records exceeds dataset size {n}"
+            )
+        parts = []
+        start = 0
+        for _ in range(count):
+            if start + partition_records > n:
+                start = 0
+            parts.append(self._dataset.take(np.arange(start, start + partition_records)))
+            start += partition_records
+        return parts
+
+    def __call__(
+        self, encoding_name: str, partition_records: int, partitions_per_set: int
+    ) -> float:
+        scheme: EncodingScheme = encoding_scheme_by_name(encoding_name)
+        parts = self._partitions(partition_records, partitions_per_set)
+        blobs = [scheme.encode(p) for p in parts]
+        bb = self._dataset.bounding_box()
+        total = 0.0
+        for _ in range(self._repeats):
+            start = time.perf_counter()
+            for blob in blobs:
+                records = scheme.decode(blob)
+                # Filter by the full range: every record matches, like the
+                # paper's measurement queries that cover whole partitions.
+                records.filter_box(bb)
+            total += time.perf_counter() - start
+        return total / (self._repeats * len(blobs))

@@ -1,0 +1,186 @@
+"""Recovery of diverse replicas from each other.
+
+The paper's fault-tolerance argument (Sections I and II-E): "in spite of
+the diversity of physical data organizations, diverse replicas can
+recover each other when failures occur because they share the same
+logical view of the data."  This module makes that concrete:
+
+- :func:`recover_dataset` — rebuild the logical dataset from any replica;
+- :func:`rebuild_replica` — recreate a totally lost replica (new
+  partitioning + encoding) from any surviving one;
+- :func:`repair_partition` — the cheap path: a single damaged storage
+  unit is restored by running *one range query* (the unit's box) against
+  a surviving diverse replica, instead of re-reading everything.
+
+Boundary discipline.  Partition boxes tile the universe but share
+boundaries; a record sitting exactly on a shared boundary is stored in
+exactly one partition yet geometrically belongs to several boxes.  All
+partitioners in this repository place records with the *canonical
+half-open* rule — a record belongs to the box where every coordinate
+satisfies ``lo <= v < hi``, the upper face being closed only on the
+universe boundary — so :func:`canonical_mask` recomputes a partition's
+exact original contents from its box alone, and repairs need nothing
+from (possibly also damaged) neighbour units.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.geometry import Box3, boxes_intersect_mask
+from repro.partition.base import Partitioning, PartitioningScheme
+from repro.storage.replica import StoredReplica, build_replica
+from repro.storage.unit import UnitStore
+
+_EDGE_EPS = 1e-12
+
+
+def canonical_box_test(
+    partitioning: Partitioning, dataset: Dataset, partition_id: int
+) -> np.ndarray:
+    """Mask of records passing ``partition_id``'s half-open box test.
+
+    Per dimension ``lo <= v < hi``, except that a face lying on the
+    universe's upper boundary is closed (``v <= hi``).  On non-degenerate
+    tilings the tests of different partitions are disjoint; fully
+    degenerate partitions (identical boxes, produced when a node's
+    records all share one coordinate) can pass together — ownership is
+    then settled by :func:`canonical_mask`'s highest-id tie-break.
+    """
+    box = partitioning.box_array[partition_id]
+    u = partitioning.universe
+    u_hi = (u.x_max, u.y_max, u.t_max)
+    mask = np.ones(len(dataset), dtype=bool)
+    for dim, column in enumerate(("x", "y", "t")):
+        values = dataset.column(column)
+        lo, hi = box[2 * dim], box[2 * dim + 1]
+        mask &= values >= lo
+        if hi >= u_hi[dim] - _EDGE_EPS:
+            mask &= values <= hi
+        else:
+            mask &= values < hi
+    return mask
+
+
+def canonical_mask(
+    partitioning: Partitioning, dataset: Dataset, partition_id: int
+) -> np.ndarray:
+    """Mask of ``dataset`` records canonically *owned* by ``partition_id``:
+    the box test passes and no higher-id partition's test passes too (the
+    tie-break every builder follows when degenerate splits collapse boxes
+    onto each other)."""
+    mask = canonical_box_test(partitioning, dataset, partition_id)
+    if not mask.any():
+        return mask
+    box = Box3(*partitioning.box_array[partition_id])
+    rivals = np.flatnonzero(boxes_intersect_mask(partitioning.box_array, box))
+    for rival in rivals:
+        if rival > partition_id:
+            rival_pass = canonical_box_test(partitioning, dataset, int(rival))
+            mask &= ~rival_pass
+            if not mask.any():
+                break
+    return mask
+
+
+class RecoveryError(RuntimeError):
+    """Raised when recovered content contradicts the replica's metadata."""
+
+
+def recover_dataset(replica: StoredReplica) -> Dataset:
+    """The full logical dataset, decoded from one replica's units."""
+    parts = [
+        replica.read_partition(pid)
+        for pid in range(replica.n_partitions)
+        if replica.unit_keys[pid] is not None
+    ]
+    if not parts:
+        return Dataset.empty()
+    return Dataset.concat(parts).sorted_by_time()
+
+
+def rebuild_replica(
+    source: StoredReplica,
+    scheme: PartitioningScheme,
+    encoding,
+    store: UnitStore,
+    name: str | None = None,
+) -> StoredReplica:
+    """Recreate a lost replica from a surviving one (total-loss path).
+
+    The new replica may use any partitioning/encoding — recovery and
+    reorganization are the same operation under diverse replication.
+    """
+    dataset = recover_dataset(source)
+    if len(dataset) == 0:
+        raise RecoveryError("source replica holds no records")
+    return build_replica(
+        dataset, scheme, encoding, store, name=name,
+        universe=source.partitioning.universe,
+    )
+
+
+def repair_partition(
+    damaged: StoredReplica,
+    partition_id: int,
+    source: StoredReplica,
+) -> int:
+    """Restore one storage unit of ``damaged`` from ``source``.
+
+    Runs the damaged partition's box as a range query against ``source``
+    and keeps the records the canonical placement rule assigns to this
+    partition.  Returns the number of records restored.  Raises
+    :class:`RecoveryError` when the restored count contradicts the
+    damaged replica's partition counts (metadata is authoritative).
+    """
+    if not (0 <= partition_id < damaged.n_partitions):
+        raise ValueError(f"partition id {partition_id} out of range")
+    box = Box3(*damaged.partitioning.box_array[partition_id])
+
+    # One range query against the diverse source replica, filtered to the
+    # canonically-owned records (boundary ties go to the upper neighbour).
+    candidates = []
+    for pid in source.involved_partitions(box):
+        records = source.read_partition(int(pid)).filter_box(box)
+        if len(records):
+            candidates.append(records.take(
+                canonical_mask(damaged.partitioning, records, partition_id)
+            ))
+    recovered = Dataset.concat(candidates) if candidates else Dataset.empty()
+
+    expected = int(damaged.partitioning.counts[partition_id])
+    if len(recovered) != expected:
+        raise RecoveryError(
+            f"partition {partition_id}: recovered {len(recovered)} records, "
+            f"metadata says {expected}"
+        )
+
+    key = damaged.unit_keys[partition_id]
+    if key is None:
+        if expected != 0:
+            raise RecoveryError(
+                f"partition {partition_id} has no unit key but {expected} records"
+            )
+        return 0
+    blob = damaged.encoding_for(partition_id).encode(recovered.sorted_by_time())
+    try:
+        damaged.store.delete(key)
+    except KeyError:
+        pass  # the unit may be missing entirely — that's the damage
+    damaged.store.put(key, blob)
+    return len(recovered)
+
+
+def repair_replica(
+    damaged: StoredReplica,
+    partition_ids: list[int],
+    source: StoredReplica,
+) -> int:
+    """Repair several damaged units; returns total records restored.
+
+    Repairs are independent (canonical placement needs nothing from
+    neighbour units), so any subset — including every unit at once — can
+    be restored in any order.
+    """
+    return sum(repair_partition(damaged, pid, source) for pid in partition_ids)

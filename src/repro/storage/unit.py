@@ -1,0 +1,191 @@
+"""Storage-unit backends.
+
+A BLOT partition is stored in a *storage unit* "optimized for sequential
+read: an object stored in Amazon S3, a file on HDFS, a segment of a file
+on a local file system" (Section II-B).  This module provides the
+key-value store abstraction and three backends mirroring those options:
+
+- :class:`InMemoryStore`   — dict-backed, for tests and simulations;
+- :class:`DirectoryStore`  — one file per unit in a local directory
+  (the "file on HDFS" shape);
+- :class:`SegmentFileStore`— all units appended to one large file with an
+  offset table (the "segment of a file" shape).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Protocol
+
+
+class UnitStore(Protocol):
+    """Write-once key-value storage for encoded partitions.
+
+    ``delete`` exists for repair flows (a damaged unit is dropped and
+    re-written); ordinary replica builds never overwrite.
+    """
+
+    def put(self, key: str, blob: bytes) -> None: ...
+
+    def get(self, key: str) -> bytes: ...
+
+    def size(self, key: str) -> int: ...
+
+    def delete(self, key: str) -> None: ...
+
+    def keys(self) -> Iterator[str]: ...
+
+    def total_bytes(self) -> int: ...
+
+
+class UnitNotFound(KeyError):
+    """Raised when a storage unit key does not exist."""
+
+
+class DuplicateUnit(ValueError):
+    """Raised when a storage unit key is written twice."""
+
+
+class InMemoryStore:
+    """Dict-backed store used by tests and the cluster simulators."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def put(self, key: str, blob: bytes) -> None:
+        if key in self._blobs:
+            raise DuplicateUnit(f"unit {key!r} already stored")
+        self._blobs[key] = bytes(blob)
+
+    def get(self, key: str) -> bytes:
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise UnitNotFound(key) from None
+
+    def size(self, key: str) -> int:
+        return len(self.get(key))
+
+    def delete(self, key: str) -> None:
+        if key not in self._blobs:
+            raise UnitNotFound(key)
+        del self._blobs[key]
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._blobs)
+
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+
+class DirectoryStore:
+    """One file per storage unit under ``root`` (keys become file names).
+
+    Keys may contain ``/`` to create sub-directories, as replica builders
+    do (``replica-name/part-000123``).
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        path = os.path.normpath(os.path.join(self.root, key))
+        if not path.startswith(os.path.normpath(self.root)):
+            raise ValueError(f"key {key!r} escapes the store root")
+        return path
+
+    def put(self, key: str, blob: bytes) -> None:
+        path = self._path(key)
+        if os.path.exists(path):
+            raise DuplicateUnit(f"unit {key!r} already stored")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as f:
+            f.write(blob)
+
+    def get(self, key: str) -> bytes:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as f:
+                return f.read()
+        except FileNotFoundError:
+            raise UnitNotFound(key) from None
+
+    def size(self, key: str) -> int:
+        try:
+            return os.path.getsize(self._path(key))
+        except FileNotFoundError:
+            raise UnitNotFound(key) from None
+
+    def delete(self, key: str) -> None:
+        try:
+            os.remove(self._path(key))
+        except FileNotFoundError:
+            raise UnitNotFound(key) from None
+
+    def keys(self) -> Iterator[str]:
+        for dirpath, _, files in os.walk(self.root):
+            for name in files:
+                full = os.path.join(dirpath, name)
+                yield os.path.relpath(full, self.root)
+
+    def total_bytes(self) -> int:
+        return sum(self.size(k) for k in self.keys())
+
+
+class SegmentFileStore:
+    """All units appended to a single file; an in-memory offset table maps
+    keys to ``(offset, length)`` segments.
+
+    Mirrors the local-filesystem deployment where a partition is "a
+    segment of a file": sequential within a unit, one seek per unit.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._segments: dict[str, tuple[int, int]] = {}
+        # Truncate/create the backing file.
+        with open(path, "wb"):
+            pass
+        self._end = 0
+        self._live_bytes = 0
+
+    def put(self, key: str, blob: bytes) -> None:
+        if key in self._segments:
+            raise DuplicateUnit(f"unit {key!r} already stored")
+        with open(self.path, "ab") as f:
+            f.write(blob)
+        self._segments[key] = (self._end, len(blob))
+        self._end += len(blob)
+        self._live_bytes += len(blob)
+
+    def get(self, key: str) -> bytes:
+        try:
+            offset, length = self._segments[key]
+        except KeyError:
+            raise UnitNotFound(key) from None
+        with open(self.path, "rb") as f:
+            f.seek(offset)
+            return f.read(length)
+
+    def size(self, key: str) -> int:
+        try:
+            return self._segments[key][1]
+        except KeyError:
+            raise UnitNotFound(key) from None
+
+    def delete(self, key: str) -> None:
+        """Drop the segment from the offset table.  The bytes stay in the
+        backing file (log-structured; compaction is out of scope) but no
+        longer count toward :meth:`total_bytes`."""
+        try:
+            _, length = self._segments.pop(key)
+        except KeyError:
+            raise UnitNotFound(key) from None
+        self._live_bytes -= length
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._segments)
+
+    def total_bytes(self) -> int:
+        return self._live_bytes

@@ -1,0 +1,24 @@
+"""Query and workload model for BLOT systems (paper Definition 6)."""
+
+from repro.workload.generator import (
+    PAPER_QUERY_FRACTIONS,
+    PAPER_QUERY_WEIGHTS,
+    grouped_random_workload,
+    paper_workload,
+    positioned_random_workload,
+    workload_from_query_log,
+)
+from repro.workload.query import AnyQuery, GroupedQuery, Query, Workload
+
+__all__ = [
+    "AnyQuery",
+    "GroupedQuery",
+    "PAPER_QUERY_FRACTIONS",
+    "PAPER_QUERY_WEIGHTS",
+    "Query",
+    "Workload",
+    "grouped_random_workload",
+    "paper_workload",
+    "positioned_random_workload",
+    "workload_from_query_log",
+]

@@ -1,0 +1,113 @@
+"""Workload generators.
+
+The evaluation uses "a synthetic workload containing 8 grouped queries
+with wildly varied range size" (Section V-C); :func:`paper_workload`
+recreates that mix.  The other generators produce positioned or grouped
+workloads for the solver-scaling experiments (Figure 3) and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Box3, centroid_range
+from repro.workload.query import GroupedQuery, Query, Workload
+
+#: Spatial (W, H) and temporal (T) extents of the paper-style 8 grouped
+#: queries, as fractions of the universe extent.  Sizes span nearly three
+#: orders of magnitude and spatial/temporal sizes are decorrelated so no
+#: single partitioning granularity fits all of them.
+PAPER_QUERY_FRACTIONS: tuple[tuple[float, float], ...] = (
+    (0.002, 0.30),   # q1: tiny area, long window   (a junction over a week)
+    (0.005, 0.02),   # q2: small area, short window (a block for an hour)
+    (0.020, 0.005),  # q3
+    (0.050, 0.60),   # q4: district, most of the month
+    (0.100, 0.05),   # q5
+    (0.250, 0.010),  # q6: quarter of the city, snapshot-ish
+    (0.500, 0.20),   # q7
+    (0.900, 0.80),   # q8: nearly a full scan
+)
+
+#: Weights loosely following a frequency skew: small interactive queries
+#: dominate, full scans are rare.
+PAPER_QUERY_WEIGHTS: tuple[float, ...] = (0.22, 0.20, 0.16, 0.12, 0.10, 0.09, 0.07, 0.04)
+
+
+def paper_workload(universe: Box3) -> Workload:
+    """The 8-grouped-query evaluation workload, scaled to ``universe``."""
+    entries = []
+    for (spatial_frac, temporal_frac), weight in zip(
+        PAPER_QUERY_FRACTIONS, PAPER_QUERY_WEIGHTS
+    ):
+        entries.append((
+            GroupedQuery(
+                universe.width * spatial_frac,
+                universe.height * spatial_frac,
+                universe.duration * temporal_frac,
+            ),
+            weight,
+        ))
+    return Workload(entries)
+
+
+def grouped_random_workload(
+    universe: Box3,
+    n_queries: int,
+    rng: np.random.Generator,
+    min_fraction: float = 1e-3,
+    max_fraction: float = 0.9,
+) -> Workload:
+    """``n_queries`` grouped queries with log-uniform extents and random
+    weights — the input of the Figure 3 solver-scaling experiments."""
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    if not 0 < min_fraction <= max_fraction <= 1:
+        raise ValueError("need 0 < min_fraction <= max_fraction <= 1")
+    entries: dict[GroupedQuery, float] = {}
+    lo, hi = np.log(min_fraction), np.log(max_fraction)
+    while len(entries) < n_queries:
+        fw, fh, ft = np.exp(rng.uniform(lo, hi, size=3))
+        g = GroupedQuery(universe.width * fw, universe.height * fh,
+                         universe.duration * ft)
+        if g not in entries:
+            entries[g] = float(rng.uniform(0.1, 1.0))
+    return Workload(list(entries.items()))
+
+
+def positioned_random_workload(
+    universe: Box3,
+    n_queries: int,
+    rng: np.random.Generator,
+    min_fraction: float = 1e-3,
+    max_fraction: float = 0.5,
+) -> Workload:
+    """Positioned queries with log-uniform extents, centroids uniform over
+    the admissible centroid range (so ranges stay inside the universe)."""
+    grouped = grouped_random_workload(universe, n_queries, rng,
+                                      min_fraction, max_fraction)
+    entries = []
+    for g, weight in grouped:
+        cr = centroid_range(universe, g.size)
+        entries.append((
+            g.at(
+                rng.uniform(cr.x_min, cr.x_max),
+                rng.uniform(cr.y_min, cr.y_max),
+                rng.uniform(cr.t_min, cr.t_max),
+            ),
+            weight,
+        ))
+    return Workload(entries)
+
+
+def workload_from_query_log(queries: list[Query]) -> Workload:
+    """Collapse a raw query log into a grouped workload: one grouped query
+    per distinct range size, weighted by occurrence count (Section III-C1)."""
+    counts: dict[GroupedQuery, int] = {}
+    order: list[GroupedQuery] = []
+    for q in queries:
+        g = q.grouped()
+        if g not in counts:
+            counts[g] = 0
+            order.append(g)
+        counts[g] += 1
+    return Workload([(g, float(counts[g])) for g in order])

@@ -1,0 +1,163 @@
+"""Queries, grouped queries and weighted workloads (paper Definition 6).
+
+A range query ``q = <W, H, T, x, y, t>`` extracts every record inside the
+cuboid of extent ``(W, H, T)`` centered at ``(x, y, t)``.  A *grouped*
+query ``QG = <W, H, T>`` stands for all queries of that extent with the
+centroid uniformly distributed (Section III-C1) — the paper's workload
+reduction.  A workload is a set of unique queries with non-negative
+weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.geometry import Box3
+
+
+@dataclass(frozen=True, slots=True)
+class GroupedQuery:
+    """A query extent ``<W, H, T>`` with uniformly-distributed centroid."""
+
+    width: float
+    height: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if min(self.width, self.height, self.duration) < 0:
+            raise ValueError("query extents must be non-negative")
+
+    @property
+    def size(self) -> tuple[float, float, float]:
+        """``(W, H, T)``."""
+        return (self.width, self.height, self.duration)
+
+    def at(self, x: float, y: float, t: float) -> "Query":
+        """A positioned instance of this grouped query."""
+        return Query(self.width, self.height, self.duration, x, y, t)
+
+    def selectivity(self, universe: Box3) -> float:
+        """Fraction of the universe volume the query range covers."""
+        if universe.volume == 0:
+            raise ValueError("universe has zero volume")
+        w = min(self.width, universe.width)
+        h = min(self.height, universe.height)
+        d = min(self.duration, universe.duration)
+        return (w * h * d) / universe.volume
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A positioned range query ``<W, H, T, x, y, t>``."""
+
+    width: float
+    height: float
+    duration: float
+    x: float
+    y: float
+    t: float
+
+    def __post_init__(self) -> None:
+        if min(self.width, self.height, self.duration) < 0:
+            raise ValueError("query extents must be non-negative")
+
+    @property
+    def size(self) -> tuple[float, float, float]:
+        """``(W, H, T)``."""
+        return (self.width, self.height, self.duration)
+
+    def box(self) -> Box3:
+        """``Range(q)`` as a :class:`Box3`."""
+        return Box3.from_center_size((self.x, self.y, self.t),
+                                     self.width, self.height, self.duration)
+
+    def grouped(self) -> GroupedQuery:
+        """Drop the position, keeping the extent (Section III-C1)."""
+        return GroupedQuery(self.width, self.height, self.duration)
+
+    @staticmethod
+    def from_box(box: Box3) -> "Query":
+        """The query whose range is exactly ``box``."""
+        c = box.centroid
+        return Query(box.width, box.height, box.duration, c.x, c.y, c.t)
+
+
+AnyQuery = Query | GroupedQuery
+
+
+class Workload:
+    """An ordered set of unique queries with non-negative weights.
+
+    Weights encode frequency/priority; :meth:`normalized` rescales them to
+    sum to 1 as in the paper's experiments.
+    """
+
+    def __init__(self, entries: Sequence[tuple[AnyQuery, float]]):
+        seen: set[AnyQuery] = set()
+        cleaned: list[tuple[AnyQuery, float]] = []
+        for query, weight in entries:
+            if weight < 0:
+                raise ValueError(f"negative weight {weight} for {query}")
+            if query in seen:
+                raise ValueError(f"duplicate query in workload: {query}")
+            seen.add(query)
+            cleaned.append((query, float(weight)))
+        self._entries = tuple(cleaned)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[tuple[AnyQuery, float]]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"Workload(n={len(self)}, total_weight={self.total_weight():g})"
+
+    # -- accessors ---------------------------------------------------------
+
+    def queries(self) -> list[AnyQuery]:
+        """``Q(W)``: the queries without their weights."""
+        return [q for q, _ in self._entries]
+
+    def weights(self) -> list[float]:
+        return [w for _, w in self._entries]
+
+    def total_weight(self) -> float:
+        return sum(self.weights())
+
+    def entry(self, i: int) -> tuple[AnyQuery, float]:
+        return self._entries[i]
+
+    # -- transforms -----------------------------------------------------------
+
+    def normalized(self) -> "Workload":
+        """Rescale weights to sum to 1 (no-op weights if all zero)."""
+        total = self.total_weight()
+        if total <= 0:
+            raise ValueError("cannot normalize a zero-weight workload")
+        return Workload([(q, w / total) for q, w in self._entries])
+
+    def grouped(self) -> "Workload":
+        """Collapse positioned queries into grouped queries, merging the
+        weights of queries with identical extents (Section III-C1)."""
+        acc: dict[GroupedQuery, float] = {}
+        order: list[GroupedQuery] = []
+        for query, weight in self._entries:
+            g = query.grouped() if isinstance(query, Query) else query
+            if g not in acc:
+                acc[g] = 0.0
+                order.append(g)
+            acc[g] += weight
+        return Workload([(g, acc[g]) for g in order])
+
+    def scaled(self, factor: float) -> "Workload":
+        """Multiply every weight by ``factor``."""
+        return Workload([(q, w * factor) for q, w in self._entries])

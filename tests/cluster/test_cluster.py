@@ -1,0 +1,169 @@
+"""Tests for the simulated cluster and the environment presets."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    EMR_S3,
+    LOCAL_HADOOP,
+    MapTask,
+    SimulatedCluster,
+    TaskTimeModel,
+    make_cluster,
+    split_encoding_name,
+)
+from repro.cluster.spec import EnvironmentSpec, PAPER_TABLE1_RATIOS
+
+
+class TestSpec:
+    def test_split_encoding_name(self):
+        assert split_encoding_name("COL-GZIP") == ("COL", "GZIP")
+
+    def test_split_bad_name(self):
+        with pytest.raises(ValueError):
+            split_encoding_name("CSV")
+
+    def test_invalid_slots(self):
+        with pytest.raises(ValueError):
+            EnvironmentSpec(
+                name="x", map_slots=0, task_startup_seconds=1,
+                task_startup_jitter=0, unit_lookup_seconds=0,
+                effective_io_bandwidth=1,
+                parse_seconds_per_record={"ROW": 0, "COL": 0},
+                decompress_seconds_per_byte={},
+            )
+
+    def test_missing_layout_cost(self):
+        with pytest.raises(ValueError, match="parse cost"):
+            EnvironmentSpec(
+                name="x", map_slots=1, task_startup_seconds=1,
+                task_startup_jitter=0, unit_lookup_seconds=0,
+                effective_io_bandwidth=1,
+                parse_seconds_per_record={"ROW": 0},
+                decompress_seconds_per_byte={},
+            )
+
+    def test_unknown_codec_cost(self):
+        with pytest.raises(KeyError, match="BROTLI"):
+            EMR_S3.decompress_cost("BROTLI")
+
+
+class TestTaskTimeModel:
+    @pytest.fixture
+    def model(self):
+        return TaskTimeModel(LOCAL_HADOOP)
+
+    def test_bytes_for_uses_ratio(self, model):
+        from repro.encoding import ROW_BYTES
+        assert model.bytes_for("ROW-PLAIN", 100) == pytest.approx(100 * ROW_BYTES)
+        assert model.bytes_for("COL-LZMA2", 100) == pytest.approx(
+            100 * ROW_BYTES * PAPER_TABLE1_RATIOS["COL-LZMA2"])
+
+    def test_unknown_encoding(self, model):
+        with pytest.raises(KeyError):
+            model.bytes_for("ROW-ZSTD", 100)
+
+    def test_scan_seconds_linear_in_records(self, model):
+        one = model.scan_seconds("ROW-GZIP", 1_000)
+        ten = model.scan_seconds("ROW-GZIP", 10_000)
+        assert ten == pytest.approx(10 * one)
+
+    def test_extra_constant(self, model):
+        assert model.extra_seconds() == pytest.approx(4.6 + 0.25 + 0.15)
+
+    def test_task_seconds_jitter_bounded(self, model):
+        rng = np.random.default_rng(0)
+        times = [model.task_seconds("ROW-PLAIN", 1000, rng) for _ in range(50)]
+        base = model.extra_seconds() + model.scan_seconds("ROW-PLAIN", 1000)
+        assert min(times) > base * 0.6
+        assert max(times) < base * 1.6
+
+    def test_plain_row_slowest_scan_locally(self):
+        """Local Hadoop shape from Table II: uncompressed row has the
+        slowest per-record scan."""
+        model = TaskTimeModel(LOCAL_HADOOP)
+        plain = model.scan_seconds("ROW-PLAIN", 10_000)
+        for name in ("ROW-SNAPPY", "ROW-GZIP", "ROW-LZMA2",
+                     "COL-SNAPPY", "COL-GZIP", "COL-LZMA2"):
+            assert model.scan_seconds(name, 10_000) < plain, name
+
+    def test_lzma_row_beats_plain_row_on_emr(self):
+        """EMR shape from Table II: slow S3 streaming makes heavy
+        compression a win."""
+        model = TaskTimeModel(EMR_S3)
+        assert model.scan_seconds("ROW-LZMA2", 10_000) < model.scan_seconds(
+            "ROW-PLAIN", 10_000)
+
+    def test_col_beats_row_per_codec(self):
+        for spec in (EMR_S3, LOCAL_HADOOP):
+            model = TaskTimeModel(spec)
+            for codec in ("SNAPPY", "GZIP", "LZMA2"):
+                assert model.scan_seconds(f"COL-{codec}", 5_000) < \
+                    model.scan_seconds(f"ROW-{codec}", 5_000), (spec.name, codec)
+
+    def test_emr_extra_dwarfs_local_extra(self):
+        assert TaskTimeModel(EMR_S3).extra_seconds() > \
+            5 * TaskTimeModel(LOCAL_HADOOP).extra_seconds()
+
+
+class TestSimulatedCluster:
+    @pytest.fixture
+    def cluster(self):
+        return make_cluster("local-hadoop", seed=7)
+
+    def test_make_cluster_unknown(self):
+        with pytest.raises(KeyError):
+            make_cluster("azure")
+
+    def test_empty_job(self, cluster):
+        job = cluster.run_map_only_job([])
+        assert job.makespan == 0.0
+        assert job.total_task_seconds == 0.0
+
+    def test_single_task(self, cluster):
+        job = cluster.run_map_only_job([MapTask("ROW-PLAIN", 1000)])
+        assert len(job.tasks) == 1
+        assert job.makespan == pytest.approx(job.tasks[0].duration)
+        assert job.tasks[0].start == 0.0
+
+    def test_parallelism_limited_by_slots(self):
+        spec = LOCAL_HADOOP  # 8 slots
+        cluster = SimulatedCluster(spec, seed=3)
+        tasks = [MapTask("ROW-PLAIN", 1000)] * 24  # 3 waves
+        job = cluster.run_map_only_job(tasks)
+        mean = job.mean_task_seconds
+        # Makespan of 3 waves is ~3x a task, far below 24x.
+        assert 2.0 * mean < job.makespan < 4.5 * mean
+
+    def test_fewer_tasks_than_slots_run_concurrently(self, cluster):
+        tasks = [MapTask("ROW-PLAIN", 1000)] * 4
+        job = cluster.run_map_only_job(tasks)
+        assert all(t.start == 0.0 for t in job.tasks)
+        assert job.makespan == pytest.approx(max(t.duration for t in job.tasks))
+
+    def test_deterministic_given_seed(self):
+        a = make_cluster("amazon-s3-emr", seed=11).run_map_only_job(
+            [MapTask("COL-GZIP", 5000)] * 10)
+        b = make_cluster("amazon-s3-emr", seed=11).run_map_only_job(
+            [MapTask("COL-GZIP", 5000)] * 10)
+        assert [t.duration for t in a.tasks] == [t.duration for t in b.tasks]
+
+    def test_different_seeds_differ(self):
+        a = make_cluster("amazon-s3-emr", seed=11).run_map_only_job(
+            [MapTask("COL-GZIP", 5000)] * 5)
+        b = make_cluster("amazon-s3-emr", seed=12).run_map_only_job(
+            [MapTask("COL-GZIP", 5000)] * 5)
+        assert [t.duration for t in a.tasks] != [t.duration for t in b.tasks]
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError):
+            MapTask("ROW-PLAIN", -1)
+
+    def test_custom_ratios_override(self):
+        heavy = make_cluster("local-hadoop", seed=5,
+                             encoding_ratios={"ROW-PLAIN": 10.0})
+        light = make_cluster("local-hadoop", seed=5,
+                             encoding_ratios={"ROW-PLAIN": 0.1})
+        th = heavy.run_map_only_job([MapTask("ROW-PLAIN", 10_000)])
+        tl = light.run_map_only_job([MapTask("ROW-PLAIN", 10_000)])
+        assert th.makespan > tl.makespan

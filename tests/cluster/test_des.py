@@ -1,0 +1,66 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.cluster import Simulator
+
+
+class TestSimulator:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda: seen.append("c"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(2.0, lambda: seen.append("b"))
+        end = sim.run()
+        assert seen == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_ties_fifo(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: seen.append(i))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(("first", sim.now))
+            sim.schedule(2.0, lambda: seen.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [("first", 1.0), ("second", 3.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        now = sim.run(until=5.0)
+        assert seen == [1]
+        assert now == 5.0
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_event_count(self):
+        sim = Simulator()
+        for _ in range(7):
+            sim.schedule(0.5, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7

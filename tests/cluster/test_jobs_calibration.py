@@ -1,0 +1,131 @@
+"""Tests for query jobs on simulated clusters and environment calibration
+— the simulated version of the paper's Section V-B procedure."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    EMR_S3,
+    LOCAL_HADOOP,
+    TaskTimeModel,
+    calibrate_environment,
+    cost_model_for,
+    make_cluster,
+    position_query,
+    query_scan_tasks,
+    simulate_query,
+    simulate_routed_query,
+)
+from repro.costmodel import ReplicaProfile, expected_partitions
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import paper_encoding_schemes
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.workload import GroupedQuery, Query
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(4000, seed=47, num_taxis=16)
+
+
+@pytest.fixture(scope="module")
+def profiles(ds):
+    out = []
+    for leaves, slices, enc in [(4, 2, "ROW-PLAIN"), (16, 8, "COL-GZIP")]:
+        p = CompositeScheme(KdTreePartitioner(leaves), slices).build(ds)
+        out.append(ReplicaProfile.from_partitioning(p, enc, len(ds), 1e6))
+    return out
+
+
+class TestQueryJobs:
+    def test_position_query_identity_for_positioned(self, profiles):
+        q = Query(0.1, 0.1, 100, 121, 31, 1.194e9)
+        assert position_query(q, profiles[0]) is q
+
+    def test_position_query_grouped_needs_rng(self, profiles):
+        with pytest.raises(ValueError):
+            position_query(GroupedQuery(0.1, 0.1, 100), profiles[0])
+
+    def test_position_query_stays_inside_universe(self, profiles):
+        rng = np.random.default_rng(0)
+        u = profiles[0].universe
+        g = GroupedQuery(u.width * 0.3, u.height * 0.3, u.duration * 0.3)
+        for _ in range(20):
+            q = position_query(g, profiles[0], rng)
+            assert u.contains_box(q.box())
+
+    def test_scan_tasks_count_matches_exact_np(self, profiles):
+        rng = np.random.default_rng(1)
+        prof = profiles[1]
+        u = prof.universe
+        g = GroupedQuery(u.width * 0.2, u.height * 0.2, u.duration * 0.2)
+        q = position_query(g, prof, rng)
+        tasks = query_scan_tasks(prof, q)
+        assert len(tasks) == expected_partitions(prof, q)
+        assert all(t.encoding_name == "COL-GZIP" for t in tasks)
+
+    def test_simulate_query_runs(self, profiles):
+        cluster = make_cluster("local-hadoop", seed=2)
+        q = Query.from_box(profiles[0].universe)
+        job = simulate_query(cluster, profiles[0], q)
+        assert len(job.tasks) == profiles[0].n_partitions
+        assert job.makespan > 0
+
+    def test_routed_query_picks_cheaper_replica(self, profiles):
+        cluster = make_cluster("local-hadoop", seed=3)
+        model = cost_model_for(cluster, ["ROW-PLAIN", "COL-GZIP"],
+                               sizes=(5000, 50_000, 200_000))
+        u = profiles[0].universe
+        q = Query(u.width * 0.05, u.height * 0.05, u.duration * 0.05,
+                  u.centroid.x, u.centroid.y, u.centroid.t)
+        routed = simulate_routed_query(cluster, profiles, model, q)
+        assert routed.replica_name in {p.name for p in profiles}
+        assert routed.estimated_seconds > 0
+        assert routed.job.makespan > 0
+
+    def test_routed_query_empty_profiles(self, profiles):
+        cluster = make_cluster("local-hadoop", seed=3)
+        model = cost_model_for(cluster, ["ROW-PLAIN"], sizes=(5000, 50_000))
+        with pytest.raises(ValueError):
+            simulate_routed_query(cluster, [], model,
+                                  Query(1, 1, 1, 121, 31, 1.194e9))
+
+
+class TestCalibration:
+    """The headline check: calibration on the simulator recovers the
+    simulator's hidden ground truth (the paper's claim that Eq. 6 fits)."""
+
+    @pytest.mark.parametrize("env", [EMR_S3, LOCAL_HADOOP], ids=lambda e: e.name)
+    @pytest.mark.parametrize("encoding", ["ROW-PLAIN", "COL-GZIP", "ROW-LZMA2"])
+    def test_recovers_ground_truth(self, env, encoding):
+        cluster = make_cluster(env, seed=5)
+        fits = calibrate_environment(cluster, [encoding],
+                                     sizes=(5000, 20_000, 100_000, 200_000))
+        fit = fits[encoding]
+        truth = TaskTimeModel(env)
+        true_per_record = truth.scan_seconds(encoding, 1)
+        assert 1.0 / fit.params.scan_rate == pytest.approx(true_per_record, rel=0.1)
+        assert fit.params.extra_time == pytest.approx(truth.extra_seconds(), rel=0.15)
+        assert fit.r_squared > 0.99
+
+    def test_fourteen_measurements_shape(self):
+        """7 encodings x 2 environments, as in Section V-B."""
+        names = [s.name for s in paper_encoding_schemes()]
+        table = {}
+        for env in (EMR_S3, LOCAL_HADOOP):
+            cluster = make_cluster(env, seed=9)
+            table[env.name] = calibrate_environment(
+                cluster, names, sizes=(5000, 100_000), partitions_per_set=5)
+        assert len(table) == 2
+        assert all(len(v) == 7 for v in table.values())
+        # Table II magnitude shapes: EMR extra ~30s, local ~5s.
+        emr_extra = table["amazon-s3-emr"]["ROW-PLAIN"].params.extra_time
+        local_extra = table["local-hadoop"]["ROW-PLAIN"].params.extra_time
+        assert 20 < emr_extra < 45
+        assert 3 < local_extra < 8
+
+    def test_cost_model_for(self):
+        cluster = make_cluster("amazon-s3-emr", seed=13)
+        model = cost_model_for(cluster, ["ROW-PLAIN", "COL-LZMA2"],
+                               sizes=(5000, 100_000))
+        assert set(model.encoding_names) == {"COL-LZMA2", "ROW-PLAIN"}

@@ -1,0 +1,132 @@
+"""Tests for locality-aware scheduling and recovery-time estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterPlacement,
+    LOCAL_HADOOP,
+    LocalityScheduler,
+    estimate_recovery_seconds,
+)
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage import InMemoryStore, build_replica
+from repro.workload import Query
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(4000, seed=163, num_taxis=16)
+
+
+@pytest.fixture(scope="module")
+def replica(ds):
+    return build_replica(ds, CompositeScheme(KdTreePartitioner(8), 4),
+                         encoding_scheme_by_name("COL-GZIP"), InMemoryStore(),
+                         name="r")
+
+
+def placed(replica, n_nodes=4, policy="spread", nodes=None, seed=0):
+    placement = ClusterPlacement(n_nodes, rng=np.random.default_rng(seed))
+    placement.add_replica(replica, policy=policy, nodes=nodes)
+    return placement
+
+
+def full_scan(ds):
+    return Query.from_box(ds.bounding_box())
+
+
+class TestLocalityScheduler:
+    def test_invalid_params(self, replica):
+        placement = placed(replica)
+        with pytest.raises(ValueError):
+            LocalityScheduler(LOCAL_HADOOP, placement, slots_per_node=0)
+        with pytest.raises(ValueError):
+            LocalityScheduler(LOCAL_HADOOP, placement, network_bandwidth=0)
+
+    def test_all_tasks_scheduled(self, ds, replica):
+        placement = placed(replica)
+        sched = LocalityScheduler(LOCAL_HADOOP, placement)
+        result = sched.run_query("r", full_scan(ds))
+        nonempty = sum(1 for k in replica.unit_keys if k is not None)
+        assert len(result.tasks) == nonempty
+
+    def test_makespan_bounds(self, ds, replica):
+        placement = placed(replica)
+        sched = LocalityScheduler(LOCAL_HADOOP, placement)
+        result = sched.run_query("r", full_scan(ds))
+        longest = max(t.duration for t in result.tasks)
+        assert longest <= result.makespan <= result.total_task_seconds + 1e-9
+
+    def test_spread_placement_fully_local(self, ds, replica):
+        """With free slots everywhere and data spread evenly, every task
+        runs where its unit lives."""
+        placement = placed(replica, n_nodes=8)
+        sched = LocalityScheduler(LOCAL_HADOOP, placement, slots_per_node=4)
+        result = sched.run_query("r", full_scan(ds))
+        assert result.locality_fraction == 1.0
+
+    def test_hot_node_placement_forces_remote_tasks(self, ds, replica):
+        """All units on one node: with other nodes idle, the scheduler
+        ships some tasks remotely and pays the transfer."""
+        placement = placed(replica, n_nodes=4, nodes=[0])
+        sched = LocalityScheduler(LOCAL_HADOOP, placement, slots_per_node=1,
+                                  network_bandwidth=1e9)
+        result = sched.run_query("r", full_scan(ds))
+        assert result.locality_fraction < 1.0
+        remote = [t for t in result.tasks if not t.data_local]
+        assert remote
+        assert all(t.run_node != 0 for t in remote)
+
+    def test_spread_beats_single_node_makespan(self, ds, replica):
+        """The point of placement: spreading units parallelizes scans."""
+        spread = LocalityScheduler(
+            LOCAL_HADOOP, placed(replica, n_nodes=4), slots_per_node=2,
+            network_bandwidth=1e4,  # slow network: remote tasks unattractive
+        ).run_query("r", full_scan(ds))
+        hot = LocalityScheduler(
+            LOCAL_HADOOP, placed(replica, n_nodes=4, nodes=[0]),
+            slots_per_node=2, network_bandwidth=1e4,
+        ).run_query("r", full_scan(ds))
+        assert spread.makespan < hot.makespan
+
+    def test_slots_respected(self, ds, replica):
+        placement = placed(replica, n_nodes=2)
+        sched = LocalityScheduler(LOCAL_HADOOP, placement, slots_per_node=1)
+        result = sched.run_query("r", full_scan(ds))
+        # At most one task running per node at any instant.
+        for node in range(2):
+            intervals = sorted(
+                (t.start, t.end) for t in result.tasks if t.run_node == node)
+            for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9
+
+    def test_small_query_few_tasks(self, ds, replica):
+        placement = placed(replica)
+        sched = LocalityScheduler(LOCAL_HADOOP, placement)
+        bb = ds.bounding_box()
+        c = bb.centroid
+        q = Query(bb.width * 0.05, bb.height * 0.05, bb.duration * 0.05,
+                  c.x, c.y, c.t)
+        result = sched.run_query("r", q)
+        assert 0 < len(result.tasks) < replica.n_partitions
+
+
+class TestRecoveryEstimate:
+    def test_estimate_positive_and_scales(self, ds, replica):
+        other = build_replica(ds, CompositeScheme(KdTreePartitioner(4), 2),
+                              encoding_scheme_by_name("ROW-PLAIN"),
+                              InMemoryStore(), name="s")
+        placement = ClusterPlacement(4, rng=np.random.default_rng(1))
+        placement.add_replica(replica, nodes=[0, 1])
+        placement.add_replica(other, nodes=[2, 3])
+        report = placement.fail_node(0)
+        plan = placement.plan_recovery(report)
+        small = estimate_recovery_seconds(placement, plan, LOCAL_HADOOP)
+        assert small > 0
+        # Halving the network bandwidth cannot make recovery faster.
+        slow = estimate_recovery_seconds(placement, plan, LOCAL_HADOOP,
+                                         network_bandwidth=25e6)
+        assert slow >= small

@@ -1,0 +1,219 @@
+"""Tests for distributed unit placement, node failure and recovery."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterPlacement
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.geometry import Box3
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage import InMemoryStore, build_replica, recover_dataset
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(4000, seed=103, num_taxis=16)
+
+
+def make_replicas(ds):
+    a = build_replica(ds, CompositeScheme(KdTreePartitioner(8), 4),
+                      encoding_scheme_by_name("COL-GZIP"), InMemoryStore(),
+                      name="a")
+    b = build_replica(ds, CompositeScheme(KdTreePartitioner(16), 2),
+                      encoding_scheme_by_name("ROW-LZMA2"), InMemoryStore(),
+                      name="b")
+    return a, b
+
+
+class TestPlacementPolicies:
+    def test_invalid_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterPlacement(0)
+
+    def test_unknown_policy(self, ds):
+        a, _ = make_replicas(ds)
+        placement = ClusterPlacement(4)
+        with pytest.raises(ValueError, match="policy"):
+            placement.add_replica(a, policy="pile-up")
+
+    def test_duplicate_replica(self, ds):
+        a, _ = make_replicas(ds)
+        placement = ClusterPlacement(4)
+        placement.add_replica(a)
+        with pytest.raises(ValueError, match="already"):
+            placement.add_replica(a)
+
+    def test_spread_balances_load(self, ds):
+        a, b = make_replicas(ds)
+        placement = ClusterPlacement(4, rng=np.random.default_rng(0))
+        placement.add_replica(a, policy="spread")
+        placement.add_replica(b, policy="spread")
+        load = placement.load()
+        assert load.sum() == 32 + 32
+        assert load.max() - load.min() <= 1
+
+    def test_every_unit_placed(self, ds):
+        a, _ = make_replicas(ds)
+        placement = ClusterPlacement(3, rng=np.random.default_rng(1))
+        placement.add_replica(a, policy="random")
+        for key in (k for k in a.unit_keys if k is not None):
+            assert 0 <= placement.node_of(key) < 3
+
+    def test_anti_affinity_separates_overlapping_units(self, ds):
+        a, b = make_replicas(ds)
+        placement = ClusterPlacement(8, rng=np.random.default_rng(2))
+        placement.add_replica(a, policy="spread")
+        placement.add_replica(b, policy="anti-affinity")
+        # For each unit of b, count a-units on the same node overlapping it.
+        colocated = 0
+        pairs = 0
+        for pid_b, key_b in enumerate(b.unit_keys):
+            if key_b is None:
+                continue
+            node_b = placement.node_of(key_b)
+            box_b = Box3(*b.partitioning.box_array[pid_b])
+            for pid_a, key_a in enumerate(a.unit_keys):
+                if key_a is None:
+                    continue
+                if Box3(*a.partitioning.box_array[pid_a]).intersects(box_b):
+                    pairs += 1
+                    if placement.node_of(key_a) == node_b:
+                        colocated += 1
+        assert pairs > 0
+        # Anti-affinity keeps co-location of overlapping regions rare.
+        assert colocated / pairs < 0.10
+
+
+class TestFailureAndRecovery:
+    def make_placement(self, ds, n_nodes=4, policy="spread"):
+        """Zone-isolated placement: replica a on the first half of the
+        nodes, replica b on the second half, so a single node failure
+        always leaves one replica fully intact per region."""
+        a, b = make_replicas(ds)
+        placement = ClusterPlacement(n_nodes, rng=np.random.default_rng(3))
+        half = max(1, n_nodes // 2)
+        placement.add_replica(a, policy=policy, nodes=list(range(half)))
+        placement.add_replica(b, policy=policy,
+                              nodes=list(range(half, n_nodes)) or [0])
+        return placement, a, b
+
+    def test_fail_node_deletes_units(self, ds):
+        placement, a, b = self.make_placement(ds)
+        victims = placement.units_on(1)
+        report = placement.fail_node(1)
+        assert len(report.lost) == len(victims) > 0
+        from repro.storage import UnitNotFound
+        for lost in report.lost:
+            replica = a if lost.replica_name == "a" else b
+            with pytest.raises(UnitNotFound):
+                replica.store.get(lost.key)
+
+    def test_fail_twice_rejected(self, ds):
+        placement, _, _ = self.make_placement(ds)
+        placement.fail_node(0)
+        with pytest.raises(ValueError, match="already failed"):
+            placement.fail_node(0)
+
+    def test_fail_out_of_range(self, ds):
+        placement, _, _ = self.make_placement(ds)
+        with pytest.raises(ValueError):
+            placement.fail_node(99)
+
+    def test_plan_covers_all_lost_units(self, ds):
+        placement, _, _ = self.make_placement(ds)
+        report = placement.fail_node(2)
+        plan = placement.plan_recovery(report)
+        assert plan.is_complete
+        assert len(plan.steps) == len(report.lost)
+        for step in plan.steps:
+            assert step.source_name != step.replica_name
+
+    def test_execute_recovery_restores_everything(self, ds):
+        placement, a, b = self.make_placement(ds)
+        report = placement.fail_node(0)
+        plan = placement.plan_recovery(report)
+        restored = placement.execute_recovery(plan)
+        assert restored > 0
+        assert recover_dataset(a) == recover_dataset(b)
+        assert len(recover_dataset(a)) == len(ds)
+
+    def test_recovered_units_leave_failed_node(self, ds):
+        placement, a, b = self.make_placement(ds)
+        report = placement.fail_node(0)
+        placement.execute_recovery(placement.plan_recovery(report))
+        assert placement.units_on(0) == []
+        for lost in report.lost:
+            assert placement.node_of(lost.key) != 0
+
+    def test_region_redundancy_restored(self, ds):
+        placement, a, _ = self.make_placement(ds)
+        bb = a.partitioning.universe
+        before = placement.region_copies(bb)
+        report = placement.fail_node(1)
+        during = placement.region_copies(bb)
+        assert during["a"] < before["a"] or during["b"] < before["b"]
+        placement.execute_recovery(placement.plan_recovery(report))
+        after = placement.region_copies(bb)
+        assert after == before
+
+    def test_cascading_failures_until_unrecoverable(self, ds):
+        """Fail every node WITHOUT recovering in between: regions lost in
+        both replicas are genuine data loss and the plan reports them."""
+        placement, _, _ = self.make_placement(ds, n_nodes=3)
+        r1 = placement.fail_node(0)
+        r2 = placement.fail_node(1)
+        r3 = placement.fail_node(2)
+        all_lost = list(r1.lost) + list(r2.lost) + list(r3.lost)
+        from repro.cluster import FailureReport
+        plan = placement.plan_recovery(FailureReport(0, tuple(all_lost)))
+        assert not plan.is_complete
+        assert len(plan.unrecoverable) > 0
+
+    def test_colocated_overlaps_can_lose_data(self, ds):
+        """The negative result motivating anti-affinity: when overlapping
+        units of both replicas share one node, its failure loses data for
+        good (recover_all converges with unrecoverable units)."""
+        a, b = make_replicas(ds)
+        placement = ClusterPlacement(2, rng=np.random.default_rng(5))
+        # Everything on node 0: worst possible placement.
+        placement.add_replica(a, nodes=[0])
+        placement.add_replica(b, nodes=[0])
+        report = placement.fail_node(0)
+        restored, final_plan = placement.recover_all(report)
+        assert restored == 0
+        assert not final_plan.is_complete
+        assert len(final_plan.unrecoverable) == len(report.lost)
+
+    def test_recover_all_handles_dependent_repairs(self, ds):
+        """Mixed placement where some sources need repairing first:
+        recover_all iterates to completion whenever no region is lost in
+        both replicas simultaneously."""
+        a, b = make_replicas(ds)
+        placement = ClusterPlacement(4, rng=np.random.default_rng(6))
+        # a lives on nodes {0,1}; b on {2,3}: fail one node per zone in
+        # sequence with recovery between rounds.
+        placement.add_replica(a, nodes=[0, 1])
+        placement.add_replica(b, nodes=[2, 3])
+        report = placement.fail_node(0)
+        restored, plan = placement.recover_all(report)
+        assert plan.is_complete and restored >= 0
+        report2 = placement.fail_node(2)
+        restored2, plan2 = placement.recover_all(report2)
+        assert plan2.is_complete
+        assert recover_dataset(a) == recover_dataset(b)
+
+    def test_recovery_after_total_node_loss_rejected(self, ds):
+        placement, _, _ = self.make_placement(ds, n_nodes=1)
+        report = placement.fail_node(0)
+        plan = placement.plan_recovery(report)
+        with pytest.raises(RuntimeError, match="surviving"):
+            placement.execute_recovery(plan)
+
+    def test_invalid_node_subset(self, ds):
+        a, _ = make_replicas(ds)
+        placement = ClusterPlacement(2)
+        with pytest.raises(ValueError, match="node subset"):
+            placement.add_replica(a, nodes=[5])
+        with pytest.raises(ValueError, match="node subset"):
+            placement.add_replica(a, nodes=[])

@@ -1,0 +1,94 @@
+"""Tests for straggler injection and speculative execution."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LOCAL_HADOOP, MapTask, SimulatedCluster, StragglerModel
+
+
+def run(n_tasks=32, seed=5, **kwargs):
+    cluster = SimulatedCluster(LOCAL_HADOOP, seed=seed, **kwargs)
+    return cluster.run_map_only_job([MapTask("ROW-PLAIN", 20_000)] * n_tasks)
+
+
+class TestStragglerModel:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            StragglerModel(probability=1.5)
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ValueError):
+            StragglerModel(slowdown=(0.5, 2.0))
+        with pytest.raises(ValueError):
+            StragglerModel(slowdown=(5.0, 2.0))
+
+    def test_factor_distribution(self):
+        model = StragglerModel(probability=0.5, slowdown=(3.0, 4.0))
+        rng = np.random.default_rng(0)
+        factors = [model.factor(rng) for _ in range(500)]
+        slow = [f for f in factors if f > 1.0]
+        assert 0.3 < len(slow) / 500 < 0.7
+        assert all(3.0 <= f <= 4.0 for f in slow)
+
+    def test_zero_probability_never_slows(self):
+        model = StragglerModel(probability=0.0)
+        rng = np.random.default_rng(0)
+        assert all(model.factor(rng) == 1.0 for _ in range(100))
+
+
+class TestSpeculation:
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SimulatedCluster(LOCAL_HADOOP, speculation_threshold=1.0)
+
+    def test_no_speculation_by_default(self):
+        job = run(straggler=StragglerModel(probability=0.3))
+        assert job.backups_launched == 0
+
+    def test_stragglers_inflate_makespan(self):
+        clean = run(seed=9)
+        straggly = run(seed=9, straggler=StragglerModel(probability=0.2,
+                                                        slowdown=(5.0, 10.0)))
+        assert straggly.makespan > clean.makespan * 1.5
+
+    def test_speculation_cuts_the_tail(self):
+        """Backups can straggle too (with the same probability), so any
+        single seed may not improve — but across seeds speculation must
+        shorten the straggler tail substantially on average."""
+        straggler = StragglerModel(probability=0.15, slowdown=(6.0, 12.0))
+        plain, spec = [], []
+        launched = 0
+        for seed in range(8):
+            plain.append(run(seed=seed, straggler=straggler).makespan)
+            job = run(seed=seed, straggler=straggler,
+                      speculative_execution=True)
+            spec.append(job.makespan)
+            launched += job.backups_launched
+        assert launched > 0
+        assert float(np.mean(spec)) < float(np.mean(plain)) * 0.9
+
+    def test_speculation_reports_wins(self):
+        straggler = StragglerModel(probability=0.25, slowdown=(8.0, 15.0))
+        job = run(seed=13, n_tasks=48, straggler=straggler,
+                  speculative_execution=True)
+        assert job.backups_won >= 1
+        assert job.backups_won <= job.backups_launched
+
+    def test_all_tasks_complete_exactly_once(self):
+        straggler = StragglerModel(probability=0.3, slowdown=(5.0, 10.0))
+        job = run(seed=17, n_tasks=40, straggler=straggler,
+                  speculative_execution=True)
+        assert len(job.tasks) == 40
+
+    def test_clean_jobs_rarely_speculate(self):
+        """Without stragglers, identical task durations leave nothing
+        exceeding the threshold: no backups fire."""
+        job = run(seed=19, speculative_execution=True)
+        assert job.backups_launched == 0
+
+    def test_deterministic(self):
+        straggler = StragglerModel(probability=0.2, slowdown=(5.0, 9.0))
+        a = run(seed=23, straggler=straggler, speculative_execution=True)
+        b = run(seed=23, straggler=straggler, speculative_execution=True)
+        assert a.makespan == b.makespan
+        assert a.backups_launched == b.backups_launched

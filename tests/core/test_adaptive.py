@@ -1,0 +1,153 @@
+"""Tests for query logging and adaptive replica reconfiguration."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import cost_model_for, make_cluster
+from repro.core import AdaptiveReconfigurator, AdvisorConfig, QueryLogger, ReplicaAdvisor
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import paper_encoding_schemes
+from repro.partition import small_partitioning_schemes
+from repro.workload import GroupedQuery, Query, Workload
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    sample = synthetic_shanghai_taxis(5000, seed=67, num_taxis=16)
+    cluster = make_cluster("amazon-s3-emr", seed=23)
+    model = cost_model_for(
+        cluster, [s.name for s in paper_encoding_schemes()],
+        sizes=(5_000, 50_000, 200_000),
+    )
+    return ReplicaAdvisor(
+        sample,
+        small_partitioning_schemes((4, 16, 64, 256), (4, 16, 64)),
+        paper_encoding_schemes(),
+        model,
+        AdvisorConfig(n_records=65_000_000),
+    )
+
+
+def queries_of_fraction(universe, frac, n, rng, weight_jitter=False):
+    out = []
+    for _ in range(n):
+        w, h, t = universe.width * frac, universe.height * frac, universe.duration * frac
+        out.append(Query(
+            w, h, t,
+            rng.uniform(universe.x_min + w / 2, universe.x_max - w / 2),
+            rng.uniform(universe.y_min + h / 2, universe.y_max - h / 2),
+            rng.uniform(universe.t_min + t / 2, universe.t_max - t / 2),
+        ))
+    return out
+
+
+class TestQueryLogger:
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            QueryLogger().to_workload()
+
+    def test_grouping_by_extent(self, advisor):
+        log = QueryLogger()
+        rng = np.random.default_rng(0)
+        for q in queries_of_fraction(advisor.universe, 0.1, 5, rng):
+            log.record(q)
+        for q in queries_of_fraction(advisor.universe, 0.4, 3, rng):
+            log.record(q)
+        w = log.to_workload()
+        assert len(w) == 2
+        assert sorted(w.weights()) == [3.0, 5.0]
+
+    def test_clustering_caps_size(self, advisor):
+        log = QueryLogger()
+        rng = np.random.default_rng(1)
+        for i in range(40):
+            frac = 0.01 * (i + 1)
+            log.record(queries_of_fraction(advisor.universe, frac, 1, rng)[0])
+        w = log.to_workload(max_grouped_queries=8, rng=np.random.default_rng(2))
+        assert len(w) == 8
+        assert w.total_weight() == pytest.approx(40.0)
+
+    def test_clear(self, advisor):
+        log = QueryLogger()
+        log.record(queries_of_fraction(advisor.universe, 0.1, 1,
+                                       np.random.default_rng(0))[0])
+        assert len(log) == 1
+        log.clear()
+        assert len(log) == 0
+
+
+class TestAdaptiveReconfigurator:
+    def make(self, advisor, workload, **kwargs):
+        budget = advisor.single_replica_budget(workload, copies=3)
+        recon = AdaptiveReconfigurator(advisor, budget, method="exact",
+                                       **kwargs)
+        recon.deploy_initial(workload)
+        return recon
+
+    def initial_workload(self, advisor):
+        u = advisor.universe
+        return Workload([
+            (GroupedQuery(u.width * 0.6, u.height * 0.6, u.duration * 0.6), 0.9),
+            (GroupedQuery(u.width * 0.2, u.height * 0.2, u.duration * 0.2), 0.1),
+        ])
+
+    def test_invalid_config(self, advisor):
+        with pytest.raises(ValueError):
+            AdaptiveReconfigurator(advisor, 1.0, threshold=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveReconfigurator(advisor, 1.0, min_queries=0)
+
+    def test_evaluate_before_deploy(self, advisor):
+        recon = AdaptiveReconfigurator(advisor, 1.0)
+        with pytest.raises(RuntimeError):
+            recon.evaluate()
+
+    def test_no_retune_below_min_queries(self, advisor):
+        recon = self.make(advisor, self.initial_workload(advisor),
+                          min_queries=50)
+        rng = np.random.default_rng(3)
+        for q in queries_of_fraction(advisor.universe, 0.5, 10, rng):
+            recon.observe(q)
+        decision = recon.evaluate()
+        assert not decision.retuned
+        assert decision.report is None
+
+    def test_stable_workload_no_retune(self, advisor):
+        """When live queries match the deployed workload, keep the set."""
+        recon = self.make(advisor, self.initial_workload(advisor),
+                          min_queries=10, threshold=0.05)
+        rng = np.random.default_rng(4)
+        for q in queries_of_fraction(advisor.universe, 0.6, 18, rng):
+            recon.observe(q)
+        for q in queries_of_fraction(advisor.universe, 0.2, 2, rng):
+            recon.observe(q)
+        decision = recon.evaluate()
+        assert not decision.retuned
+        assert decision.improvement < 0.05
+
+    def test_drifted_workload_triggers_retune(self, advisor):
+        """A deployment tuned for big scans drifts into a tiny-query
+        workload: re-selection must win by a wide margin and redeploy."""
+        recon = self.make(advisor, self.initial_workload(advisor),
+                          min_queries=10, threshold=0.05)
+        before = recon.deployed
+        rng = np.random.default_rng(5)
+        for q in queries_of_fraction(advisor.universe, 0.005, 30, rng):
+            recon.observe(q)
+        decision = recon.evaluate()
+        assert decision.retuned
+        assert decision.improvement > 0.05
+        assert decision.report is recon.deployed
+        assert recon.deployed is not before
+        assert len(recon.logger) == 0  # new epoch
+
+    def test_retuned_set_differs(self, advisor):
+        recon = self.make(advisor, self.initial_workload(advisor),
+                          min_queries=10, threshold=0.05)
+        before = set(recon.deployed.replica_names)
+        rng = np.random.default_rng(6)
+        for q in queries_of_fraction(advisor.universe, 0.005, 30, rng):
+            recon.observe(q)
+        decision = recon.evaluate()
+        assert decision.retuned
+        assert set(recon.deployed.replica_names) != before

@@ -1,0 +1,183 @@
+"""End-to-end tests for the ReplicaAdvisor."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import cost_model_for, make_cluster
+from repro.core import AdvisorConfig, ReplicaAdvisor
+from repro.data import Dataset, synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name, paper_encoding_schemes
+from repro.partition import small_partitioning_schemes
+from repro.workload import paper_workload
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return synthetic_shanghai_taxis(6000, seed=61, num_taxis=16)
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    cluster = make_cluster("amazon-s3-emr", seed=17)
+    return cost_model_for(
+        cluster, [s.name for s in paper_encoding_schemes()],
+        sizes=(5_000, 50_000, 200_000),
+    )
+
+
+@pytest.fixture(scope="module")
+def advisor(sample, cost_model):
+    return ReplicaAdvisor(
+        sample=sample,
+        partitioning_schemes=small_partitioning_schemes(),
+        encoding_schemes=paper_encoding_schemes(),
+        cost_model=cost_model,
+        config=AdvisorConfig(n_records=65_000_000),
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(advisor):
+    return paper_workload(advisor.universe)
+
+
+class TestCandidates:
+    def test_candidate_count(self, advisor):
+        assert len(advisor.candidates) == 9 * 7
+
+    def test_candidate_storage_ordering(self, advisor):
+        by_name = {c.name: c for c in advisor.candidates}
+        plain = by_name["KD16xT8/ROW-PLAIN"]
+        lzma = by_name["KD16xT8/COL-LZMA2"]
+        assert lzma.storage_bytes < plain.storage_bytes
+
+    def test_candidates_scaled_to_target(self, advisor):
+        assert all(c.n_records == 65_000_000 for c in advisor.candidates)
+
+    def test_empty_sample_rejected(self, cost_model):
+        with pytest.raises(ValueError):
+            ReplicaAdvisor(Dataset.empty(), small_partitioning_schemes(),
+                           paper_encoding_schemes(), cost_model,
+                           AdvisorConfig(n_records=100))
+
+    def test_no_schemes_rejected(self, sample, cost_model):
+        with pytest.raises(ValueError):
+            ReplicaAdvisor(sample, [], paper_encoding_schemes(), cost_model,
+                           AdvisorConfig(n_records=100))
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            AdvisorConfig(n_records=0)
+
+
+class TestInstance:
+    def test_instance_shape(self, advisor, workload):
+        inst = advisor.build_instance(workload, budget=1e12)
+        assert inst.n_queries == 8
+        assert inst.n_replicas == 63
+        assert np.isfinite(inst.costs).all()
+        assert np.all(inst.costs > 0)
+
+    def test_single_replica_budget(self, advisor, workload):
+        budget = advisor.single_replica_budget(workload, copies=3)
+        inst = advisor.build_instance(workload, budget)
+        j, _ = inst.best_single()
+        assert budget == pytest.approx(3 * inst.storage[j])
+
+
+class TestRecommend:
+    @pytest.mark.parametrize("method", ["greedy", "exact"])
+    def test_diverse_beats_single(self, advisor, workload, method):
+        budget = advisor.single_replica_budget(workload)
+        report = advisor.recommend(workload, budget, method=method)
+        assert report.cost <= report.single_cost + 1e-9
+        assert report.speedup_vs_single >= 1.0
+        assert len(report.replica_names) >= 2
+
+    def test_exact_at_least_as_good_as_greedy(self, advisor, workload):
+        budget = advisor.single_replica_budget(workload)
+        greedy = advisor.recommend(workload, budget, method="greedy")
+        exact = advisor.recommend(workload, budget, method="exact")
+        assert exact.cost <= greedy.cost + 1e-9
+        assert exact.selection.optimal
+
+    def test_approximation_ratio_reasonable(self, advisor, workload):
+        """Paper Section V-C: greedy ratio below ~1.3 in most cases."""
+        budget = advisor.single_replica_budget(workload)
+        greedy = advisor.recommend(workload, budget, method="greedy")
+        assert greedy.approximation_ratio < 1.3
+
+    def test_exact_close_to_ideal_with_generous_budget(self, advisor, workload):
+        budget = advisor.single_replica_budget(workload, copies=10)
+        exact = advisor.recommend(workload, budget, method="exact")
+        assert exact.approximation_ratio < 1.05
+
+    def test_storage_within_budget(self, advisor, workload):
+        budget = advisor.single_replica_budget(workload)
+        for method in ("greedy", "exact"):
+            report = advisor.recommend(workload, budget, method=method)
+            assert report.storage_used <= budget * (1 + 1e-9)
+
+    def test_assignment_covers_all_queries(self, advisor, workload):
+        budget = advisor.single_replica_budget(workload)
+        report = advisor.recommend(workload, budget)
+        assert set(report.assignment) == {f"q{i}" for i in range(1, 9)}
+        assert set(report.assignment.values()) <= set(report.replica_names)
+
+    def test_small_queries_get_finer_replicas_than_full_scans(
+        self, advisor, workload
+    ):
+        budget = advisor.single_replica_budget(workload, copies=4)
+        report = advisor.recommend(workload, budget, method="exact")
+        if len(set(report.assignment.values())) >= 2:
+            def leaves(name):  # "KD64xT16/..." -> 64 * 16
+                part = name.split("/")[0]
+                kd, t = part.split("xT")
+                return int(kd[2:]) * int(t)
+            fine_small = leaves(report.assignment["q1"])
+            coarse_big = leaves(report.assignment["q8"])
+            assert fine_small >= coarse_big
+
+    def test_prune_does_not_change_exact_cost(self, advisor, workload):
+        budget = advisor.single_replica_budget(workload)
+        with_prune = advisor.recommend(workload, budget, method="exact",
+                                       prune=True)
+        without = advisor.recommend(workload, budget, method="exact",
+                                    prune=False)
+        assert with_prune.cost == pytest.approx(without.cost)
+
+    def test_mip_method_matches_exact(self, sample, cost_model):
+        # Smaller candidate set keeps HiGHS fast.
+        advisor = ReplicaAdvisor(
+            sample,
+            small_partitioning_schemes((4, 16), (4, 8)),
+            [encoding_scheme_by_name("ROW-PLAIN"),
+             encoding_scheme_by_name("COL-GZIP")],
+            cost_model,
+            AdvisorConfig(n_records=1_000_000),
+        )
+        workload = paper_workload(advisor.universe)
+        budget = advisor.single_replica_budget(workload)
+        mip = advisor.recommend(workload, budget, method="mip")
+        exact = advisor.recommend(workload, budget, method="exact")
+        assert mip.cost == pytest.approx(exact.cost, rel=1e-9)
+
+    def test_unknown_method(self, advisor, workload):
+        with pytest.raises(ValueError):
+            advisor.recommend(workload, 1e12, method="oracle")
+
+    def test_local_search_method_between_greedy_and_exact(self, advisor, workload):
+        budget = advisor.single_replica_budget(workload)
+        greedy = advisor.recommend(workload, budget, method="greedy")
+        refined = advisor.recommend(workload, budget, method="local-search")
+        exact = advisor.recommend(workload, budget, method="exact")
+        assert exact.cost - 1e-9 <= refined.cost <= greedy.cost + 1e-9
+
+    def test_budget_growth_monotone(self, advisor, workload):
+        """More budget never hurts (Figure 4's downward trend)."""
+        base = advisor.single_replica_budget(workload)
+        costs = [
+            advisor.recommend(workload, base * f, method="exact").cost
+            for f in (0.5, 1.0, 2.0, 3.0)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))

@@ -1,0 +1,83 @@
+"""Tests for the advisor's skew-aware instance construction."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import cost_model_for, make_cluster
+from repro.core import AdvisorConfig, ReplicaAdvisor
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import CompositeScheme, GridPartitioner, KdTreePartitioner
+from repro.workload import GroupedQuery, Workload
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return synthetic_shanghai_taxis(6000, seed=179, num_taxis=16)
+
+
+@pytest.fixture(scope="module")
+def cost_model():
+    cluster = make_cluster("local-hadoop", seed=31)
+    return cost_model_for(cluster, ["ROW-PLAIN", "COL-GZIP"],
+                          sizes=(5_000, 100_000))
+
+
+def make_advisor(sample, cost_model, schemes):
+    return ReplicaAdvisor(
+        sample, schemes,
+        [encoding_scheme_by_name("ROW-PLAIN"),
+         encoding_scheme_by_name("COL-GZIP")],
+        cost_model,
+        AdvisorConfig(n_records=10_000_000),
+    )
+
+
+class TestSkewAwareInstance:
+    def test_equal_count_layouts_unchanged(self, sample, cost_model):
+        """On equal-count k-d candidates, both modes agree closely."""
+        advisor = make_advisor(sample, cost_model, [
+            CompositeScheme(KdTreePartitioner(16), 4),
+            CompositeScheme(KdTreePartitioner(64), 8),
+        ])
+        u = advisor.universe
+        w = Workload([(GroupedQuery(u.width * f, u.height * f, u.duration * f),
+                       1.0) for f in (0.05, 0.3)])
+        naive = advisor.build_instance(w, 1e15)
+        aware = advisor.build_instance(w, 1e15, skew_aware=True)
+        assert np.allclose(naive.costs, aware.costs, rtol=0.05)
+
+    def test_skewed_layouts_differ(self, sample, cost_model):
+        """Uniform-grid candidates over hotspot data: the two modes
+        disagree materially."""
+        advisor = make_advisor(sample, cost_model, [
+            GridPartitioner(8, 8, 2),
+            CompositeScheme(KdTreePartitioner(64), 2),
+        ])
+        u = advisor.universe
+        w = Workload([(GroupedQuery(u.width * 0.15, u.height * 0.15,
+                                    u.duration * 0.5), 1.0)])
+        naive = advisor.build_instance(w, 1e15)
+        aware = advisor.build_instance(w, 1e15, skew_aware=True)
+        grid_cols = [j for j in range(naive.n_replicas)
+                     if naive.name_of(j).startswith("G8x8")]
+        rel = np.abs(aware.costs[:, grid_cols] - naive.costs[:, grid_cols]) \
+            / naive.costs[:, grid_cols]
+        assert rel.max() > 0.10
+
+    def test_recommendation_can_change(self, sample, cost_model):
+        """The skew correction can change which replica set wins."""
+        advisor = make_advisor(sample, cost_model, [
+            GridPartitioner(10, 10, 2),
+            CompositeScheme(KdTreePartitioner(64), 4),
+            CompositeScheme(KdTreePartitioner(4), 2),
+        ])
+        u = advisor.universe
+        w = Workload([
+            (GroupedQuery(u.width * f, u.height * f, u.duration * f), wgt)
+            for f, wgt in ((0.02, 0.5), (0.2, 0.3), (0.8, 0.2))
+        ])
+        naive = advisor.build_instance(w, 1e15)
+        aware = advisor.build_instance(w, 1e15, skew_aware=True)
+        # At minimum, the per-query ideal costs shift.
+        assert not np.allclose(naive.costs, aware.costs, rtol=0.02)

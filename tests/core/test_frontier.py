@@ -1,0 +1,81 @@
+"""Tests for the cost-vs-budget frontier utility."""
+
+import numpy as np
+import pytest
+
+from repro.core import SelectionInstance, cost_budget_frontier
+from repro.core.frontier import METHODS
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(5)
+    n, m = 8, 12
+    costs = rng.uniform(1, 100, size=(n, m))
+    storage = rng.uniform(1, 4, size=m)
+    return SelectionInstance(costs, rng.uniform(0.1, 1, n), storage, 0.0)
+
+
+class TestFrontier:
+    def test_unknown_method(self, instance):
+        with pytest.raises(ValueError, match="unknown method"):
+            cost_budget_frontier(instance, methods=("oracle",))
+
+    def test_empty_factors(self, instance):
+        with pytest.raises(ValueError, match="factor"):
+            cost_budget_frontier(instance, factors=())
+
+    def test_point_count(self, instance):
+        f = cost_budget_frontier(instance, factors=(0.5, 1.0, 2.0),
+                                 methods=("greedy", "exact"))
+        assert len(f.points) == 6
+
+    def test_costs_monotone_in_budget(self, instance):
+        f = cost_budget_frontier(instance, factors=(0.5, 1.0, 2.0, 3.0))
+        for method in ("greedy", "exact"):
+            series = f.series(method)
+            costs = [p.cost for p in series]
+            assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+    def test_exact_dominates_greedy_pointwise(self, instance):
+        f = cost_budget_frontier(instance, factors=(0.5, 1.0, 2.0))
+        for g, e in zip(f.series("greedy"), f.series("exact")):
+            assert e.cost <= g.cost + 1e-9
+
+    def test_local_search_between(self, instance):
+        f = cost_budget_frontier(
+            instance, factors=(0.5, 1.0),
+            methods=("greedy", "local-search", "exact"))
+        for g, l, e in zip(f.series("greedy"), f.series("local-search"),
+                           f.series("exact")):
+            assert e.cost - 1e-9 <= l.cost <= g.cost + 1e-9
+
+    def test_reference_costs(self, instance):
+        f = cost_budget_frontier(instance, factors=(1.0,))
+        assert f.ideal_cost <= f.single_cost
+        assert f.unit_budget > 0
+
+    def test_cost_over_ideal_at_large_budget(self, instance):
+        f = cost_budget_frontier(instance, factors=(10.0,), methods=("exact",))
+        assert f.points[0].cost_over_ideal == pytest.approx(1.0)
+
+    def test_knee(self, instance):
+        f = cost_budget_frontier(instance,
+                                 factors=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+                                 methods=("exact",))
+        knee = f.knee("exact", tolerance=0.05)
+        series = f.series("exact")
+        # Every smaller budget misses the tolerance; the knee meets it
+        # (or is the final point if nothing does).
+        for p in series:
+            if p.budget < knee.budget:
+                assert p.cost_over_ideal > 1.05
+        assert knee.cost_over_ideal <= 1.05 or knee is series[-1]
+
+    def test_unknown_series(self, instance):
+        f = cost_budget_frontier(instance, factors=(1.0,))
+        with pytest.raises(KeyError):
+            f.series("simulated-annealing")
+
+    def test_methods_registry_complete(self):
+        assert set(METHODS) == {"greedy", "local-search", "exact"}

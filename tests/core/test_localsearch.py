@@ -1,0 +1,91 @@
+"""Tests for the local-search refinement of greedy selections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SelectionInstance,
+    branch_and_bound_select,
+    greedy_select,
+    local_search_select,
+)
+
+
+def random_instance(rng, n=6, m=10, budget_frac=0.3):
+    costs = rng.uniform(1, 100, size=(n, m))
+    storage = rng.uniform(1, 10, size=m)
+    return SelectionInstance(
+        costs, rng.uniform(0.1, 2, size=n), storage,
+        float(storage.sum() * budget_frac),
+    )
+
+
+class TestLocalSearch:
+    def test_invalid_passes(self):
+        inst = random_instance(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            local_search_select(inst, max_passes=0)
+
+    def test_never_worse_than_greedy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            inst = random_instance(rng, budget_frac=rng.uniform(0.1, 0.8))
+            greedy = greedy_select(inst)
+            refined = local_search_select(inst)
+            assert refined.cost <= greedy.cost + 1e-9
+            assert inst.is_feasible(refined.selected)
+
+    def test_never_better_than_exact(self):
+        rng = np.random.default_rng(2)
+        for _ in range(15):
+            inst = random_instance(rng, n=5, m=9,
+                                   budget_frac=rng.uniform(0.15, 0.7))
+            refined = local_search_select(inst)
+            exact = branch_and_bound_select(inst)
+            assert refined.cost >= exact.cost - 1e-9
+
+    def test_fixes_a_known_greedy_trap(self):
+        """A classic trap: a cheap 'okay-everywhere' replica wins the
+        first greedy pick by score, crowding out the pair of specialists
+        that is jointly optimal.  Local search escapes by swapping."""
+        costs = np.array([
+            # generalist  specialist-1  specialist-2
+            [6.0,          1.0,          50.0],
+            [6.0,          50.0,         1.0],
+        ])
+        storage = np.array([1.0, 1.0, 1.0])
+        inst = SelectionInstance(costs, np.ones(2), storage, budget=2.0)
+        greedy = greedy_select(inst)
+        assert set(greedy.selected) == {0, 1} or set(greedy.selected) == {0, 2}
+        refined = local_search_select(inst)
+        assert set(refined.selected) == {1, 2}
+        assert refined.cost == pytest.approx(2.0)
+
+    def test_counts_moves_in_solver_tag(self):
+        costs = np.array([
+            [6.0, 1.0, 50.0],
+            [6.0, 50.0, 1.0],
+        ])
+        inst = SelectionInstance(costs, np.ones(2), np.ones(3), budget=2.0)
+        refined = local_search_select(inst)
+        assert "local-search" in refined.solver
+
+    def test_start_override(self):
+        rng = np.random.default_rng(3)
+        inst = random_instance(rng)
+        from repro.core import Selection
+        empty = Selection((), inst.workload_cost(()), 0.0, False, "manual")
+        refined = local_search_select(inst, start=empty)
+        assert refined.cost <= empty.cost
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), budget_frac=st.floats(0.1, 0.9))
+    def test_property_between_greedy_and_optimal(self, seed, budget_frac):
+        rng = np.random.default_rng(seed)
+        inst = random_instance(rng, n=4, m=7, budget_frac=budget_frac)
+        greedy = greedy_select(inst)
+        refined = local_search_select(inst)
+        exact = branch_and_bound_select(inst)
+        assert exact.cost - 1e-9 <= refined.cost <= greedy.cost + 1e-9

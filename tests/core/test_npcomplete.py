@@ -1,0 +1,92 @@
+"""Executable version of Theorem 1: set cover reduces to replica selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    branch_and_bound_select,
+    brute_force_select,
+    selection_instance_from_set_cover,
+    set_cover_decision,
+)
+
+
+class TestReductionConstruction:
+    def test_instance_shape(self):
+        inst = selection_instance_from_set_cover(3, [{0, 1}, {2}], 2)
+        assert inst.n_queries == 3
+        assert inst.n_replicas == 2
+        assert inst.budget == 2.0
+        assert np.all(inst.storage == 1.0)
+        assert np.all(inst.weights == 1.0)
+
+    def test_costs_zero_iff_covered(self):
+        inst = selection_instance_from_set_cover(3, [{0, 1}, {2}], 2)
+        assert inst.costs[0, 0] == 0 and inst.costs[1, 0] == 0
+        assert inst.costs[2, 0] == np.inf
+        assert inst.costs[2, 1] == 0
+
+    def test_uncovered_element_rejected(self):
+        with pytest.raises(ValueError, match="in no set"):
+            selection_instance_from_set_cover(3, [{0, 1}], 1)
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(ValueError, match="unknown element"):
+            selection_instance_from_set_cover(2, [{0, 1, 5}], 1)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            selection_instance_from_set_cover(2, [{0, 1}], 0)
+
+
+class TestDecisionViaSelection:
+    """Theorem 1's equivalence: cover of size <= k exists iff the optimal
+    selection's workload cost is 0."""
+
+    @pytest.mark.parametrize("solver", [branch_and_bound_select, brute_force_select],
+                             ids=["bnb", "brute"])
+    def test_feasible_cover_found(self, solver):
+        sets = [{0, 1}, {1, 2}, {2, 3}, {0, 3}]
+        feasible, cover = set_cover_decision(4, sets, 2, solver)
+        assert feasible
+        assert cover is not None
+        covered = set().union(*(sets[j] for j in cover))
+        assert covered == {0, 1, 2, 3}
+        assert len(cover) <= 2
+
+    @pytest.mark.parametrize("solver", [branch_and_bound_select, brute_force_select],
+                             ids=["bnb", "brute"])
+    def test_infeasible_cover_detected(self, solver):
+        # Each set covers one element; 4 elements cannot be covered by 3.
+        sets = [{0}, {1}, {2}, {3}]
+        feasible, cover = set_cover_decision(4, sets, 3, solver)
+        assert not feasible
+        assert cover is None
+
+    def test_tight_budget_exactly_k(self):
+        sets = [{0}, {1}, {2}]
+        feasible, cover = set_cover_decision(3, sets, 3, branch_and_bound_select)
+        assert feasible and len(cover) == 3
+
+    def test_randomized_cross_check(self):
+        """Random covers: decision via selection == decision via brute set
+        enumeration."""
+        rng = np.random.default_rng(0)
+        from itertools import combinations
+        for _ in range(10):
+            n = int(rng.integers(3, 7))
+            m = int(rng.integers(2, 6))
+            sets = []
+            for _ in range(m):
+                size = int(rng.integers(1, n + 1))
+                sets.append(set(rng.choice(n, size=size, replace=False).tolist()))
+            # Ensure full coverage.
+            sets[0] |= set(range(n)) - set().union(*sets)
+            k = int(rng.integers(1, m + 1))
+            expected = any(
+                set().union(*combo) == set(range(n))
+                for r in range(1, k + 1)
+                for combo in combinations(sets, r)
+            )
+            got, _ = set_cover_decision(n, sets, k, branch_and_bound_select)
+            assert got == expected

@@ -1,0 +1,138 @@
+"""Tests for the partial-replication extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PartialReplica,
+    branch_and_bound_select,
+    partial_selection_instance,
+    record_fraction_in_box,
+)
+from repro.costmodel import CostModel, EncodingCostParams, ReplicaProfile
+from repro.data import synthetic_shanghai_taxis
+from repro.geometry import Box3
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.workload import GroupedQuery, Query, Workload
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(3000, seed=53, num_taxis=12)
+
+
+@pytest.fixture(scope="module")
+def base(ds):
+    p = CompositeScheme(KdTreePartitioner(16), 4).build(ds)
+    return ReplicaProfile.from_partitioning(p, "ROW-PLAIN", 1_000_000, 1e9)
+
+
+@pytest.fixture(scope="module")
+def hot_box(base):
+    u = base.universe
+    c = u.centroid
+    return Box3(c.x - u.width / 4, c.x + u.width / 4,
+                c.y - u.height / 4, c.y + u.height / 4,
+                u.t_min, u.t_max)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel({"ROW-PLAIN": EncodingCostParams(scan_rate=10_000,
+                                                      extra_time=0.5)})
+
+
+class TestPartialReplica:
+    def test_invalid_fraction(self, base, hot_box):
+        with pytest.raises(ValueError):
+            PartialReplica(base, hot_box, 0.0)
+        with pytest.raises(ValueError):
+            PartialReplica(base, hot_box, 1.5)
+
+    def test_coverage_outside_universe_rejected(self, base):
+        outside = base.universe.translated(dx=100)
+        with pytest.raises(ValueError, match="inside"):
+            PartialReplica(base, outside, 0.5)
+
+    def test_profile_scales_storage(self, base, hot_box):
+        partial = PartialReplica(base, hot_box, 0.4)
+        prof = partial.profile()
+        assert prof.storage_bytes == pytest.approx(base.storage_bytes * 0.4)
+        assert prof.n_records == pytest.approx(base.n_records * 0.4)
+        assert prof.n_partitions < base.n_partitions
+
+    def test_can_answer_contained_query(self, base, hot_box):
+        partial = PartialReplica(base, hot_box, 0.4)
+        c = hot_box.centroid
+        inside = Query(hot_box.width / 10, hot_box.height / 10,
+                       hot_box.duration / 10, c.x, c.y, c.t)
+        assert partial.can_answer(inside)
+
+    def test_cannot_answer_outside_query(self, base, hot_box):
+        partial = PartialReplica(base, hot_box, 0.4)
+        u = base.universe
+        outside = Query(0.01, 0.01, 100, u.x_min + 0.005, u.y_min + 0.005,
+                        u.centroid.t)
+        assert not partial.can_answer(outside)
+
+    def test_grouped_query_needs_universal_containment(self, base, hot_box):
+        partial = PartialReplica(base, hot_box, 0.4)
+        small = GroupedQuery(hot_box.width / 10, hot_box.height / 10,
+                             hot_box.duration / 10)
+        # Grouped queries roam the whole universe, so even a small one is
+        # not guaranteed to fall inside the coverage.
+        assert not partial.can_answer(small)
+
+    def test_record_fraction(self, ds, hot_box):
+        frac = record_fraction_in_box(ds, hot_box)
+        assert 0 < frac < 1
+
+    def test_record_fraction_empty_sample(self, hot_box):
+        from repro.data import Dataset
+        with pytest.raises(ValueError):
+            record_fraction_in_box(Dataset.empty(), hot_box)
+
+
+class TestPartialSelection:
+    def test_instance_mixes_full_and_partial(self, base, hot_box, model):
+        partial = PartialReplica(base, hot_box, 0.3)
+        c = hot_box.centroid
+        w = Workload([
+            (Query(hot_box.width / 8, hot_box.height / 8, hot_box.duration / 8,
+                   c.x, c.y, c.t), 5.0),               # hot query, inside
+            (Query.from_box(base.universe), 1.0),      # full scan
+        ])
+        inst = partial_selection_instance(model, w, [base], [partial],
+                                          budget=base.storage_bytes * 1.4)
+        assert inst.n_replicas == 2
+        assert np.isfinite(inst.costs[0]).all()
+        assert inst.costs[1, 1] == np.inf  # partial can't answer full scan
+
+    def test_selection_adds_partial_when_hot_queries_dominate(
+        self, base, hot_box, model
+    ):
+        partial = PartialReplica(base, hot_box, 0.3)
+        c = hot_box.centroid
+        hot = Query(hot_box.width / 8, hot_box.height / 8, hot_box.duration / 8,
+                    c.x, c.y, c.t)
+        w = Workload([(hot, 100.0), (Query.from_box(base.universe), 1.0)])
+        # Budget: one full replica plus the partial fits, two fulls do not.
+        inst = partial_selection_instance(model, w, [base], [partial],
+                                          budget=base.storage_bytes * 1.4)
+        sel = branch_and_bound_select(inst)
+        assert sel.optimal
+        assert set(sel.selected) == {0, 1}
+
+    def test_partial_cheaper_on_hot_query(self, base, hot_box, model):
+        partial = PartialReplica(base, hot_box, 0.3)
+        c = hot_box.centroid
+        hot = Query(hot_box.width / 8, hot_box.height / 8, hot_box.duration / 8,
+                    c.x, c.y, c.t)
+        full_cost = model.query_cost(hot, base)
+        partial_cost = model.query_cost(hot, partial.profile())
+        assert partial_cost < full_cost
+
+    def test_requires_full_candidate(self, base, hot_box, model):
+        partial = PartialReplica(base, hot_box, 0.3)
+        with pytest.raises(ValueError, match="full replica"):
+            partial_selection_instance(model, Workload([]), [], [partial], 1.0)

@@ -1,0 +1,166 @@
+"""Tests for SelectionInstance: objective, constraints, cap domain."""
+
+import numpy as np
+import pytest
+
+from repro.core import SelectionInstance
+
+
+def simple_instance(budget=10.0):
+    # 3 queries x 3 replicas.
+    costs = np.array([
+        [1.0, 5.0, 9.0],
+        [6.0, 2.0, 9.0],
+        [7.0, 8.0, 3.0],
+    ])
+    return SelectionInstance(
+        costs=costs,
+        weights=np.array([1.0, 2.0, 3.0]),
+        storage=np.array([4.0, 5.0, 6.0]),
+        budget=budget,
+        replica_names=("a", "b", "c"),
+        query_labels=("q1", "q2", "q3"),
+    )
+
+
+class TestValidation:
+    def test_shapes(self):
+        with pytest.raises(ValueError, match="weights"):
+            SelectionInstance(np.ones((2, 2)), np.ones(3), np.ones(2), 1.0)
+        with pytest.raises(ValueError, match="storage"):
+            SelectionInstance(np.ones((2, 2)), np.ones(2), np.ones(3), 1.0)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            SelectionInstance(np.ones((1, 1)), np.array([-1.0]), np.ones(1), 1.0)
+
+    def test_nan_cost(self):
+        with pytest.raises(ValueError, match="costs"):
+            SelectionInstance(np.array([[np.nan]]), np.ones(1), np.ones(1), 1.0)
+
+    def test_negative_budget(self):
+        with pytest.raises(ValueError, match="budget"):
+            SelectionInstance(np.ones((1, 1)), np.ones(1), np.ones(1), -1.0)
+
+    def test_unanswerable_query_rejected(self):
+        with pytest.raises(ValueError, match="no finite cost"):
+            SelectionInstance(
+                np.array([[np.inf, np.inf]]), np.ones(1), np.ones(2), 1.0
+            )
+
+    def test_name_counts(self):
+        with pytest.raises(ValueError, match="names"):
+            SelectionInstance(np.ones((1, 2)), np.ones(1), np.ones(2), 1.0,
+                              replica_names=("only-one",))
+
+
+class TestObjective:
+    def test_workload_cost_min_routing(self):
+        inst = simple_instance()
+        # All three replicas: each query uses its best column.
+        assert inst.workload_cost([0, 1, 2]) == pytest.approx(1 + 2 * 2 + 3 * 3)
+
+    def test_single_replica_cost(self):
+        inst = simple_instance()
+        assert inst.workload_cost([0]) == pytest.approx(1 + 2 * 6 + 3 * 7)
+
+    def test_per_query_cost(self):
+        inst = simple_instance()
+        assert inst.per_query_cost([1, 2]).tolist() == [5.0, 2.0, 3.0]
+
+    def test_assignment(self):
+        inst = simple_instance()
+        assert inst.assignment([0, 1, 2]).tolist() == [0, 1, 2]
+        assert inst.assignment([1, 2]).tolist() == [1, 1, 2]
+
+    def test_assignment_empty_raises(self):
+        with pytest.raises(ValueError):
+            simple_instance().assignment([])
+
+    def test_empty_selection_uses_worst_candidate(self):
+        inst = simple_instance()
+        expected = 9 * 1 + 9 * 2 + 8 * 3
+        assert inst.workload_cost([]) == pytest.approx(expected)
+
+    def test_ideal_cost(self):
+        inst = simple_instance()
+        assert inst.ideal_cost() == inst.workload_cost([0, 1, 2])
+
+
+class TestConstraints:
+    def test_storage_of(self):
+        inst = simple_instance()
+        assert inst.storage_of([0, 2]) == pytest.approx(10.0)
+
+    def test_feasibility(self):
+        inst = simple_instance(budget=9.0)
+        assert inst.is_feasible([0, 1])
+        assert not inst.is_feasible([0, 1, 2])
+
+    def test_best_single(self):
+        inst = simple_instance()
+        j, cost = inst.best_single()
+        costs = [inst.workload_cost([k]) for k in range(3)]
+        assert cost == pytest.approx(min(costs))
+        assert j == int(np.argmin(costs))
+
+    def test_best_single_respects_budget(self):
+        inst = simple_instance(budget=4.5)  # only replica 0 fits
+        j, _ = inst.best_single()
+        assert j == 0
+
+    def test_best_single_infeasible(self):
+        inst = simple_instance(budget=1.0)
+        with pytest.raises(ValueError):
+            inst.best_single()
+
+
+class TestCappedDomain:
+    def test_no_inf_cap_equals_costs(self):
+        inst = simple_instance()
+        assert np.array_equal(inst.capped_costs, inst.costs)
+
+    def test_inf_replaced_by_big(self):
+        inst = SelectionInstance(
+            np.array([[1.0, np.inf], [np.inf, 1.0]]),
+            np.ones(2), np.ones(2), 2.0,
+        )
+        assert np.isfinite(inst.capped_costs).all()
+        assert inst.big_cost > 2.0  # above the covered total
+
+    def test_cap_dominates_covered_solutions(self):
+        inst = SelectionInstance(
+            np.array([[1.0, np.inf], [np.inf, 100.0]]),
+            np.array([1.0, 0.5]), np.ones(2), 2.0,
+        )
+        # Leaving query 2 uncovered must cost more than covering it.
+        assert inst.capped_workload_cost([0]) > inst.capped_workload_cost([0, 1])
+
+    def test_true_cost_inf_when_uncovered(self):
+        inst = SelectionInstance(
+            np.array([[1.0, np.inf], [np.inf, 1.0]]),
+            np.ones(2), np.ones(2), 2.0,
+        )
+        assert inst.workload_cost([0]) == np.inf
+        assert inst.workload_cost([0, 1]) == pytest.approx(2.0)
+
+    def test_zero_weight_uncovered_not_nan(self):
+        inst = SelectionInstance(
+            np.array([[1.0, np.inf], [np.inf, 1.0]]),
+            np.array([1.0, 0.0]), np.ones(2), 2.0,
+        )
+        assert inst.workload_cost([0]) == pytest.approx(1.0)
+
+
+class TestTransforms:
+    def test_restricted_to(self):
+        inst = simple_instance()
+        sub = inst.restricted_to([2, 0])
+        assert sub.n_replicas == 2
+        assert sub.replica_names == ("c", "a")
+        assert sub.workload_cost([0]) == inst.workload_cost([2])
+
+    def test_with_budget(self):
+        inst = simple_instance().with_budget(100.0)
+        assert inst.budget == 100.0
+        assert inst.is_feasible([0, 1, 2])

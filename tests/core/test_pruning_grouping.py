@@ -1,0 +1,166 @@
+"""Tests for dominated-replica pruning and workload clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    SelectionInstance,
+    branch_and_bound_select,
+    kmeans,
+    prune_dominated,
+    reduce_workload,
+)
+from repro.workload import GroupedQuery, Workload
+
+
+def random_instance(rng, n=5, m=10, budget_frac=0.4):
+    costs = rng.uniform(1, 100, size=(n, m))
+    storage = rng.uniform(1, 10, size=m)
+    return SelectionInstance(
+        costs, rng.uniform(0.1, 2, size=n), storage,
+        float(storage.sum() * budget_frac),
+    )
+
+
+class TestPruning:
+    def test_pairwise_dominated_removed(self):
+        costs = np.array([
+            [1.0, 2.0],
+            [1.0, 2.0],
+        ])
+        inst = SelectionInstance(costs, np.ones(2), np.array([1.0, 2.0]), 5.0)
+        result = prune_dominated(inst)
+        assert result.dominated == (1,)
+        assert result.kept == (0,)
+
+    def test_identical_replicas_keep_one(self):
+        costs = np.ones((3, 3))
+        inst = SelectionInstance(costs, np.ones(3), np.ones(3), 5.0)
+        result = prune_dominated(inst)
+        assert result.kept == (0,)
+        assert set(result.dominated) == {1, 2}
+
+    def test_incomparable_kept(self):
+        costs = np.array([
+            [1.0, 9.0],
+            [9.0, 1.0],
+        ])
+        inst = SelectionInstance(costs, np.ones(2), np.ones(2), 5.0)
+        result = prune_dominated(inst)
+        assert result.dominated == ()
+
+    def test_cheaper_but_worse_kept(self):
+        # Higher cost but lower storage is not dominated.
+        costs = np.array([[1.0, 5.0]])
+        inst = SelectionInstance(costs, np.ones(1), np.array([10.0, 1.0]), 20.0)
+        assert prune_dominated(inst).dominated == ()
+
+    def test_pair_set_dominance(self):
+        # Replica 2 is beaten by {0, 1} together (same combined storage).
+        costs = np.array([
+            [1.0, 9.0, 2.0],
+            [9.0, 1.0, 2.0],
+        ])
+        inst = SelectionInstance(costs, np.ones(2),
+                                 np.array([1.0, 1.0, 2.0]), 10.0)
+        plain = prune_dominated(inst, use_pair_sets=False)
+        assert 2 in plain.kept
+        paired = prune_dominated(inst, use_pair_sets=True)
+        assert 2 in paired.dominated
+
+    def test_reduction_metric(self):
+        costs = np.ones((2, 4))
+        inst = SelectionInstance(costs, np.ones(2), np.ones(4), 5.0)
+        assert prune_dominated(inst).reduction == pytest.approx(0.75)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), budget_frac=st.floats(0.1, 0.9),
+           pair_sets=st.booleans())
+    def test_property_pruning_preserves_optimum(self, seed, budget_frac, pair_sets):
+        """The paper's guarantee: pruning dominated replicas never changes
+        the optimal workload cost."""
+        rng = np.random.default_rng(seed)
+        inst = random_instance(rng, n=4, m=8, budget_frac=budget_frac)
+        full_opt = branch_and_bound_select(inst).cost
+        pruned = prune_dominated(inst, use_pair_sets=pair_sets)
+        pruned_opt = branch_and_bound_select(pruned.instance).cost
+        assert pruned_opt == pytest.approx(full_opt)
+
+
+class TestKmeans:
+    def test_basic_two_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.1, size=(50, 2))
+        b = rng.normal(10, 0.1, size=(50, 2))
+        points = np.vstack([a, b])
+        centers, labels = kmeans(points, 2, np.random.default_rng(1))
+        assert centers.shape == (2, 2)
+        # Points in the same blob share a label.
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[50]
+
+    def test_k_equals_n(self):
+        points = np.arange(6, dtype=float).reshape(3, 2)
+        centers, labels = kmeans(points, 3, np.random.default_rng(0))
+        assert sorted(labels.tolist()) == [0, 1, 2]
+
+    def test_k_one(self):
+        points = np.random.default_rng(0).normal(size=(20, 3))
+        centers, labels = kmeans(points, 1, np.random.default_rng(0))
+        assert np.allclose(centers[0], points.mean(axis=0))
+
+    def test_invalid_k(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            kmeans(points, 4, np.random.default_rng(0))
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 1, np.random.default_rng(0))
+
+    def test_identical_points(self):
+        points = np.ones((10, 2))
+        centers, labels = kmeans(points, 3, np.random.default_rng(0))
+        assert np.allclose(centers, 1.0)
+
+
+class TestWorkloadReduction:
+    def make_workload(self, n, rng):
+        entries = {}
+        while len(entries) < n:
+            g = GroupedQuery(*np.exp(rng.uniform(-6, 0, 3)))
+            entries.setdefault(g, float(rng.uniform(0.5, 2)))
+        return Workload(list(entries.items()))
+
+    def test_small_workload_unchanged(self):
+        rng = np.random.default_rng(0)
+        w = self.make_workload(5, rng)
+        red = reduce_workload(w, 10, np.random.default_rng(1))
+        assert red.reduced == w.grouped()
+
+    def test_reduces_to_k(self):
+        rng = np.random.default_rng(1)
+        w = self.make_workload(40, rng)
+        red = reduce_workload(w, 8, np.random.default_rng(2))
+        assert len(red.reduced) == 8
+        assert red.labels.shape == (40,)
+
+    def test_weight_preserved(self):
+        rng = np.random.default_rng(2)
+        w = self.make_workload(30, rng)
+        red = reduce_workload(w, 6, np.random.default_rng(3))
+        assert red.reduced.total_weight() == pytest.approx(w.total_weight())
+
+    def test_centers_within_extent_range(self):
+        rng = np.random.default_rng(3)
+        w = self.make_workload(30, rng)
+        red = reduce_workload(w, 5, np.random.default_rng(4))
+        max_w = max(q.width for q in w.queries())
+        min_w = min(q.width for q in w.queries())
+        for q in red.reduced.queries():
+            assert min_w * 0.99 <= q.width <= max_w * 1.01

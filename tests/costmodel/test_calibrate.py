@@ -1,0 +1,96 @@
+"""Tests for the ScanRate/ExtraTime regression calibration."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    DEFAULT_MEASUREMENT_SIZES,
+    MeasurementPoint,
+    calibrate_encoding,
+    fit_cost_params,
+)
+from repro.costmodel.storage_size import estimate_replica_storage
+from repro.encoding import ROW_BYTES
+
+
+def synthetic_points(scan_rate, extra, sizes=DEFAULT_MEASUREMENT_SIZES, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        MeasurementPoint(s, s / scan_rate + extra + rng.normal(0, noise))
+        for s in sizes
+    ]
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        fit = fit_cost_params(synthetic_points(12_000, 0.8))
+        assert fit.params.scan_rate == pytest.approx(12_000, rel=1e-9)
+        assert fit.params.extra_time == pytest.approx(0.8, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery(self):
+        fit = fit_cost_params(synthetic_points(8_000, 2.0, noise=0.05, seed=3))
+        assert fit.params.scan_rate == pytest.approx(8_000, rel=0.15)
+        assert fit.params.extra_time == pytest.approx(2.0, rel=0.15)
+        assert fit.r_squared > 0.95
+
+    def test_predicted(self):
+        fit = fit_cost_params(synthetic_points(10_000, 1.0))
+        assert fit.predicted(10_000) == pytest.approx(2.0)
+
+    def test_max_relative_error_zero_on_exact(self):
+        fit = fit_cost_params(synthetic_points(10_000, 1.0))
+        assert fit.max_relative_error() < 1e-9
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError, match="at least two"):
+            fit_cost_params([MeasurementPoint(100, 1.0)])
+
+    def test_single_size_rejected(self):
+        pts = [MeasurementPoint(100, 1.0), MeasurementPoint(100, 1.1)]
+        with pytest.raises(ValueError, match="two partition sizes"):
+            fit_cost_params(pts)
+
+    def test_negative_slope_rejected(self):
+        pts = [MeasurementPoint(100, 5.0), MeasurementPoint(1000, 1.0)]
+        with pytest.raises(ValueError, match="non-positive"):
+            fit_cost_params(pts)
+
+    def test_negative_intercept_clamped(self):
+        # Slight downward intercept from noise is clamped to 0.
+        pts = [MeasurementPoint(100, 0.01), MeasurementPoint(1000, 0.101),
+               MeasurementPoint(2000, 0.199)]
+        fit = fit_cost_params(pts)
+        assert fit.params.extra_time >= 0
+
+
+class TestCalibrateEncoding:
+    def test_runs_backend_per_size(self):
+        calls = []
+
+        def backend(name, size, per_set):
+            calls.append((name, size, per_set))
+            return size / 5_000 + 0.25
+
+        result = calibrate_encoding("ROW-GZIP", backend)
+        assert result.encoding_name == "ROW-GZIP"
+        assert [c[1] for c in calls] == list(DEFAULT_MEASUREMENT_SIZES)
+        assert all(c[2] == 20 for c in calls)
+        assert result.params.scan_rate == pytest.approx(5_000, rel=1e-6)
+        assert result.params.extra_time == pytest.approx(0.25, rel=1e-6)
+
+
+class TestStorageEstimate:
+    def test_basic(self):
+        assert estimate_replica_storage(1000, 0.5) == pytest.approx(1000 * ROW_BYTES * 0.5)
+
+    def test_overhead(self):
+        got = estimate_replica_storage(1000, 1.0, per_partition_overhead_bytes=100,
+                                       n_partitions=8)
+        assert got == pytest.approx(1000 * ROW_BYTES + 800)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            estimate_replica_storage(0, 1.0)
+        with pytest.raises(ValueError):
+            estimate_replica_storage(10, 0.0)

@@ -1,0 +1,66 @@
+"""Tests for the parallel (makespan) cost estimate, validated against the
+discrete-event simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LOCAL_HADOOP, cost_model_for, make_cluster, position_query, simulate_query
+from repro.costmodel import CostModel, EncodingCostParams, ReplicaProfile
+from repro.data import synthetic_shanghai_taxis
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.workload import GroupedQuery, Query
+
+
+@pytest.fixture(scope="module")
+def profile():
+    ds = synthetic_shanghai_taxis(5000, seed=137, num_taxis=16)
+    p = CompositeScheme(KdTreePartitioner(16), 8).build(ds)
+    return ReplicaProfile.from_partitioning(p, "ROW-PLAIN", 2_000_000, 0.0)
+
+
+class TestMakespanFormula:
+    @pytest.fixture
+    def model(self):
+        return CostModel({"ROW-PLAIN": EncodingCostParams(scan_rate=10_000,
+                                                          extra_time=2.0)})
+
+    def test_invalid_slots(self, model, profile):
+        with pytest.raises(ValueError):
+            model.query_makespan(GroupedQuery(1, 1, 1), profile, 0)
+
+    def test_single_slot_equals_total_cost(self, model, profile):
+        u = profile.universe
+        q = Query.from_box(u)
+        assert model.query_makespan(q, profile, 1) == pytest.approx(
+            model.query_cost(q, profile))
+
+    def test_infinite_parallelism_floor(self, model, profile):
+        """With more slots than partitions, one wave remains."""
+        u = profile.universe
+        q = Query.from_box(u)
+        per_task = 2.0 + profile.records_per_partition / 10_000
+        assert model.query_makespan(q, profile, 10_000) == pytest.approx(per_task)
+
+    def test_monotone_in_slots(self, model, profile):
+        u = profile.universe
+        q = Query.from_box(u)
+        values = [model.query_makespan(q, profile, s) for s in (1, 2, 4, 8, 128)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestMakespanVsSimulator:
+    def test_tracks_simulated_makespan(self):
+        ds = synthetic_shanghai_taxis(5000, seed=139, num_taxis=16)
+        p = CompositeScheme(KdTreePartitioner(16), 8).build(ds)
+        profile = ReplicaProfile.from_partitioning(p, "COL-GZIP", 2_000_000, 0.0)
+        cluster = make_cluster(LOCAL_HADOOP, seed=41)  # 8 map slots
+        model = cost_model_for(cluster, ["COL-GZIP"],
+                               sizes=(5_000, 50_000, 200_000))
+        rng = np.random.default_rng(3)
+        u = profile.universe
+        for frac in (0.1, 0.3, 0.7):
+            g = GroupedQuery(u.width * frac, u.height * frac, u.duration * frac)
+            q = position_query(g, profile, rng)
+            predicted = model.query_makespan(q, profile, LOCAL_HADOOP.map_slots)
+            simulated = simulate_query(cluster, profile, q).makespan
+            assert predicted == pytest.approx(simulated, rel=0.25), frac

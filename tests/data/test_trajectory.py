@@ -1,0 +1,133 @@
+"""Tests for the trajectory analytics layer."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Dataset,
+    objects_through,
+    od_matrix,
+    path_length_km,
+    split_trips,
+    synthetic_shanghai_taxis,
+    trajectories_of,
+    trajectory_stats,
+)
+from repro.geometry import Box3
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(4000, seed=109, num_taxis=10)
+
+
+class TestTrajectoriesOf:
+    def test_partition_by_oid(self, ds):
+        trajs = trajectories_of(ds)
+        assert set(trajs) == set(np.unique(ds.column("oid")).tolist())
+        assert sum(len(t) for t in trajs.values()) == len(ds)
+
+    def test_time_ordered(self, ds):
+        for traj in trajectories_of(ds).values():
+            assert np.all(np.diff(traj.column("t")) >= 0)
+
+    def test_single_oid_per_trajectory(self, ds):
+        for oid, traj in trajectories_of(ds).items():
+            assert np.all(traj.column("oid") == oid)
+
+    def test_empty(self):
+        assert trajectories_of(Dataset.empty()) == {}
+
+
+class TestPathLength:
+    def test_empty_and_single(self, ds):
+        assert path_length_km(ds.head(0)) == 0.0
+        assert path_length_km(ds.head(1)) == 0.0
+
+    def test_known_segment(self):
+        from tests.partition.test_canonical_placement import dataset_from_points
+        traj = dataset_from_points([121.0, 121.1], [31.0, 31.0], [0.0, 60.0])
+        assert path_length_km(traj) == pytest.approx(0.1 * 95.0, rel=1e-6)
+
+    def test_monotone_in_points(self, ds):
+        traj = next(iter(trajectories_of(ds).values()))
+        assert path_length_km(traj) >= path_length_km(traj.head(len(traj) // 2))
+
+
+class TestTrajectoryStats:
+    def test_basic(self, ds):
+        trajs = trajectories_of(ds)
+        oid, traj = next(iter(trajs.items()))
+        stats = trajectory_stats(oid, traj)
+        assert stats.oid == oid
+        assert stats.n_points == len(traj)
+        assert stats.duration_seconds >= 0
+        assert 0 <= stats.occupied_fraction <= 1
+        assert 0 <= stats.mean_speed_kmh < 120
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trajectory_stats(0, Dataset.empty())
+
+
+class TestSplitTrips:
+    def test_trips_are_occupied_runs(self, ds):
+        for traj in trajectories_of(ds).values():
+            for trip in split_trips(traj):
+                assert np.all(trip.column("occupied") == 1)
+                assert len(np.unique(trip.column("trip_id"))) == 1
+
+    def test_trips_cover_all_occupied_samples(self, ds):
+        for traj in list(trajectories_of(ds).values())[:4]:
+            occupied_total = int(traj.column("occupied").sum())
+            trips = split_trips(traj)
+            assert sum(len(t) for t in trips) == occupied_total
+
+    def test_trip_ids_strictly_increasing(self, ds):
+        for traj in list(trajectories_of(ds).values())[:4]:
+            trips = split_trips(traj)
+            ids = [int(t.column("trip_id")[0]) for t in trips]
+            assert ids == sorted(ids)
+            assert len(set(ids)) == len(ids)
+
+    def test_empty(self):
+        assert split_trips(Dataset.empty()) == []
+
+
+class TestObjectsThrough:
+    def test_all_objects_without_region(self, ds):
+        assert objects_through(ds) == sorted(
+            int(v) for v in np.unique(ds.column("oid")))
+
+    def test_region_filter(self, ds):
+        bb = ds.bounding_box()
+        left = Box3(bb.x_min, bb.centroid.x, bb.y_min, bb.y_max,
+                    bb.t_min, bb.t_max)
+        through = objects_through(ds, left)
+        assert set(through) <= set(objects_through(ds))
+
+    def test_empty_region(self, ds):
+        bb = ds.bounding_box()
+        nowhere = Box3(bb.x_max, bb.x_max, bb.y_max, bb.y_max,
+                       bb.t_min, bb.t_min)
+        assert objects_through(ds, nowhere) in ([], objects_through(ds, nowhere))
+
+
+class TestOdMatrix:
+    def test_shape_and_counts(self, ds):
+        m = od_matrix(ds, 4, 4)
+        assert m.shape == (16, 16)
+        total_trips = sum(
+            len(split_trips(t)) for t in trajectories_of(ds).values())
+        assert m.sum() == total_trips
+
+    def test_invalid_grid(self, ds):
+        with pytest.raises(ValueError):
+            od_matrix(ds, 0, 4)
+
+    def test_hotspot_cells_dominate(self, ds):
+        m = od_matrix(ds, 6, 6)
+        if m.sum() > 10:
+            # Destination marginal should be concentrated (hotspot pull).
+            dest = m.sum(axis=0)
+            assert dest.max() > dest.mean() * 2

@@ -1,0 +1,152 @@
+"""Adversarial property tests for the codecs.
+
+Hypothesis generates datasets with extreme values — NaN, ±inf, huge
+magnitudes, negative zero, empty columns — and every encoding scheme must
+round-trip them (the columnar codec's fixed-point and integral-delta fast
+paths must detect when they do not apply and fall back losslessly).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset
+from repro.data.record import FIELDS
+from repro.encoding import (
+    all_encoding_schemes,
+    decode_columns,
+    decode_rows,
+    encode_columns,
+    encode_rows,
+)
+
+_FLOAT64 = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.sampled_from([0.0, -0.0, float("inf"), float("-inf"), float("nan"),
+                     1e-300, -1e300, 121.123456]),
+)
+_FLOAT32 = st.one_of(
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.sampled_from([0.0, -0.0, float("inf"), float("nan"), 3.4e38]),
+)
+
+
+@st.composite
+def datasets(draw, max_size=40):
+    n = draw(st.integers(0, max_size))
+    cols = {}
+    for f in FIELDS:
+        if f.name == "oid":
+            cols["oid"] = np.array(
+                draw(st.lists(st.integers(-2**31, 2**31 - 1),
+                              min_size=n, max_size=n)), dtype=np.int32)
+        elif f.name == "trip_id":
+            cols["trip_id"] = np.array(
+                draw(st.lists(st.integers(-2**31, 2**31 - 1),
+                              min_size=n, max_size=n)), dtype=np.int32)
+        elif f.name == "occupied":
+            cols["occupied"] = np.array(
+                draw(st.lists(st.integers(0, 255), min_size=n, max_size=n)),
+                dtype=np.uint8)
+        elif f.dtype == np.float64:
+            cols[f.name] = np.array(
+                draw(st.lists(_FLOAT64, min_size=n, max_size=n)),
+                dtype=np.float64)
+        else:
+            cols[f.name] = np.array(
+                draw(st.lists(_FLOAT32, min_size=n, max_size=n)),
+                dtype=np.float32)
+    return Dataset(cols)
+
+
+def columns_bit_equal(a: Dataset, b: Dataset) -> bool:
+    """Bitwise equality per column (NaN == NaN, -0.0 != 0.0 tolerated via
+    bit views for floats)."""
+    for f in FIELDS:
+        ca, cb = a.column(f.name), b.column(f.name)
+        if np.issubdtype(f.dtype, np.floating):
+            width = "u8" if f.dtype == np.float64 else "u4"
+            if not np.array_equal(ca.view(width), cb.view(width)):
+                # Fast paths may normalise -0.0 to +0.0; accept only that.
+                mismatch = ca.view(width) != cb.view(width)
+                if not np.all((ca[mismatch] == 0) & (cb[mismatch] == 0)):
+                    return False
+        else:
+            if not np.array_equal(ca, cb):
+                return False
+    return True
+
+
+class TestAdversarialRoundtrips:
+    @settings(max_examples=50, deadline=None)
+    @given(ds=datasets())
+    def test_row_codec(self, ds):
+        assert columns_bit_equal(decode_rows(encode_rows(ds)), ds)
+
+    @settings(max_examples=50, deadline=None)
+    @given(ds=datasets())
+    def test_columnar_codec(self, ds):
+        assert columns_bit_equal(decode_columns(encode_columns(ds)), ds)
+
+    @settings(max_examples=12, deadline=None)
+    @given(ds=datasets(max_size=15))
+    def test_full_schemes(self, ds):
+        for scheme in all_encoding_schemes():
+            assert columns_bit_equal(scheme.decode(scheme.encode(ds)), ds), \
+                scheme.name
+
+
+class TestSpecificHazards:
+    def make(self, **overrides):
+        n = None
+        for v in overrides.values():
+            n = len(v)
+        base = {}
+        for f in FIELDS:
+            base[f.name] = np.zeros(n, dtype=f.dtype)
+        base.update({
+            k: np.asarray(v, dtype=dict((f.name, f.dtype) for f in FIELDS)[k])
+            for k, v in overrides.items()
+        })
+        return Dataset(base)
+
+    def test_nan_coordinates(self):
+        ds = self.make(x=[float("nan"), 1.0, float("nan")])
+        back = decode_columns(encode_columns(ds))
+        assert math.isnan(back.column("x")[0])
+        assert back.column("x")[1] == 1.0
+
+    def test_infinite_timestamps(self):
+        ds = self.make(t=[float("inf"), 0.0, float("-inf")])
+        back = decode_columns(encode_columns(ds))
+        assert back.column("t")[0] == float("inf")
+        assert back.column("t")[2] == float("-inf")
+
+    def test_giant_integral_floats_fall_back(self):
+        # Integral but beyond the int64-exact window: must not use the
+        # integral-delta path blindly.
+        big = 2.0 ** 62
+        ds = self.make(t=[big, big + 2**10, big - 2**10])
+        back = decode_columns(encode_columns(ds))
+        assert np.array_equal(back.column("t"), ds.column("t"))
+
+    def test_fixed_point_lookalike_with_outlier(self):
+        # Mostly micro-degree values plus one non-representable outlier:
+        # the scaled path must reject the whole column, not corrupt it.
+        vals = [121.123456, 121.123457, np.pi]
+        ds = self.make(x=vals)
+        back = decode_columns(encode_columns(ds))
+        assert np.array_equal(back.column("x"), ds.column("x"))
+
+    def test_negative_zero_speed(self):
+        ds = self.make(speed=[-0.0, 0.0, 1.5])
+        back = decode_columns(encode_columns(ds))
+        assert np.array_equal(back.column("speed"), ds.column("speed"))
+
+    def test_alternating_occupancy_worst_case_rle(self):
+        ds = self.make(occupied=[0, 1] * 20)
+        back = decode_columns(encode_columns(ds))
+        assert np.array_equal(back.column("occupied"), ds.column("occupied"))

@@ -1,0 +1,171 @@
+"""Tests for the row/columnar codecs and EncodingScheme composition."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, synthetic_shanghai_taxis
+from repro.encoding import (
+    EncodingScheme,
+    GzipCompression,
+    Lzma2Compression,
+    NoCompression,
+    ROW_BYTES,
+    SnappyCompression,
+    all_encoding_schemes,
+    decode_columns,
+    decode_rows,
+    encode_columns,
+    encode_rows,
+    encoding_scheme_by_name,
+    measure_compression_ratio,
+    paper_encoding_schemes,
+)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return synthetic_shanghai_taxis(2000, seed=21, num_taxis=12).sorted_by_time()
+
+
+class TestRowCodec:
+    def test_roundtrip(self, sample):
+        assert decode_rows(encode_rows(sample)) == sample
+
+    def test_empty_roundtrip(self):
+        empty = Dataset.empty()
+        assert decode_rows(encode_rows(empty)) == empty
+
+    def test_size_is_affine_in_records(self, sample):
+        n = len(sample)
+        blob = encode_rows(sample)
+        assert len(blob) == 13 + n * ROW_BYTES
+
+    def test_bad_magic(self, sample):
+        blob = bytearray(encode_rows(sample))
+        blob[0] = 0
+        with pytest.raises(ValueError, match="magic"):
+            decode_rows(bytes(blob))
+
+    def test_bad_version(self, sample):
+        blob = bytearray(encode_rows(sample))
+        blob[4] = 99
+        with pytest.raises(ValueError, match="version"):
+            decode_rows(bytes(blob))
+
+    def test_truncated_body(self, sample):
+        blob = encode_rows(sample)
+        with pytest.raises(ValueError, match="body"):
+            decode_rows(blob[:-5])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="short"):
+            decode_rows(b"BROW")
+
+
+class TestColumnarCodec:
+    def test_roundtrip_bit_exact(self, sample):
+        back = decode_columns(encode_columns(sample))
+        for name in sample.columns:
+            assert np.array_equal(back.column(name), sample.column(name)), name
+
+    def test_empty_roundtrip(self):
+        empty = Dataset.empty()
+        assert decode_columns(encode_columns(empty)) == empty
+
+    def test_single_record(self, sample):
+        one = sample.head(1)
+        assert decode_columns(encode_columns(one)) == one
+
+    def test_columnar_beats_row_on_sorted_data(self, sample):
+        assert len(encode_columns(sample)) < len(encode_rows(sample))
+
+    def test_non_integral_timestamps_still_roundtrip(self, sample):
+        cols = sample.columns
+        cols["t"] = cols["t"] + 0.5  # break the integral fast path
+        ds = Dataset(cols)
+        assert decode_columns(encode_columns(ds)) == ds
+
+    def test_negative_values_roundtrip(self, sample):
+        cols = sample.columns
+        cols["x"] = -cols["x"]
+        cols["oid"] = -cols["oid"]
+        ds = Dataset(cols)
+        assert decode_columns(encode_columns(ds)) == ds
+
+    def test_bad_magic(self, sample):
+        blob = bytearray(encode_columns(sample))
+        blob[0] = 0
+        with pytest.raises(ValueError, match="magic"):
+            decode_columns(bytes(blob))
+
+    def test_trailing_garbage_rejected(self, sample):
+        blob = encode_columns(sample)
+        with pytest.raises(ValueError, match="trailing"):
+            decode_columns(blob + b"\x00\x00")
+
+
+class TestEncodingSchemes:
+    def test_paper_has_seven_schemes(self):
+        names = [s.name for s in paper_encoding_schemes()]
+        assert len(names) == 7
+        assert "COL-PLAIN" not in names
+        assert "ROW-PLAIN" in names and "COL-LZMA2" in names
+
+    def test_all_grid_has_eight(self):
+        assert len(all_encoding_schemes()) == 8
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError, match="layout"):
+            EncodingScheme("DIAGONAL", NoCompression())
+
+    def test_lookup_by_name(self):
+        scheme = encoding_scheme_by_name("COL-GZIP")
+        assert scheme.layout == "COL"
+        assert isinstance(scheme.compressor, GzipCompression)
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(KeyError):
+            encoding_scheme_by_name("ROW-BROTLI")
+
+    @pytest.mark.parametrize("scheme", all_encoding_schemes(), ids=lambda s: s.name)
+    def test_every_scheme_roundtrips(self, scheme, sample):
+        part = sample.head(400)
+        assert scheme.decode(scheme.encode(part)) == part
+
+    def test_str_is_name(self):
+        s = EncodingScheme("ROW", Lzma2Compression())
+        assert str(s) == "ROW-LZMA2" == s.name
+
+
+class TestCompressionRatios:
+    """Table I shape: LZMA2 < GZIP < SNAPPY < PLAIN, and COL < ROW."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self, sample):
+        return {
+            s.name: measure_compression_ratio(s, sample)
+            for s in all_encoding_schemes()
+        }
+
+    def test_baseline_is_one(self, ratios):
+        assert ratios["ROW-PLAIN"] == pytest.approx(1.0)
+
+    def test_compressor_ordering_row(self, ratios):
+        assert ratios["ROW-LZMA2"] < ratios["ROW-GZIP"] < ratios["ROW-SNAPPY"] < 1.0
+
+    def test_compressor_ordering_col(self, ratios):
+        assert ratios["COL-LZMA2"] <= ratios["COL-GZIP"] < ratios["COL-PLAIN"]
+
+    def test_columnar_beats_row_per_compressor(self, ratios):
+        for comp in ("PLAIN", "SNAPPY", "GZIP", "LZMA2"):
+            assert ratios[f"COL-{comp}"] < ratios[f"ROW-{comp}"], comp
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            measure_compression_ratio(
+                EncodingScheme("ROW", NoCompression()), Dataset.empty()
+            )
+
+    def test_snappy_wrapper_matches_module(self, sample):
+        blob = encode_rows(sample.head(100))
+        assert SnappyCompression().decompress(SnappyCompression().compress(blob)) == blob

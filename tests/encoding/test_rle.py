@@ -1,0 +1,48 @@
+"""Tests for byte run-length encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.rle import rle_decode_bytes, rle_encode_bytes
+
+
+class TestRle:
+    def test_empty(self):
+        enc = rle_encode_bytes(b"")
+        got, pos = rle_decode_bytes(enc)
+        assert got == b"" and pos == len(enc)
+
+    def test_single_run(self):
+        enc = rle_encode_bytes(b"\x01" * 1000)
+        assert len(enc) < 10
+        got, _ = rle_decode_bytes(enc)
+        assert got == b"\x01" * 1000
+
+    def test_alternating_worst_case(self):
+        data = b"\x00\x01" * 100
+        got, _ = rle_decode_bytes(rle_encode_bytes(data))
+        assert got == data
+
+    def test_numpy_input(self):
+        arr = np.array([0, 0, 1, 1, 1, 0], dtype=np.uint8)
+        got, _ = rle_decode_bytes(rle_encode_bytes(arr))
+        assert got == bytes(arr)
+
+    def test_truncated_rejected(self):
+        enc = rle_encode_bytes(b"\x07" * 5)
+        with pytest.raises(ValueError):
+            rle_decode_bytes(enc[:1] + b"")  # run count says 1, no payload
+
+    @given(st.binary(max_size=2000))
+    def test_roundtrip(self, data):
+        enc = rle_encode_bytes(data)
+        got, pos = rle_decode_bytes(enc)
+        assert got == data and pos == len(enc)
+
+    @given(st.integers(1, 4), st.integers(1, 500))
+    def test_compresses_runs(self, n_values, run_len):
+        data = b"".join(bytes([v]) * run_len for v in range(n_values))
+        enc = rle_encode_bytes(data)
+        assert len(enc) <= 4 * n_values + 2

@@ -1,0 +1,99 @@
+"""Tests for the from-scratch Snappy-format compressor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.snappy import snappy_compress, snappy_decompress
+
+
+class TestSnappyRoundtrip:
+    def test_empty(self):
+        assert snappy_decompress(snappy_compress(b"")) == b""
+
+    def test_tiny(self):
+        assert snappy_decompress(snappy_compress(b"abc")) == b"abc"
+
+    def test_all_same_byte_compresses_well(self):
+        data = b"\x55" * 10_000
+        comp = snappy_compress(data)
+        assert snappy_decompress(comp) == data
+        assert len(comp) < len(data) / 20
+
+    def test_repeated_pattern(self):
+        data = b"hello world, " * 500
+        comp = snappy_compress(data)
+        assert snappy_decompress(comp) == data
+        assert len(comp) < len(data) / 3
+
+    def test_incompressible_random(self):
+        import os
+        data = bytes(os.urandom(5000))
+        comp = snappy_compress(data)
+        assert snappy_decompress(comp) == data
+        # Overhead on incompressible data stays small.
+        assert len(comp) < len(data) * 1.02 + 16
+
+    def test_long_match_split_into_64_byte_copies(self):
+        data = b"0123456789abcdef" * 100  # 1600-byte match after first 16
+        comp = snappy_compress(data)
+        assert snappy_decompress(comp) == data
+
+    def test_overlapping_copy(self):
+        # A run triggers offset < length copies on decode.
+        data = b"a" * 300 + b"b"
+        assert snappy_decompress(snappy_compress(data)) == data
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_random(self, data):
+        assert snappy_decompress(snappy_compress(data)) == data
+
+    @given(st.lists(st.sampled_from([b"taxi", b"gps", b"shanghai", b"\x00\x01"]),
+                    max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_structured(self, parts):
+        data = b"".join(parts)
+        assert snappy_decompress(snappy_compress(data)) == data
+
+
+class TestSnappyValidation:
+    def test_bad_declared_length(self):
+        comp = bytearray(snappy_compress(b"abcdef"))
+        comp[0] = 99  # corrupt the declared length varint
+        with pytest.raises(ValueError, match="length"):
+            snappy_decompress(bytes(comp))
+
+    def test_truncated_literal(self):
+        with pytest.raises(ValueError):
+            snappy_decompress(b"\x05\x10ab")  # declares 5 bytes, literal cut short
+
+    def test_invalid_offset(self):
+        # copy-1 tag referencing before the start of output
+        with pytest.raises(ValueError, match="offset"):
+            snappy_decompress(b"\x04" + bytes([0b0000_0001, 0x10]))
+
+    def test_truncated_copy(self):
+        with pytest.raises(ValueError):
+            snappy_decompress(b"\x08" + b"\x00a" + bytes([0b0000_0010]))
+
+
+class TestSnappyFormatDetails:
+    def test_four_byte_offset_copy_supported_on_decode(self):
+        # Hand-built stream: literal "abcd", then tag-11 copy len 4 offset 4.
+        stream = bytearray()
+        stream.append(8)  # uncompressed length 8
+        stream.append((4 - 1) << 2)  # literal of 4
+        stream += b"abcd"
+        stream.append(3 | ((4 - 1) << 2))  # copy-4 tag, len 4
+        stream += (4).to_bytes(4, "little")
+        assert snappy_decompress(bytes(stream)) == b"abcdabcd"
+
+    def test_two_byte_literal_length_supported(self):
+        body = b"x" * 300
+        stream = bytearray()
+        stream += b"\xac\x02"  # 300
+        stream.append(61 << 2)
+        stream += (299).to_bytes(2, "little")
+        stream += body
+        assert snappy_decompress(bytes(stream)) == body

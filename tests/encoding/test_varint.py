@@ -1,0 +1,93 @@
+"""Tests for varint/zigzag primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.varint import (
+    decode_svarint,
+    decode_svarint_array,
+    decode_uvarint,
+    decode_uvarint_array,
+    encode_svarint,
+    encode_svarint_array,
+    encode_uvarint,
+    encode_uvarint_array,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUvarint:
+    @pytest.mark.parametrize("value,expected", [
+        (0, b"\x00"),
+        (1, b"\x01"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (300, b"\xac\x02"),
+        (2**32, b"\x80\x80\x80\x80\x10"),
+    ])
+    def test_known_encodings(self, value, expected):
+        out = bytearray()
+        encode_uvarint(value, out)
+        assert bytes(out) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1, bytearray())
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_uvarint(b"\x80", 0)
+
+    def test_overlong_rejected(self):
+        with pytest.raises(ValueError, match="too long"):
+            decode_uvarint(b"\x80" * 11 + b"\x01", 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip(self, value):
+        out = bytearray()
+        encode_uvarint(value, out)
+        got, pos = decode_uvarint(bytes(out), 0)
+        assert got == value and pos == len(out)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=50))
+    def test_array_roundtrip(self, values):
+        out = bytearray()
+        encode_uvarint_array(values, out)
+        got, pos = decode_uvarint_array(bytes(out), 0, len(values))
+        assert got == values and pos == len(out)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("signed,unsigned", [
+        (0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2**31 - 1, 2**32 - 2),
+    ])
+    def test_known_pairs(self, signed, unsigned):
+        assert zigzag_encode(signed) == unsigned
+        assert zigzag_decode(unsigned) == signed
+
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, value):
+        assert zigzag_decode(zigzag_encode(value)) == value
+
+
+class TestSvarint:
+    @given(st.integers(min_value=-(2**62), max_value=2**62))
+    def test_roundtrip(self, value):
+        out = bytearray()
+        encode_svarint(value, out)
+        got, pos = decode_svarint(bytes(out), 0)
+        assert got == value and pos == len(out)
+
+    @given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=50))
+    def test_array_roundtrip(self, values):
+        out = bytearray()
+        encode_svarint_array(values, out)
+        got, pos = decode_svarint_array(bytes(out), 0, len(values))
+        assert got == values and pos == len(out)
+
+    def test_small_magnitudes_are_one_byte(self):
+        out = bytearray()
+        encode_svarint_array([0, 1, -1, 63, -63], out)
+        assert len(out) == 5

@@ -1,0 +1,175 @@
+"""Unit tests for Box3 and the vectorized box helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Box3,
+    Point3,
+    array_to_boxes,
+    boxes_intersect_count,
+    boxes_intersect_mask,
+    boxes_to_array,
+    centroid_range,
+)
+
+
+def box(x0=0, x1=1, y0=0, y1=1, t0=0, t1=1):
+    return Box3(x0, x1, y0, y1, t0, t1)
+
+
+class TestBox3Construction:
+    def test_valid_box(self):
+        b = box()
+        assert b.width == 1 and b.height == 1 and b.duration == 1
+
+    def test_inverted_x_raises(self):
+        with pytest.raises(ValueError, match="x_min"):
+            Box3(1, 0, 0, 1, 0, 1)
+
+    def test_inverted_y_raises(self):
+        with pytest.raises(ValueError, match="y_min"):
+            Box3(0, 1, 1, 0, 0, 1)
+
+    def test_inverted_t_raises(self):
+        with pytest.raises(ValueError, match="t_min"):
+            Box3(0, 1, 0, 1, 1, 0)
+
+    def test_degenerate_box_allowed(self):
+        b = Box3(0, 0, 0, 0, 0, 0)
+        assert b.volume == 0
+
+    def test_from_center_size(self):
+        b = Box3.from_center_size((5, 5, 100), 2, 4, 10)
+        assert b.as_tuple() == (4, 6, 3, 7, 95, 105)
+
+    def test_from_center_size_point3(self):
+        b = Box3.from_center_size(Point3(1, 2, 3), 0, 0, 0)
+        assert b.centroid == Point3(1, 2, 3)
+
+    def test_from_center_negative_extent_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Box3.from_center_size((0, 0, 0), -1, 0, 0)
+
+    def test_bounding(self):
+        b = Box3.bounding([box(), box(2, 3, 2, 3, 2, 3)])
+        assert b.as_tuple() == (0, 3, 0, 3, 0, 3)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Box3.bounding([])
+
+
+class TestBox3Measures:
+    def test_volume(self):
+        assert box(0, 2, 0, 3, 0, 4).volume == 24
+
+    def test_centroid(self):
+        assert box(0, 2, 0, 4, 0, 6).centroid == Point3(1, 2, 3)
+
+    def test_size(self):
+        assert box(0, 2, 0, 3, 0, 4).size == (2, 3, 4)
+
+
+class TestBox3Predicates:
+    def test_overlapping(self):
+        assert box().intersects(box(0.5, 1.5))
+
+    def test_touching_counts_as_intersecting(self):
+        assert box().intersects(box(1, 2))
+
+    def test_disjoint_x(self):
+        assert not box().intersects(box(1.1, 2))
+
+    def test_disjoint_t(self):
+        assert not box().intersects(box(0, 1, 0, 1, 2, 3))
+
+    def test_contains_point_inside(self):
+        assert box().contains_point((0.5, 0.5, 0.5))
+
+    def test_contains_point_boundary(self):
+        assert box().contains_point(Point3(1, 1, 1))
+
+    def test_contains_point_outside(self):
+        assert not box().contains_point((1.5, 0.5, 0.5))
+
+    def test_contains_box(self):
+        assert box(0, 4, 0, 4, 0, 4).contains_box(box(1, 2, 1, 2, 1, 2))
+
+    def test_contains_box_not(self):
+        assert not box().contains_box(box(0.5, 1.5))
+
+
+class TestBox3Derived:
+    def test_intersection(self):
+        got = box().intersection(box(0.5, 2, 0.5, 2, 0.5, 2))
+        assert got is not None
+        assert got.as_tuple() == (0.5, 1, 0.5, 1, 0.5, 1)
+
+    def test_intersection_disjoint_is_none(self):
+        assert box().intersection(box(2, 3)) is None
+
+    def test_union(self):
+        assert box().union(box(2, 3)).as_tuple() == (0, 3, 0, 1, 0, 1)
+
+    def test_translated(self):
+        assert box().translated(1, 2, 3).as_tuple() == (1, 2, 2, 3, 3, 4)
+
+    def test_expanded(self):
+        assert box().expanded(0.5, 0.5, 0.5).as_tuple() == (-0.5, 1.5, -0.5, 1.5, -0.5, 1.5)
+
+    def test_expanded_clamps_to_zero(self):
+        b = box().expanded(-2, 0, 0)
+        assert b.width == 0
+
+    def test_clamped_to(self):
+        got = box(-1, 2).clamped_to(box())
+        assert got is not None
+        assert got.as_tuple() == (0, 1, 0, 1, 0, 1)
+
+
+class TestBoxArrays:
+    def test_roundtrip(self):
+        boxes = [box(), box(1, 2, 3, 4, 5, 6)]
+        arr = boxes_to_array(boxes)
+        assert arr.shape == (2, 6)
+        assert array_to_boxes(arr) == boxes
+
+    def test_array_to_boxes_bad_shape(self):
+        with pytest.raises(ValueError, match="box array"):
+            array_to_boxes(np.zeros((2, 5)))
+
+    def test_intersect_mask(self):
+        arr = boxes_to_array([box(), box(2, 3), box(0.5, 2.5)])
+        mask = boxes_intersect_mask(arr, box(0.6, 0.9))
+        assert mask.tolist() == [True, False, True]
+
+    def test_intersect_count_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        boxes = []
+        for _ in range(200):
+            lo = rng.uniform(0, 10, 3)
+            hi = lo + rng.uniform(0, 3, 3)
+            boxes.append(Box3(lo[0], hi[0], lo[1], hi[1], lo[2], hi[2]))
+        arr = boxes_to_array(boxes)
+        q = Box3(2, 6, 2, 6, 2, 6)
+        expected = sum(1 for b in boxes if b.intersects(q))
+        assert boxes_intersect_count(arr, q) == expected
+
+
+class TestCentroidRange:
+    def test_interior(self):
+        u = box(0, 10, 0, 10, 0, 10)
+        cr = centroid_range(u, (2, 4, 6))
+        assert cr.as_tuple() == (1, 9, 2, 8, 3, 7)
+
+    def test_query_spanning_universe_degenerates(self):
+        u = box(0, 10, 0, 10, 0, 10)
+        cr = centroid_range(u, (10, 2, 2))
+        assert cr.width == 0
+        assert cr.x_min == 5
+
+    def test_oversized_query_clamped(self):
+        u = box(0, 10, 0, 10, 0, 10)
+        cr = centroid_range(u, (20, 2, 2))
+        assert cr.width == 0

@@ -1,0 +1,136 @@
+"""Tests for Eq. 12 intersection probabilities, including Monte-Carlo
+agreement — the core geometric machinery behind the analytic cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Box3,
+    boxes_intersect_count,
+    boxes_to_array,
+    centroid_range,
+    centroid_range_volumes,
+    intersection_probabilities,
+)
+
+U = Box3(0, 10, 0, 10, 0, 10)
+
+
+def grid_boxes(nx, ny, nt, universe=U):
+    """Uniform nx*ny*nt grid partitioning of the universe."""
+    xs = np.linspace(universe.x_min, universe.x_max, nx + 1)
+    ys = np.linspace(universe.y_min, universe.y_max, ny + 1)
+    ts = np.linspace(universe.t_min, universe.t_max, nt + 1)
+    boxes = []
+    for i in range(nx):
+        for j in range(ny):
+            for k in range(nt):
+                boxes.append(Box3(xs[i], xs[i + 1], ys[j], ys[j + 1], ts[k], ts[k + 1]))
+    return boxes
+
+
+class TestIntersectionProbabilities:
+    def test_probabilities_are_probabilities(self):
+        arr = boxes_to_array(grid_boxes(4, 4, 4))
+        p = intersection_probabilities(arr, U, (1, 1, 1))
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_tiny_query_probability_close_to_zero(self):
+        arr = boxes_to_array(grid_boxes(10, 10, 10))
+        p = intersection_probabilities(arr, U, (1e-9, 1e-9, 1e-9))
+        # A point query touches exactly one partition on average.
+        assert p.sum() == pytest.approx(1.0, rel=1e-6)
+
+    def test_universe_query_touches_everything(self):
+        arr = boxes_to_array(grid_boxes(3, 3, 3))
+        p = intersection_probabilities(arr, U, (10, 10, 10))
+        assert np.allclose(p, 1.0)
+
+    def test_oversized_query_clamped_like_universe(self):
+        arr = boxes_to_array(grid_boxes(3, 3, 3))
+        p = intersection_probabilities(arr, U, (50, 50, 50))
+        assert np.allclose(p, 1.0)
+
+    def test_half_width_query_on_two_cells(self):
+        # Universe split in two along x; query of width 5 placed uniformly:
+        # centroid range is [2.5, 7.5]; the left cell [0,5] is hit unless the
+        # centroid is... it is always hit: west bound max(2.5, 0-2.5)=2.5,
+        # east min(7.5, 5+2.5)=7.5 -> probability 1.  Same by symmetry on the
+        # right.
+        arr = boxes_to_array(grid_boxes(2, 1, 1))
+        p = intersection_probabilities(arr, U, (5, 10, 10))
+        assert np.allclose(p, 1.0)
+
+    def test_quarter_width_query_on_two_cells(self):
+        # Query width 2.5: centroid in [1.25, 8.75] (length 7.5). Left cell
+        # hit when centroid <= 6.25: length 5 -> p = 2/3.
+        arr = boxes_to_array(grid_boxes(2, 1, 1))
+        p = intersection_probabilities(arr, U, (2.5, 10, 10))
+        assert np.allclose(p, 2.0 / 3.0)
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            intersection_probabilities(np.zeros((3, 4)), U, (1, 1, 1))
+
+    def test_sum_is_expected_np_monte_carlo(self):
+        """Analytic Np (Eq. 11) matches brute-force Monte Carlo."""
+        boxes = grid_boxes(5, 4, 3)
+        arr = boxes_to_array(boxes)
+        size = (2.0, 3.0, 1.5)
+        analytic = intersection_probabilities(arr, U, size).sum()
+        rng = np.random.default_rng(42)
+        cr = centroid_range(U, size)
+        trials = 4000
+        total = 0
+        for _ in range(trials):
+            c = (
+                rng.uniform(cr.x_min, cr.x_max),
+                rng.uniform(cr.y_min, cr.y_max),
+                rng.uniform(cr.t_min, cr.t_max),
+            )
+            q = Box3.from_center_size(c, *size)
+            total += boxes_intersect_count(arr, q)
+        mc = total / trials
+        assert analytic == pytest.approx(mc, rel=0.03)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        w=st.floats(0.01, 9.9),
+        h=st.floats(0.01, 9.9),
+        t=st.floats(0.01, 9.9),
+        nx=st.integers(1, 6),
+        ny=st.integers(1, 6),
+        nt=st.integers(1, 4),
+    )
+    def test_property_np_bounds(self, w, h, t, nx, ny, nt):
+        """1 <= E[Np] <= |P| for any query size and grid."""
+        arr = boxes_to_array(grid_boxes(nx, ny, nt))
+        s = intersection_probabilities(arr, U, (w, h, t)).sum()
+        assert 1.0 - 1e-9 <= s <= nx * ny * nt + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        w1=st.floats(0.01, 9.0),
+        dw=st.floats(0.0, 0.9),
+        nx=st.integers(1, 6),
+        ny=st.integers(1, 6),
+    )
+    def test_property_np_monotone_in_query_size(self, w1, dw, nx, ny):
+        """Growing the query never reduces the expected partition count."""
+        arr = boxes_to_array(grid_boxes(nx, ny, 2))
+        small = intersection_probabilities(arr, U, (w1, 5, 5)).sum()
+        big = intersection_probabilities(arr, U, (w1 + dw, 5, 5)).sum()
+        assert big >= small - 1e-9
+
+
+class TestCentroidRangeVolumes:
+    def test_volumes_consistent_with_probabilities(self):
+        arr = boxes_to_array(grid_boxes(4, 2, 2))
+        size = (1.0, 2.0, 3.0)
+        cr = centroid_range(U, size)
+        vols = centroid_range_volumes(arr, U, size)
+        probs = intersection_probabilities(arr, U, size)
+        denom = cr.width * cr.height * cr.duration
+        assert np.allclose(vols, probs * denom)

@@ -1,0 +1,82 @@
+"""Integration: the paper's full candidate grid, end to end.
+
+25 partitioning schemes (k-d 4^2..4^6 x temporal 2^4..2^8, up to ~1M
+partitions) x 7 encodings = 175 candidate replicas, built from a sample,
+costed through the calibrated EMR model, pruned and solved — the actual
+Section V configuration at full candidate scale.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import cost_model_for, make_cluster
+from repro.core import AdvisorConfig, ReplicaAdvisor, prune_dominated
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import paper_encoding_schemes
+from repro.partition import paper_partitioning_schemes
+from repro.workload import paper_workload
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    sample = synthetic_shanghai_taxis(30_000, seed=191, num_taxis=64)
+    cluster = make_cluster("amazon-s3-emr", seed=47)
+    model = cost_model_for(cluster, [s.name for s in paper_encoding_schemes()])
+    return ReplicaAdvisor(
+        sample=sample,
+        partitioning_schemes=paper_partitioning_schemes(),
+        encoding_schemes=paper_encoding_schemes(),
+        cost_model=model,
+        config=AdvisorConfig(n_records=65_000_000),
+    )
+
+
+class TestFullPaperGrid:
+    def test_candidate_count_matches_paper_scale(self, advisor):
+        assert len(advisor.candidates) == 25 * 7
+
+    def test_instance_builds_in_reasonable_time(self, advisor):
+        workload = paper_workload(advisor.universe)
+        t0 = time.perf_counter()
+        instance = advisor.build_instance(workload, budget=1e15)
+        elapsed = time.perf_counter() - t0
+        assert instance.n_replicas == 175
+        assert elapsed < 60
+
+    def test_end_to_end_selection(self, advisor):
+        workload = paper_workload(advisor.universe)
+        budget = advisor.single_replica_budget(workload, copies=3)
+        greedy = advisor.recommend(workload, budget, method="greedy")
+        exact = advisor.recommend(workload, budget, method="exact")
+        assert exact.selection.optimal
+        assert exact.cost <= greedy.cost + 1e-9
+        assert exact.cost <= exact.single_cost
+        assert greedy.approximation_ratio < 1.3  # the paper's claim
+        assert exact.approximation_ratio < 1.1
+        assert len(exact.replica_names) >= 2
+        assert exact.storage_used <= budget * (1 + 1e-9)
+
+    def test_pruning_collapses_the_grid(self, advisor):
+        workload = paper_workload(advisor.universe)
+        instance = advisor.build_instance(
+            workload, advisor.single_replica_budget(workload))
+        pruned = prune_dominated(instance)
+        assert pruned.reduction > 0.5
+        # One encoding family dominates per environment, so survivors are
+        # few — the paper's m_P x m_E grid is heavily redundant.
+        assert len(pruned.kept) < 40
+
+    def test_small_queries_prefer_finer_schemes(self, advisor):
+        workload = paper_workload(advisor.universe)
+        instance = advisor.build_instance(workload, budget=1e18)
+        best = instance.costs.argmin(axis=1)
+
+        def granularity(name: str) -> int:
+            part = name.split("/")[0]
+            kd, t = part.split("xT")
+            return int(kd[2:]) * int(t)
+
+        finest_for_q1 = granularity(instance.name_of(int(best[0])))
+        coarsest_for_q8 = granularity(instance.name_of(int(best[-1])))
+        assert finest_for_q1 > coarsest_for_q8

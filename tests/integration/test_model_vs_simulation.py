@@ -1,0 +1,97 @@
+"""Integration: the calibrated cost model predicts simulated execution.
+
+The paper's pipeline estimates Cost(q, r) from calibrated ScanRate /
+ExtraTime and uses it to pick replicas.  Here we close the loop on the
+simulated clusters: predictions from the calibrated model must track the
+"real" (simulated) per-query work within a tight factor, and the replica
+ranking induced by predictions must match the ranking by simulated cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    LOCAL_HADOOP,
+    cost_model_for,
+    make_cluster,
+    position_query,
+    simulate_query,
+)
+from repro.costmodel import ReplicaProfile
+from repro.data import synthetic_shanghai_taxis
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.workload import GroupedQuery
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return synthetic_shanghai_taxis(6000, seed=83, num_taxis=16)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return make_cluster(LOCAL_HADOOP, seed=29)
+
+
+@pytest.fixture(scope="module")
+def model(cluster):
+    return cost_model_for(cluster, ["ROW-PLAIN", "COL-GZIP", "COL-LZMA2"],
+                          sizes=(5_000, 50_000, 200_000))
+
+
+@pytest.fixture(scope="module")
+def profiles(sample):
+    target_records = 2_000_000
+    out = []
+    for leaves, slices, enc in [
+        (4, 4, "ROW-PLAIN"), (16, 8, "COL-GZIP"), (64, 16, "COL-LZMA2"),
+    ]:
+        part = CompositeScheme(KdTreePartitioner(leaves), slices).build(sample)
+        out.append(ReplicaProfile.from_partitioning(part, enc, target_records, 1.0))
+    return out
+
+
+class TestPredictionAccuracy:
+    def test_predicted_tracks_simulated_total_work(self, cluster, model, profiles):
+        rng = np.random.default_rng(11)
+        u = profiles[0].universe
+        for frac in (0.05, 0.2, 0.5):
+            g = GroupedQuery(u.width * frac, u.height * frac, u.duration * frac)
+            for profile in profiles:
+                q = position_query(g, profile, rng)
+                predicted = model.query_cost(q, profile)
+                simulated = simulate_query(cluster, profile, q).total_task_seconds
+                assert predicted == pytest.approx(simulated, rel=0.25), (
+                    frac, profile.name)
+
+    def test_replica_ranking_preserved(self, cluster, model, profiles):
+        """The router decision (argmin of predictions) matches the argmin
+        of simulated execution for the vast majority of queries."""
+        rng = np.random.default_rng(13)
+        u = profiles[0].universe
+        agree = 0
+        trials = 15
+        for _ in range(trials):
+            frac = float(np.exp(rng.uniform(np.log(0.01), np.log(0.8))))
+            g = GroupedQuery(u.width * frac, u.height * frac, u.duration * frac)
+            q = position_query(g, profiles[0], rng)
+            predicted = [model.query_cost(q, p) for p in profiles]
+            simulated = [
+                simulate_query(cluster, p, q).total_task_seconds for p in profiles
+            ]
+            if int(np.argmin(predicted)) == int(np.argmin(simulated)):
+                agree += 1
+        assert agree >= trials - 2
+
+    def test_grouped_prediction_matches_positional_average(self, model, profiles):
+        """Eq. 8: the grouped-query cost is the expectation over positions."""
+        rng = np.random.default_rng(17)
+        profile = profiles[1]
+        u = profile.universe
+        g = GroupedQuery(u.width * 0.15, u.height * 0.15, u.duration * 0.15)
+        grouped_cost = model.query_cost(g, profile)
+        sampled = [
+            model.query_cost(position_query(g, profile, rng), profile)
+            for _ in range(800)
+        ]
+        assert grouped_cost == pytest.approx(float(np.mean(sampled)), rel=0.05)

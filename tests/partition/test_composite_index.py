@@ -1,0 +1,163 @@
+"""Tests for composite schemes, the paper's 25-scheme grid, and the
+partition index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import synthetic_shanghai_taxis
+from repro.geometry import Box3, boxes_intersect_count
+from repro.partition import (
+    CompositeScheme,
+    KdTreePartitioner,
+    PartitionIndex,
+    Partitioning,
+    check_partitioning,
+    paper_partitioning_schemes,
+    small_partitioning_schemes,
+)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(4000, seed=19, num_taxis=16)
+
+
+class TestComposite:
+    def test_name(self):
+        s = CompositeScheme(KdTreePartitioner(16), 8)
+        assert s.name == "KD16xT8"
+
+    def test_partition_count(self):
+        assert CompositeScheme(KdTreePartitioner(16), 8).n_partitions == 128
+
+    def test_invalid_slices(self):
+        with pytest.raises(ValueError):
+            CompositeScheme(KdTreePartitioner(4), 0)
+
+    def test_invariants(self, ds):
+        p = CompositeScheme(KdTreePartitioner(8), 4).build(ds)
+        check_partitioning(p, ds)
+
+    def test_near_equal_counts(self, ds):
+        p = CompositeScheme(KdTreePartitioner(8), 4).build(ds)
+        assert p.skew() < 1.3
+
+    def test_every_cell_covers_full_time_range(self, ds):
+        p = CompositeScheme(KdTreePartitioner(4), 4).build(ds)
+        bb = ds.bounding_box()
+        arr = p.box_array.reshape(4, 4, 6)
+        assert np.allclose(arr[:, 0, 4], bb.t_min)
+        assert np.allclose(arr[:, -1, 5], bb.t_max)
+
+    def test_paper_grid_is_25_schemes(self):
+        schemes = paper_partitioning_schemes()
+        assert len(schemes) == 25
+        names = {s.name for s in schemes}
+        assert "KD16xT16" in names and "KD4096xT256" in names
+        counts = sorted(s.n_partitions for s in schemes)
+        assert counts[0] == 16 * 16 and counts[-1] == 4096 * 256
+
+    def test_small_grid_structure(self):
+        schemes = small_partitioning_schemes()
+        assert len(schemes) == 9
+        assert all(isinstance(s, CompositeScheme) for s in schemes)
+
+
+class TestPartitioningContainer:
+    def test_labels_out_of_range_rejected(self, ds):
+        p = CompositeScheme(KdTreePartitioner(4), 2).build(ds)
+        with pytest.raises(ValueError, match="labels"):
+            Partitioning(p.scheme_name, p.universe, p.box_array,
+                         np.full(10, p.n_partitions, dtype=np.int64))
+
+    def test_bad_box_array_rejected(self, ds):
+        with pytest.raises(ValueError, match="box_array"):
+            Partitioning("x", ds.bounding_box(), np.zeros((2, 5)),
+                         np.zeros(1, dtype=np.int64))
+
+    def test_records_of_matches_labels(self, ds):
+        p = CompositeScheme(KdTreePartitioner(4), 2).build(ds)
+        total = sum(len(p.records_of(ds, i)) for i in range(p.n_partitions))
+        assert total == len(ds)
+
+    def test_involved_small_query(self, ds):
+        p = CompositeScheme(KdTreePartitioner(4), 4).build(ds)
+        bb = ds.bounding_box()
+        c = bb.centroid
+        q = Box3.from_center_size(c, bb.width / 100, bb.height / 100, bb.duration / 100)
+        inv = p.involved(q)
+        assert 1 <= len(inv) < p.n_partitions
+
+    def test_involved_universe_query(self, ds):
+        p = CompositeScheme(KdTreePartitioner(4), 4).build(ds)
+        assert len(p.involved(ds.bounding_box())) == p.n_partitions
+
+
+class TestPartitionIndex:
+    @pytest.fixture(scope="class")
+    def built(self, ds):
+        p = CompositeScheme(KdTreePartitioner(16), 8).build(ds)
+        return p, PartitionIndex(p.box_array, p.universe, resolution=8)
+
+    def test_len(self, built):
+        p, idx = built
+        assert len(idx) == p.n_partitions
+
+    def test_matches_linear_scan(self, built, ds):
+        p, idx = built
+        bb = ds.bounding_box()
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            c = (
+                rng.uniform(bb.x_min, bb.x_max),
+                rng.uniform(bb.y_min, bb.y_max),
+                rng.uniform(bb.t_min, bb.t_max),
+            )
+            q = Box3.from_center_size(
+                c, bb.width * rng.uniform(0, 0.5),
+                bb.height * rng.uniform(0, 0.5),
+                bb.duration * rng.uniform(0, 0.5),
+            )
+            assert np.array_equal(idx.involved(q), p.involved(q))
+
+    def test_count_involved(self, built, ds):
+        p, idx = built
+        bb = ds.bounding_box()
+        assert idx.count_involved(bb) == p.n_partitions
+
+    def test_resolution_one_degenerates(self, built, ds):
+        p, _ = built
+        idx = PartitionIndex(p.box_array, p.universe, resolution=1)
+        bb = ds.bounding_box()
+        q = Box3.from_center_size(bb.centroid, 0.01, 0.01, 60.0)
+        assert np.array_equal(idx.involved(q), p.involved(q))
+
+    def test_invalid_resolution(self, built):
+        p, _ = built
+        with pytest.raises(ValueError):
+            PartitionIndex(p.box_array, p.universe, resolution=0)
+
+    def test_invalid_shape(self, built):
+        p, _ = built
+        with pytest.raises(ValueError):
+            PartitionIndex(np.zeros((3, 4)), p.universe)
+
+    def test_memory_accounting(self, built):
+        _, idx = built
+        assert idx.memory_bytes() > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        cx=st.floats(120.0, 122.0), cy=st.floats(30.0, 32.0),
+        w=st.floats(0.0, 2.0), h=st.floats(0.0, 2.0), frac=st.floats(0.0, 1.0),
+    )
+    def test_property_index_exact(self, built, cx, cy, w, h, frac):
+        p, idx = built
+        u = p.universe
+        q = Box3.from_center_size(
+            (cx, cy, u.t_min + frac * u.duration), w, h, u.duration * frac,
+        )
+        assert np.array_equal(idx.involved(q), p.involved(q))
+        assert idx.count_involved(q) == boxes_intersect_count(p.box_array, q)

@@ -1,0 +1,74 @@
+"""Tests for metadata-assisted range counting."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.geometry import Box3
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage import BlotStore, InMemoryStore
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = synthetic_shanghai_taxis(5000, seed=173, num_taxis=16)
+    store = BlotStore(ds)
+    store.add_replica(CompositeScheme(KdTreePartitioner(16), 8),
+                      encoding_scheme_by_name("COL-GZIP"), InMemoryStore(),
+                      name="r")
+    return ds, store
+
+
+def random_box(ds, rng, frac):
+    bb = ds.bounding_box()
+    w, h, t = bb.width * frac, bb.height * frac, bb.duration * frac
+    return Box3.from_center_size(
+        (rng.uniform(bb.x_min + w / 2, bb.x_max - w / 2),
+         rng.uniform(bb.y_min + h / 2, bb.y_max - h / 2),
+         rng.uniform(bb.t_min + t / 2, bb.t_max - t / 2)),
+        w, h, t)
+
+
+class TestFastCount:
+    def test_matches_brute_force(self, setup):
+        ds, store = setup
+        rng = np.random.default_rng(0)
+        for frac in (0.05, 0.2, 0.5, 0.8):
+            for _ in range(5):
+                box = random_box(ds, rng, frac)
+                count, _ = store.count(box, replica="r")
+                assert count == ds.count_in_box(box), frac
+
+    def test_universe_count_reads_nothing(self, setup):
+        ds, store = setup
+        count, stats = store.count(ds.bounding_box(), replica="r")
+        assert count == len(ds)
+        assert stats.records_scanned == 0
+        assert stats.bytes_read == 0
+        assert stats.partitions_involved == 0  # no partition decoded
+
+    def test_large_query_decodes_only_boundary(self, setup):
+        ds, store = setup
+        rng = np.random.default_rng(1)
+        box = random_box(ds, rng, 0.8)
+        count, stats = store.count(box, replica="r")
+        full = store.query(box, replica="r").stats
+        assert count == full.records_returned
+        # Counting decodes strictly fewer partitions than materializing.
+        assert stats.partitions_involved < full.partitions_involved
+        assert stats.records_scanned < full.records_scanned
+
+    def test_tiny_query_equivalent_work(self, setup):
+        ds, store = setup
+        rng = np.random.default_rng(2)
+        box = random_box(ds, rng, 0.03)
+        count, stats = store.count(box, replica="r")
+        assert count == ds.count_in_box(box)
+
+    def test_count_accepts_query_objects(self, setup):
+        ds, store = setup
+        from repro.workload import Query
+        q = Query.from_box(ds.bounding_box())
+        count, _ = store.count(q, replica="r")
+        assert count == len(ds)

@@ -1,0 +1,150 @@
+"""Tests for continuous ingestion (delta buffer + compaction)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.geometry import Box3
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage.ingest import IngestingBlotStore, ReplicaSpec
+
+
+@pytest.fixture(scope="module")
+def stream():
+    """One dataset split into an initial load plus 4 ingest batches."""
+    full = synthetic_shanghai_taxis(6000, seed=127, num_taxis=16)
+    initial = full.take(np.arange(0, 3000))
+    batches = [full.take(np.arange(3000 + i * 750, 3000 + (i + 1) * 750))
+               for i in range(4)]
+    return full, initial, batches
+
+
+def make_store(initial):
+    return IngestingBlotStore(initial, [
+        ReplicaSpec(CompositeScheme(KdTreePartitioner(8), 4),
+                    encoding_scheme_by_name("COL-GZIP"), name="main"),
+    ])
+
+
+def result_key(records):
+    return sorted(zip(records.column("oid").tolist(),
+                      records.column("t").tolist()))
+
+
+def random_box(universe, rng, frac=0.4):
+    w, h, t = (universe.width * frac, universe.height * frac,
+               universe.duration * frac)
+    return Box3.from_center_size(
+        (rng.uniform(universe.x_min + w / 2, universe.x_max - w / 2),
+         rng.uniform(universe.y_min + h / 2, universe.y_max - h / 2),
+         rng.uniform(universe.t_min + t / 2, universe.t_max - t / 2)),
+        w, h, t,
+    )
+
+
+class TestIngest:
+    def test_requires_specs(self, stream):
+        _, initial, _ = stream
+        with pytest.raises(ValueError):
+            IngestingBlotStore(initial, [])
+
+    def test_appends_visible_immediately(self, stream):
+        full, initial, batches = stream
+        store = make_store(initial)
+        current = initial
+        rng = np.random.default_rng(0)
+        for batch in batches:
+            store.append(batch)
+            current = Dataset.concat([current, batch])
+            box = random_box(full.bounding_box(), rng)
+            got = store.query(box)
+            assert result_key(got.records) == result_key(current.filter_box(box))
+
+    def test_len_tracks_appends(self, stream):
+        _, initial, batches = stream
+        store = make_store(initial)
+        assert len(store) == len(initial)
+        store.append(batches[0])
+        assert len(store) == len(initial) + len(batches[0])
+        assert store.buffered_records == len(batches[0])
+
+    def test_empty_append_ignored(self, stream):
+        _, initial, _ = stream
+        store = make_store(initial)
+        store.append(Dataset.empty())
+        assert store.buffered_records == 0
+
+    def test_compaction_preserves_queries(self, stream):
+        full, initial, batches = stream
+        store = make_store(initial)
+        for batch in batches:
+            store.append(batch)
+        before_universe = store.base.universe
+        store.compact()
+        assert store.buffered_records == 0
+        assert len(store.base.dataset) == len(initial) + sum(map(len, batches))
+        # Universe may have grown to cover the new records.
+        assert store.base.universe.contains_box(before_universe) or \
+            store.base.universe == before_universe
+        rng = np.random.default_rng(1)
+        current = Dataset.concat([initial, *batches])
+        for _ in range(5):
+            box = random_box(full.bounding_box(), rng)
+            got = store.query(box)
+            assert result_key(got.records) == result_key(current.filter_box(box))
+
+    def test_compact_noop_when_empty(self, stream):
+        _, initial, _ = stream
+        store = make_store(initial)
+        base_before = store.base
+        store.compact()
+        assert store.base is base_before
+
+    def test_buffer_scan_accounted(self, stream):
+        full, initial, batches = stream
+        store = make_store(initial)
+        store.append(batches[0])
+        box = random_box(full.bounding_box(), np.random.default_rng(2))
+        stats = store.query(box).stats
+        assert stats.records_scanned >= len(batches[0])
+        assert stats.total_records == len(store)
+
+    def test_auto_compaction_triggers(self, stream):
+        _, initial, batches = stream
+        store = IngestingBlotStore(initial, [
+            ReplicaSpec(CompositeScheme(KdTreePartitioner(4), 2),
+                        encoding_scheme_by_name("ROW-PLAIN")),
+        ], auto_compact_at=1000)
+        store.append(batches[0])  # 750 buffered, below threshold
+        assert store.compactions == 0
+        store.append(batches[1])  # 1500 >= threshold -> compact
+        assert store.compactions == 1
+        assert store.buffered_records == 0
+        assert len(store.base.dataset) == len(initial) + 1500
+
+    def test_auto_compaction_invalid_threshold(self, stream):
+        _, initial, _ = stream
+        with pytest.raises(ValueError):
+            IngestingBlotStore(initial, [
+                ReplicaSpec(CompositeScheme(KdTreePartitioner(4), 2),
+                            encoding_scheme_by_name("ROW-PLAIN")),
+            ], auto_compact_at=0)
+
+    def test_out_of_universe_records_found_before_compaction(self, stream):
+        """Records beyond the base universe live in the buffer and are
+        still queryable; after compaction they are indexed."""
+        _, initial, _ = stream
+        store = make_store(initial)
+        u = store.base.universe
+        # A record one day after the base window.
+        late = synthetic_shanghai_taxis(50, seed=5, num_taxis=4)
+        cols = late.columns
+        cols["t"] = cols["t"] + (u.t_max - cols["t"].min()) + 86400.0
+        late = Dataset(cols)
+        store.append(late)
+        probe = Box3(u.x_min, u.x_max, u.y_min, u.y_max,
+                     float(late.column("t").min()), float(late.column("t").max()))
+        assert len(store.query(probe).records) == len(late.filter_box(probe))
+        store.compact()
+        assert len(store.query(probe).records) == len(late.filter_box(probe))

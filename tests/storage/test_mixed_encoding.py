@@ -1,0 +1,121 @@
+"""Tests for per-partition mixed-encoding replicas (the Definition 4
+generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.geometry import Box3
+from repro.partition import CompositeScheme, GridPartitioner, KdTreePartitioner
+from repro.storage import (
+    BlotStore,
+    InMemoryStore,
+    build_manifest,
+    build_mixed_replica,
+    build_replica,
+    load_replica,
+    repair_partition,
+    temperature_policy,
+    verify_replica,
+)
+
+HOT = encoding_scheme_by_name("ROW-PLAIN")
+COLD = encoding_scheme_by_name("COL-LZMA2")
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(5000, seed=131, num_taxis=16)
+
+
+@pytest.fixture()
+def mixed(ds):
+    scheme = GridPartitioner(4, 4, 2)  # skewed: hotspots concentrate records
+    partitioning = scheme.build(ds)
+    policy = temperature_policy(partitioning.counts, HOT, COLD,
+                                hot_fraction=0.25)
+    return build_mixed_replica(ds, scheme, policy, InMemoryStore(),
+                               name="mixed")
+
+
+class TestBuildMixed:
+    def test_policy_invalid_fraction(self, ds):
+        with pytest.raises(ValueError):
+            temperature_policy(np.ones(4), HOT, COLD, hot_fraction=2.0)
+
+    def test_all_records_stored(self, ds, mixed):
+        total = sum(len(mixed.read_partition(p)) for p in range(mixed.n_partitions))
+        assert total == len(ds)
+
+    def test_is_mixed(self, mixed):
+        assert mixed.is_mixed_encoding
+        names = {e.name for e in mixed.partition_encodings}
+        assert names == {"ROW-PLAIN", "COL-LZMA2"}
+
+    def test_hot_partitions_use_fast_codec(self, ds, mixed):
+        counts = mixed.partitioning.counts
+        hot_ids = np.argsort(counts)[::-1][:8]
+        for pid in hot_ids:
+            assert mixed.encoding_for(int(pid)).name == "ROW-PLAIN"
+
+    def test_majority_default_encoding(self, mixed):
+        # 75% of partitions are cold.
+        assert mixed.encoding.name == "COL-LZMA2"
+
+    def test_storage_between_pure_extremes(self, ds, mixed):
+        plain = build_replica(ds, GridPartitioner(4, 4, 2), HOT,
+                              InMemoryStore(), name="plain")
+        lzma = build_replica(ds, GridPartitioner(4, 4, 2), COLD,
+                             InMemoryStore(), name="lzma")
+        assert lzma.storage_bytes() < mixed.storage_bytes() < plain.storage_bytes()
+
+    def test_encoding_count_validated(self, ds, mixed):
+        from repro.storage.replica import StoredReplica
+        with pytest.raises(ValueError, match="partition encodings"):
+            StoredReplica(
+                mixed.name, mixed.partitioning, mixed.encoding, mixed.store,
+                mixed.unit_keys, partition_encodings=(HOT,),
+            )
+
+
+class TestMixedQueries:
+    def test_engine_queries_mixed_replica(self, ds):
+        store = BlotStore(ds)
+        scheme = CompositeScheme(KdTreePartitioner(8), 4)
+        partitioning = scheme.build(ds)
+        policy = temperature_policy(partitioning.counts, HOT, COLD)
+        replica = build_mixed_replica(ds, scheme, policy, InMemoryStore(),
+                                      name="m")
+        store.register_replica(replica)
+        bb = ds.bounding_box()
+        q = Box3(bb.x_min, bb.centroid.x, bb.y_min, bb.y_max, bb.t_min, bb.t_max)
+        got = store.query(q, replica="m")
+        assert len(got.records) == ds.count_in_box(q)
+
+
+class TestMixedManifestAndRecovery:
+    def test_manifest_roundtrip_preserves_encodings(self, mixed):
+        manifest = build_manifest(mixed)
+        reopened = load_replica(manifest, mixed.store)
+        assert reopened.is_mixed_encoding
+        for pid in range(mixed.n_partitions):
+            assert reopened.encoding_for(pid).name == mixed.encoding_for(pid).name
+
+    def test_repair_reencodes_with_partition_scheme(self, ds, mixed):
+        source = build_replica(ds, CompositeScheme(KdTreePartitioner(4), 2),
+                               encoding_scheme_by_name("COL-GZIP"),
+                               InMemoryStore(), name="src")
+        manifest = build_manifest(mixed)
+        # Damage one hot and one cold partition.
+        counts = mixed.partitioning.counts
+        hot = int(np.argmax(counts))
+        nonzero = [p for p in range(mixed.n_partitions)
+                   if counts[p] > 0 and mixed.encoding_for(p).name == "COL-LZMA2"]
+        cold = nonzero[0]
+        for pid in (hot, cold):
+            mixed.store.delete(mixed.unit_keys[pid])
+        assert set(verify_replica(mixed, manifest)) == {hot, cold}
+        repair_partition(mixed, hot, source)
+        repair_partition(mixed, cold, source)
+        assert verify_replica(mixed, manifest) == []

@@ -1,0 +1,68 @@
+"""Tests for parallel query processing (Section II-D's closing remark)."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage import BlotStore, InMemoryStore
+from repro.workload import Query
+
+
+@pytest.fixture(scope="module")
+def store():
+    ds = synthetic_shanghai_taxis(6000, seed=97, num_taxis=16)
+    store = BlotStore(ds)
+    store.add_replica(CompositeScheme(KdTreePartitioner(16), 8),
+                      encoding_scheme_by_name("COL-LZMA2"), InMemoryStore())
+    return store
+
+
+def some_queries(store, n=6):
+    bb = store.universe
+    rng = np.random.default_rng(11)
+    out = [Query.from_box(bb)]
+    for _ in range(n - 1):
+        frac = rng.uniform(0.05, 0.6)
+        w, h, t = bb.width * frac, bb.height * frac, bb.duration * frac
+        out.append(Query(
+            w, h, t,
+            rng.uniform(bb.x_min + w / 2, bb.x_max - w / 2),
+            rng.uniform(bb.y_min + h / 2, bb.y_max - h / 2),
+            rng.uniform(bb.t_min + t / 2, bb.t_max - t / 2),
+        ))
+    return out
+
+
+class TestParallelScan:
+    def test_invalid_parallelism(self, store):
+        with pytest.raises(ValueError):
+            store.query(store.universe, parallelism=0)
+
+    @pytest.mark.parametrize("parallelism", [2, 4, 8])
+    def test_same_results_as_serial(self, store, parallelism):
+        for q in some_queries(store):
+            serial = store.query(q, parallelism=1)
+            parallel = store.query(q, parallelism=parallelism)
+            a = sorted(zip(serial.records.column("oid"),
+                           serial.records.column("t")))
+            b = sorted(zip(parallel.records.column("oid"),
+                           parallel.records.column("t")))
+            assert a == b
+
+    def test_same_stats_accounting(self, store):
+        q = some_queries(store)[0]
+        serial = store.query(q, parallelism=1).stats
+        parallel = store.query(q, parallelism=4).stats
+        assert serial.partitions_involved == parallel.partitions_involved
+        assert serial.records_scanned == parallel.records_scanned
+        assert serial.bytes_read == parallel.bytes_read
+        assert serial.records_returned == parallel.records_returned
+
+    def test_record_order_deterministic(self, store):
+        """pool.map preserves partition order, so results are stable."""
+        q = some_queries(store)[1]
+        a = store.query(q, parallelism=4).records
+        b = store.query(q, parallelism=4).records
+        assert a == b

@@ -1,0 +1,88 @@
+"""Tests for the three storage-unit backends."""
+
+import pytest
+
+from repro.storage import (
+    DirectoryStore,
+    DuplicateUnit,
+    InMemoryStore,
+    SegmentFileStore,
+    UnitNotFound,
+)
+
+
+def make_stores(tmp_path):
+    return [
+        InMemoryStore(),
+        DirectoryStore(str(tmp_path / "dir")),
+        SegmentFileStore(str(tmp_path / "segments.bin")),
+    ]
+
+
+@pytest.fixture(params=["memory", "directory", "segment"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryStore()
+    if request.param == "directory":
+        return DirectoryStore(str(tmp_path / "dir"))
+    return SegmentFileStore(str(tmp_path / "segments.bin"))
+
+
+class TestUnitStoreContract:
+    def test_put_get(self, store):
+        store.put("a", b"hello")
+        assert store.get("a") == b"hello"
+
+    def test_size(self, store):
+        store.put("a", b"12345")
+        assert store.size("a") == 5
+
+    def test_missing_key(self, store):
+        with pytest.raises(UnitNotFound):
+            store.get("nope")
+        with pytest.raises(UnitNotFound):
+            store.size("nope")
+
+    def test_duplicate_rejected(self, store):
+        store.put("a", b"x")
+        with pytest.raises(DuplicateUnit):
+            store.put("a", b"y")
+
+    def test_keys_and_total(self, store):
+        store.put("a", b"xx")
+        store.put("b", b"yyy")
+        assert sorted(store.keys()) == ["a", "b"]
+        assert store.total_bytes() == 5
+
+    def test_nested_keys(self, store):
+        store.put("replica/part-000001", b"data")
+        assert store.get("replica/part-000001") == b"data"
+
+    def test_empty_blob(self, store):
+        store.put("empty", b"")
+        assert store.get("empty") == b""
+        assert store.size("empty") == 0
+
+
+class TestDirectoryStoreSpecifics:
+    def test_escaping_key_rejected(self, tmp_path):
+        store = DirectoryStore(str(tmp_path / "dir"))
+        with pytest.raises(ValueError, match="escapes"):
+            store.put("../evil", b"x")
+
+    def test_persists_across_instances(self, tmp_path):
+        root = str(tmp_path / "dir")
+        DirectoryStore(root).put("a", b"persist")
+        assert DirectoryStore(root).get("a") == b"persist"
+
+
+class TestSegmentFileStoreSpecifics:
+    def test_single_backing_file(self, tmp_path):
+        path = str(tmp_path / "seg.bin")
+        store = SegmentFileStore(path)
+        store.put("a", b"aaa")
+        store.put("b", b"bbbb")
+        import os
+        assert os.path.getsize(path) == 7
+        assert store.get("a") == b"aaa"
+        assert store.get("b") == b"bbbb"

@@ -1,0 +1,173 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "environments" in out
+        assert "COL-LZMA2" in out
+        assert "25 schemes" in out
+
+
+class TestGenerate:
+    def test_generate_csv(self, tmp_path, capsys):
+        out_path = str(tmp_path / "taxis.csv")
+        assert main(["generate", "--records", "2000", "--taxis", "8",
+                     "--out", out_path]) == 0
+        text = capsys.readouterr().out
+        assert "2,000 records" in text
+        with open(out_path) as f:
+            lines = f.read().splitlines()
+        assert len(lines) == 2000
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = str(tmp_path / "a.csv"), str(tmp_path / "b.csv")
+        main(["generate", "--records", "500", "--taxis", "4", "--out", a])
+        main(["generate", "--records", "500", "--taxis", "4", "--out", b])
+        assert open(a).read() == open(b).read()
+
+
+class TestRatios:
+    def test_synthesized(self, capsys):
+        assert main(["ratios", "--records", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "ROW-PLAIN" in out and "COL-LZMA2" in out
+        # ROW-PLAIN ratio is the 1.000 baseline.
+        row_plain = next(l for l in out.splitlines() if "ROW-PLAIN" in l)
+        assert "1.000" in row_plain
+
+    def test_csv_input(self, tmp_path, capsys):
+        path = str(tmp_path / "in.csv")
+        main(["generate", "--records", "1500", "--taxis", "8", "--out", path])
+        capsys.readouterr()
+        assert main(["ratios", "--input", path]) == 0
+        assert "1,500 records" in capsys.readouterr().out
+
+
+class TestCalibrate:
+    def test_one_encoding(self, capsys):
+        assert main(["calibrate", "--environment", "local-hadoop",
+                     "--encodings", "ROW-PLAIN"]) == 0
+        out = capsys.readouterr().out
+        assert "local-hadoop" in out
+        assert "ROW-PLAIN" in out
+
+    def test_unknown_environment(self):
+        with pytest.raises(KeyError):
+            main(["calibrate", "--environment", "azure"])
+
+
+class TestAdvise:
+    def test_advise_greedy(self, capsys):
+        assert main(["advise", "--records", "4000",
+                     "--records-target", "1e6",
+                     "--method", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "selected" in out
+        assert "speedup vs single" in out
+        assert "q8 ->" in out
+
+
+class TestVerifyRepair:
+    @pytest.fixture()
+    def layout(self, tmp_path):
+        from repro.data import synthetic_shanghai_taxis
+        from repro.encoding import encoding_scheme_by_name
+        from repro.partition import CompositeScheme, KdTreePartitioner
+        from repro.storage import DirectoryStore, build_replica, save_manifest
+
+        ds = synthetic_shanghai_taxis(2000, seed=211, num_taxis=8)
+        paths = {}
+        for name, (leaves, enc) in {
+            "a": (8, "COL-GZIP"), "b": (4, "ROW-PLAIN"),
+        }.items():
+            store_dir = str(tmp_path / name)
+            replica = build_replica(
+                ds, CompositeScheme(KdTreePartitioner(leaves), 2),
+                encoding_scheme_by_name(enc), DirectoryStore(store_dir),
+                name=name)
+            manifest = str(tmp_path / f"{name}.json")
+            save_manifest(replica, manifest)
+            paths[name] = (store_dir, manifest, replica)
+        return paths
+
+    def test_verify_clean(self, layout, capsys):
+        store, manifest, _ = layout["a"]
+        assert main(["verify", "--manifest", manifest, "--store", store]) == 0
+        assert "verified OK" in capsys.readouterr().out
+
+    def test_verify_detects_damage(self, layout, capsys):
+        store, manifest, replica = layout["a"]
+        key = next(k for k in replica.unit_keys if k)
+        blob = bytearray(replica.store.get(key))
+        blob[3] ^= 0xFF
+        replica.store.delete(key)
+        replica.store.put(key, bytes(blob))
+        assert main(["verify", "--manifest", manifest, "--store", store]) == 1
+        assert "damaged" in capsys.readouterr().out
+
+    def test_repair_roundtrip(self, layout, capsys):
+        store_a, manifest_a, replica = layout["a"]
+        store_b, manifest_b, _ = layout["b"]
+        key = next(k for k in replica.unit_keys if k)
+        replica.store.delete(key)
+        assert main(["repair", "--manifest", manifest_a, "--store", store_a,
+                     "--source-manifest", manifest_b,
+                     "--source-store", store_b]) == 0
+        out = capsys.readouterr().out
+        assert "repaired 1 units" in out
+        assert main(["verify", "--manifest", manifest_a,
+                     "--store", store_a]) == 0
+
+    def test_repair_nothing_to_do(self, layout, capsys):
+        store_a, manifest_a, _ = layout["a"]
+        store_b, manifest_b, _ = layout["b"]
+        assert main(["repair", "--manifest", manifest_a, "--store", store_a,
+                     "--source-manifest", manifest_b,
+                     "--source-store", store_b]) == 0
+        assert "nothing to repair" in capsys.readouterr().out
+
+
+class TestAnalyze:
+    def test_analyze_synthesized(self, capsys):
+        assert main(["analyze", "--records", "3000", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out
+        assert "km driven" in out
+        assert "origin->destination" in out
+
+    def test_analyze_csv_input(self, tmp_path, capsys):
+        path = str(tmp_path / "f.csv")
+        main(["generate", "--records", "1200", "--taxis", "6", "--out", path])
+        capsys.readouterr()
+        assert main(["analyze", "--input", path, "--grid", "3"]) == 0
+        assert "vehicles" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_synthesized(self, capsys):
+        assert main(["query", "--records", "3000", "--frac", "0.2",
+                     "--encoding", "ROW-PLAIN"]) == 0
+        out = capsys.readouterr().out
+        assert "records returned" in out
+        assert "partitions" in out
+
+    def test_query_parallel(self, capsys):
+        assert main(["query", "--records", "3000", "--frac", "0.5",
+                     "--parallelism", "4"]) == 0
+        assert "records returned" in capsys.readouterr().out

@@ -1,0 +1,85 @@
+"""Tests for workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Box3
+from repro.workload import (
+    GroupedQuery,
+    Query,
+    grouped_random_workload,
+    paper_workload,
+    positioned_random_workload,
+    workload_from_query_log,
+)
+
+U = Box3(120, 122, 30, 32, 0, 28 * 86400)
+
+
+class TestPaperWorkload:
+    def test_eight_grouped_queries(self):
+        w = paper_workload(U)
+        assert len(w) == 8
+        assert all(isinstance(q, GroupedQuery) for q in w.queries())
+
+    def test_weights_sum_to_one(self):
+        assert paper_workload(U).total_weight() == pytest.approx(1.0)
+
+    def test_sizes_wildly_varied(self):
+        w = paper_workload(U)
+        widths = [q.width for q in w.queries()]
+        assert max(widths) / min(widths) > 100
+
+    def test_extents_within_universe(self):
+        for q, _ in paper_workload(U):
+            assert q.width <= U.width
+            assert q.height <= U.height
+            assert q.duration <= U.duration
+
+
+class TestRandomWorkloads:
+    def test_grouped_count_and_uniqueness(self):
+        w = grouped_random_workload(U, 50, np.random.default_rng(0))
+        assert len(w) == 50
+        assert len(set(w.queries())) == 50
+
+    def test_grouped_extent_bounds(self):
+        w = grouped_random_workload(U, 40, np.random.default_rng(1),
+                                    min_fraction=0.01, max_fraction=0.2)
+        for q in w.queries():
+            assert 0.01 * U.width <= q.width <= 0.2 * U.width
+
+    def test_grouped_deterministic_with_seed(self):
+        a = grouped_random_workload(U, 20, np.random.default_rng(7))
+        b = grouped_random_workload(U, 20, np.random.default_rng(7))
+        assert a == b
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            grouped_random_workload(U, 0, np.random.default_rng(0))
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            grouped_random_workload(U, 5, np.random.default_rng(0),
+                                    min_fraction=0.5, max_fraction=0.1)
+
+    def test_positioned_queries_inside_universe(self):
+        w = positioned_random_workload(U, 30, np.random.default_rng(2))
+        for q in w.queries():
+            assert isinstance(q, Query)
+            assert U.contains_box(q.box())
+
+
+class TestQueryLogGrouping:
+    def test_groups_by_extent(self):
+        log = [
+            Query(1, 1, 10, 121, 31, 100),
+            Query(1, 1, 10, 121.5, 30.5, 5000),
+            Query(0.5, 0.5, 20, 121, 31, 100),
+        ]
+        w = workload_from_query_log(log)
+        assert len(w) == 2
+        assert dict(w)[GroupedQuery(1, 1, 10)] == 2.0
+
+    def test_empty_log(self):
+        assert len(workload_from_query_log([])) == 0

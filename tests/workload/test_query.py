@@ -1,0 +1,105 @@
+"""Tests for Query/GroupedQuery/Workload."""
+
+import pytest
+
+from repro.geometry import Box3
+from repro.workload import GroupedQuery, Query, Workload
+
+
+U = Box3(0, 10, 0, 10, 0, 100)
+
+
+class TestGroupedQuery:
+    def test_size(self):
+        assert GroupedQuery(1, 2, 3).size == (1, 2, 3)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            GroupedQuery(-1, 2, 3)
+
+    def test_at_positions(self):
+        q = GroupedQuery(1, 2, 3).at(5, 5, 50)
+        assert isinstance(q, Query)
+        assert q.box().centroid.as_tuple() == (5, 5, 50)
+
+    def test_selectivity(self):
+        g = GroupedQuery(1, 1, 10)
+        assert g.selectivity(U) == pytest.approx((1 * 1 * 10) / (10 * 10 * 100))
+
+    def test_selectivity_clamps_oversized(self):
+        g = GroupedQuery(100, 100, 1000)
+        assert g.selectivity(U) == pytest.approx(1.0)
+
+    def test_selectivity_zero_universe(self):
+        with pytest.raises(ValueError):
+            GroupedQuery(1, 1, 1).selectivity(Box3(0, 0, 0, 0, 0, 0))
+
+    def test_hashable_and_equal(self):
+        assert GroupedQuery(1, 2, 3) == GroupedQuery(1, 2, 3)
+        assert len({GroupedQuery(1, 2, 3), GroupedQuery(1, 2, 3)}) == 1
+
+
+class TestQuery:
+    def test_box_roundtrip(self):
+        q = Query(2, 4, 6, 5, 5, 50)
+        assert Query.from_box(q.box()) == q
+
+    def test_grouped_drops_position(self):
+        assert Query(2, 4, 6, 5, 5, 50).grouped() == GroupedQuery(2, 4, 6)
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Query(1, -2, 3, 0, 0, 0)
+
+
+class TestWorkload:
+    def test_basic(self):
+        w = Workload([(GroupedQuery(1, 1, 1), 2.0), (GroupedQuery(2, 2, 2), 1.0)])
+        assert len(w) == 2
+        assert w.total_weight() == 3.0
+        assert w.queries() == [GroupedQuery(1, 1, 1), GroupedQuery(2, 2, 2)]
+        assert w.weights() == [2.0, 1.0]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Workload([(GroupedQuery(1, 1, 1), 1), (GroupedQuery(1, 1, 1), 2)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Workload([(GroupedQuery(1, 1, 1), -1)])
+
+    def test_normalized(self):
+        w = Workload([(GroupedQuery(1, 1, 1), 2), (GroupedQuery(2, 2, 2), 6)])
+        n = w.normalized()
+        assert n.total_weight() == pytest.approx(1.0)
+        assert n.weights() == [pytest.approx(0.25), pytest.approx(0.75)]
+
+    def test_normalize_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Workload([(GroupedQuery(1, 1, 1), 0)]).normalized()
+
+    def test_grouped_merges_same_extent(self):
+        w = Workload([
+            (Query(1, 1, 1, 2, 2, 2), 1.0),
+            (Query(1, 1, 1, 5, 5, 5), 2.0),
+            (Query(2, 2, 2, 5, 5, 5), 4.0),
+        ])
+        g = w.grouped()
+        assert len(g) == 2
+        assert dict(g) == {GroupedQuery(1, 1, 1): 3.0, GroupedQuery(2, 2, 2): 4.0}
+
+    def test_scaled(self):
+        w = Workload([(GroupedQuery(1, 1, 1), 2)]).scaled(3)
+        assert w.total_weight() == 6.0
+
+    def test_equality(self):
+        a = Workload([(GroupedQuery(1, 1, 1), 1)])
+        b = Workload([(GroupedQuery(1, 1, 1), 1)])
+        assert a == b
+
+    def test_entry(self):
+        w = Workload([(GroupedQuery(1, 1, 1), 5)])
+        assert w.entry(0) == (GroupedQuery(1, 1, 1), 5.0)
+
+    def test_repr(self):
+        assert "Workload" in repr(Workload([]))
