@@ -62,6 +62,8 @@ from repro.costmodel import (
     CostModel,
     EncodingCostParams,
     ReplicaProfile,
+    RoutingPlan,
+    batch_expected_partitions,
     calibrate_encoding,
     expected_partitions,
     fit_cost_params,
@@ -86,7 +88,15 @@ from repro.partition import (
     paper_partitioning_schemes,
     small_partitioning_schemes,
 )
-from repro.storage import BlotStore, DirectoryStore, InMemoryStore, build_replica
+from repro.storage import (
+    BlotStore,
+    DirectoryStore,
+    InMemoryStore,
+    PartitionCache,
+    WorkloadResult,
+    WorkloadStats,
+    build_replica,
+)
 from repro.workload import (
     GroupedQuery,
     Query,
@@ -114,6 +124,7 @@ __all__ = [
     "GridPartitioner",
     "GroupedQuery",
     "InMemoryStore",
+    "PartitionCache",
     "KdTreePartitioner",
     "LOCAL_HADOOP",
     "PartitionIndex",
@@ -122,6 +133,7 @@ __all__ = [
     "Query",
     "ReplicaAdvisor",
     "ReplicaProfile",
+    "RoutingPlan",
     "Selection",
     "SelectionInstance",
     "SelectionReport",
@@ -129,7 +141,10 @@ __all__ = [
     "TaxiFleetGenerator",
     "TemporalSlicer",
     "Workload",
+    "WorkloadResult",
+    "WorkloadStats",
     "all_encoding_schemes",
+    "batch_expected_partitions",
     "branch_and_bound_select",
     "brute_force_select",
     "build_mip",

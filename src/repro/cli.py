@@ -149,6 +149,74 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+#: (kd-tree leaves, time slices, encoding) per replica built by
+#: ``run-workload``, diverse in both granularity and codec so routing has
+#: genuinely different options to choose from.
+_WORKLOAD_REPLICA_SPECS: tuple[tuple[int, int, str], ...] = (
+    (4, 2, "ROW-PLAIN"),
+    (16, 4, "COL-SNAPPY"),
+    (64, 8, "COL-GZIP"),
+    (256, 8, "COL-LZMA2"),
+    (16, 16, "ROW-SNAPPY"),
+    (64, 2, "ROW-GZIP"),
+)
+
+
+def _cmd_run_workload(args: argparse.Namespace) -> int:
+    from repro.cluster import cost_model_for, make_cluster
+    from repro.encoding import encoding_scheme_by_name
+    from repro.partition import CompositeScheme, KdTreePartitioner
+    from repro.storage import BlotStore, InMemoryStore
+    from repro.workload import positioned_random_workload
+
+    if not 1 <= args.replicas <= len(_WORKLOAD_REPLICA_SPECS):
+        print(f"--replicas must be 1..{len(_WORKLOAD_REPLICA_SPECS)}",
+              file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print("--queries must be >= 1", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
+    data = _load_or_generate(args)
+    specs = _WORKLOAD_REPLICA_SPECS[:args.replicas]
+    model = None
+    if args.replicas > 1:
+        cluster = make_cluster(args.environment, seed=args.seed)
+        model = cost_model_for(cluster, sorted({enc for _, _, enc in specs}))
+    cache_bytes = int(args.cache_mb * 1e6) if args.cache_mb > 0 else None
+    store = BlotStore(data, cost_model=model, cache_bytes=cache_bytes)
+    for leaves, slices, enc in specs:
+        store.add_replica(
+            CompositeScheme(KdTreePartitioner(leaves), slices),
+            encoding_scheme_by_name(enc), InMemoryStore(),
+        )
+    print(f"{len(data):,} records, {args.replicas} replicas: "
+          + ", ".join(store.replica_names()))
+
+    rng = np.random.default_rng(args.seed)
+    workload = positioned_random_workload(
+        data.bounding_box(), args.queries, rng, max_fraction=args.max_frac)
+    for pass_no in range(1, args.repeat + 1):
+        result = store.execute_workload(workload, parallelism=args.parallelism)
+        s = result.stats
+        label = f"pass {pass_no}/{args.repeat}" if args.repeat > 1 else "workload"
+        print(f"[{label}] {s.n_queries} queries in {s.seconds * 1e3:.1f} ms "
+              f"({s.n_queries / s.seconds:,.0f} q/s)")
+        print(f"  read {s.bytes_read / 1e6:.2f} MB across "
+              f"{s.partitions_decoded} partition decodes, scanned "
+              f"{s.records_scanned:,} records, returned {s.records_returned:,}")
+        if cache_bytes:
+            print(f"  cache hit rate {s.cache_hit_rate:.1%} "
+                  f"({s.cache_hits} hits / {s.cache_misses} misses)")
+        routed = ", ".join(f"{name}={count}" for name, count in
+                           sorted(s.per_replica_queries.items()))
+        print(f"  routing: {routed}")
+    store.close()
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.data import (
         od_matrix,
@@ -297,6 +365,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--grid", type=int, default=4)
     p.set_defaults(handler=_cmd_analyze)
+
+    p = sub.add_parser(
+        "run-workload",
+        help="batch-route and execute a whole query workload",
+    )
+    common_data(p)
+    p.add_argument("--queries", type=int, default=500,
+                   help="positioned queries to generate")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="diverse replicas to build (1..6)")
+    p.add_argument("--max-frac", type=float, default=0.3,
+                   help="largest query extent as a fraction of the universe")
+    p.add_argument("--parallelism", type=int, default=4,
+                   help="partition-scan threads in the persistent pool")
+    p.add_argument("--cache-mb", type=float, default=64.0,
+                   help="decoded-partition cache budget in MB (0 disables)")
+    p.add_argument("--repeat", type=int, default=2,
+                   help="execute the workload this many times "
+                        "(second pass shows the cache effect)")
+    p.add_argument("--environment", default="amazon-s3-emr")
+    p.set_defaults(handler=_cmd_run_workload)
 
     p = sub.add_parser("query", help="run one range query through the engine")
     common_data(p)

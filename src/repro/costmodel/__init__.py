@@ -17,6 +17,8 @@ from repro.costmodel.model import (
     CostModel,
     EncodingCostParams,
     ReplicaProfile,
+    RoutingPlan,
+    batch_expected_partitions,
     expected_partitions,
     expected_scanned_records,
     monte_carlo_partitions,
@@ -36,6 +38,8 @@ __all__ = [
     "EncodingCostParams",
     "MeasurementPoint",
     "ReplicaProfile",
+    "RoutingPlan",
+    "batch_expected_partitions",
     "calibrate_encoding",
     "estimate_replica_storage",
     "expected_partitions",

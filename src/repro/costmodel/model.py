@@ -23,8 +23,10 @@ import numpy as np
 from repro.geometry import (
     Box3,
     boxes_intersect_count,
+    boxes_intersect_matrix,
     centroid_range,
     intersection_probabilities,
+    intersection_probability_matrix,
 )
 from repro.partition.base import Partitioning
 from repro.workload.query import AnyQuery, GroupedQuery, Query, Workload
@@ -157,6 +159,68 @@ def expected_partitions(profile: ReplicaProfile, query: AnyQuery) -> float:
     )
 
 
+@dataclass(frozen=True)
+class _PackedQueries:
+    """A workload's queries split by kind and packed into arrays, so the
+    per-replica ``Np`` evaluation is one numpy broadcast per kind."""
+
+    n_queries: int
+    positioned_idx: np.ndarray  # (mp,) indices into the original order
+    positioned_boxes: np.ndarray  # (mp, 6)
+    grouped_idx: np.ndarray  # (mg,)
+    grouped_sizes: np.ndarray  # (mg, 3)
+
+
+def _pack_queries(queries: list[AnyQuery]) -> _PackedQueries:
+    positioned_idx: list[int] = []
+    positioned_boxes: list[tuple[float, ...]] = []
+    grouped_idx: list[int] = []
+    grouped_sizes: list[tuple[float, float, float]] = []
+    for i, query in enumerate(queries):
+        if isinstance(query, Query):
+            positioned_idx.append(i)
+            positioned_boxes.append(query.box().as_tuple())
+        else:
+            grouped_idx.append(i)
+            grouped_sizes.append(query.size)
+    return _PackedQueries(
+        n_queries=len(queries),
+        positioned_idx=np.asarray(positioned_idx, dtype=np.intp),
+        positioned_boxes=np.asarray(positioned_boxes, dtype=np.float64).reshape(-1, 6),
+        grouped_idx=np.asarray(grouped_idx, dtype=np.intp),
+        grouped_sizes=np.asarray(grouped_sizes, dtype=np.float64).reshape(-1, 3),
+    )
+
+
+def _packed_expected_partitions(
+    profile: ReplicaProfile, packed: _PackedQueries
+) -> np.ndarray:
+    """``Np(q_i, r)`` for every packed query on one replica — a single
+    vectorized evaluation per query kind instead of a Python loop."""
+    out = np.empty(packed.n_queries, dtype=np.float64)
+    if len(packed.positioned_idx):
+        matrix = boxes_intersect_matrix(profile.box_array, packed.positioned_boxes)
+        out[packed.positioned_idx] = matrix.sum(axis=1)
+    if len(packed.grouped_idx):
+        probs = intersection_probability_matrix(
+            profile.box_array, profile.universe, packed.grouped_sizes
+        )
+        out[packed.grouped_idx] = probs.sum(axis=1)
+    return out
+
+
+def batch_expected_partitions(
+    profile: ReplicaProfile, queries: list[AnyQuery]
+) -> np.ndarray:
+    """Vectorized ``Np``: :func:`expected_partitions` for a whole list of
+    queries at once.  Positioned queries go through one
+    :func:`~repro.geometry.boxes_intersect_matrix` broadcast and grouped
+    queries through one :func:`~repro.geometry.intersection_probability_matrix`
+    broadcast, so the cost is two numpy expressions per replica regardless
+    of workload size."""
+    return _packed_expected_partitions(profile, _pack_queries(queries))
+
+
 def expected_scanned_records(profile: ReplicaProfile, query: AnyQuery) -> float:
     """Expected records scanned, weighting each partition by its actual
     size — the skew-aware refinement of Eq. 7's ``Np · |D|/|P|`` term.
@@ -204,6 +268,50 @@ def monte_carlo_partitions(
         box = Box3.from_center_size(center, *query.size)
         total += boxes_intersect_count(profile.box_array, box)
     return total / trials
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """The argmin routing of a workload over a replica set.
+
+    ``replica_names`` is the column order of ``costs``; ``assignments[i]``
+    is the column index of the replica chosen for query ``i``.  Ties are
+    broken deterministically toward the lexicographically smallest replica
+    name, matching :meth:`repro.storage.BlotStore.route`.
+    """
+
+    replica_names: tuple[str, ...]
+    assignments: np.ndarray
+    costs: np.ndarray
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.assignments.shape[0])
+
+    def assigned_names(self) -> list[str]:
+        """The chosen replica name per query, in workload order."""
+        return [self.replica_names[int(j)] for j in self.assignments]
+
+    def queries_for(self, replica_name: str) -> np.ndarray:
+        """Workload indices of the queries routed to ``replica_name``."""
+        j = self.replica_names.index(replica_name)
+        return np.flatnonzero(self.assignments == j)
+
+    def query_counts(self) -> dict[str, int]:
+        """How many queries each replica serves (only replicas that serve
+        at least one query appear)."""
+        counts: dict[str, int] = {}
+        for j in self.assignments:
+            name = self.replica_names[int(j)]
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def total_cost(self, weights: list[float] | None = None) -> float:
+        """``Cost(W, R)`` under this routing (optionally weighted)."""
+        best = self.costs[np.arange(self.n_queries), self.assignments]
+        if weights is None:
+            return float(best.sum())
+        return float(np.dot(np.asarray(weights, dtype=np.float64), best))
 
 
 class CostModel:
@@ -273,12 +381,52 @@ class CostModel:
         self, workload: Workload, profiles: list[ReplicaProfile]
     ) -> np.ndarray:
         """``c[i, j] = Cost(q_i, r_j)`` (unweighted) for the whole workload
-        — the input of the replica selection problem."""
-        matrix = np.empty((len(workload), len(profiles)), dtype=np.float64)
-        for i, query in enumerate(workload.queries()):
-            for j, profile in enumerate(profiles):
-                matrix[i, j] = self.query_cost(query, profile)
+        — the input of the replica selection problem.
+
+        Evaluated column-by-column with one vectorized ``Np`` broadcast per
+        replica (see :func:`batch_expected_partitions`) rather than a
+        queries x replicas Python loop; each entry equals
+        :meth:`query_cost` on the same pair.
+        """
+        packed = _pack_queries(workload.queries())
+        matrix = np.empty((packed.n_queries, len(profiles)), dtype=np.float64)
+        for j, profile in enumerate(profiles):
+            params = self.params_for(profile.encoding_name)
+            np_vec = _packed_expected_partitions(profile, packed)
+            matrix[:, j] = (
+                np_vec * profile.records_per_partition / params.scan_rate
+                + np_vec * params.extra_time
+            )
         return matrix
+
+    def route_batch(
+        self, workload: Workload, profiles: list[ReplicaProfile]
+    ) -> RoutingPlan:
+        """Route every query of ``workload`` to its cheapest replica in one
+        vectorized pass (the batch form of per-query ``route()``).
+
+        Computes the full queries x replicas Eq. 7 cost matrix with a
+        single ``Np`` broadcast per replica and takes the per-row argmin.
+        Equal-cost ties go to the lexicographically smallest replica name,
+        so the plan is deterministic and agrees with
+        :meth:`repro.storage.BlotStore.route`.
+        """
+        if not profiles:
+            raise ValueError("cannot route over an empty replica set")
+        names = [p.name for p in profiles]
+        if len(set(names)) != len(names):
+            raise ValueError(f"replica profile names must be unique, got {names}")
+        costs = self.cost_matrix(workload, profiles)
+        # argmin takes the first of equal minima, so scanning columns in
+        # name order yields the lexicographic tiebreak.
+        order = np.asarray(sorted(range(len(profiles)), key=lambda j: names[j]),
+                           dtype=np.intp)
+        assignments = order[np.argmin(costs[:, order], axis=1)]
+        return RoutingPlan(
+            replica_names=tuple(names),
+            assignments=assignments,
+            costs=costs,
+        )
 
     def workload_cost(
         self, workload: Workload, profiles: list[ReplicaProfile]

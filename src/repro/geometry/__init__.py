@@ -14,10 +14,12 @@ from repro.geometry.box import (
     array_to_boxes,
     boxes_intersect_count,
     boxes_intersect_mask,
+    boxes_intersect_matrix,
     boxes_to_array,
     centroid_range,
     centroid_range_volumes,
     intersection_probabilities,
+    intersection_probability_matrix,
 )
 from repro.geometry.point import Point3
 
@@ -29,7 +31,9 @@ __all__ = [
     "boxes_to_array",
     "boxes_intersect_count",
     "boxes_intersect_mask",
+    "boxes_intersect_matrix",
     "centroid_range",
     "centroid_range_volumes",
     "intersection_probabilities",
+    "intersection_probability_matrix",
 ]

@@ -256,6 +256,28 @@ def boxes_intersect_count(box_array: np.ndarray, query: Box3) -> int:
     return int(boxes_intersect_mask(box_array, query).sum())
 
 
+def boxes_intersect_matrix(box_array: np.ndarray, query_array: np.ndarray) -> np.ndarray:
+    """Pairwise intersection of ``m`` query boxes against ``n`` partition
+    boxes as one ``(m, n)`` boolean broadcast — the batch generalization of
+    :func:`boxes_intersect_mask`.  ``matrix.sum(axis=1)`` is the exact
+    ``Np(q_i, r)`` of every positioned query in one numpy expression.
+    """
+    b = np.asarray(box_array, dtype=np.float64)
+    q = np.asarray(query_array, dtype=np.float64)
+    if b.ndim != 2 or b.shape[1] != 6:
+        raise ValueError(f"expected an (n, 6) box array, got shape {b.shape}")
+    if q.ndim != 2 or q.shape[1] != 6:
+        raise ValueError(f"expected an (m, 6) query array, got shape {q.shape}")
+    return (
+        (b[None, :, 0] <= q[:, None, 1])
+        & (b[None, :, 1] >= q[:, None, 0])
+        & (b[None, :, 2] <= q[:, None, 3])
+        & (b[None, :, 3] >= q[:, None, 2])
+        & (b[None, :, 4] <= q[:, None, 5])
+        & (b[None, :, 5] >= q[:, None, 4])
+    )
+
+
 def centroid_range(universe: Box3, size: tuple[float, float, float]) -> Box3:
     """The paper's ``CR(QG)``: the region in which the centroid of a query of
     extent ``size = (W, H, T)`` may lie so that the query stays inside ``U``.
@@ -303,6 +325,52 @@ def _axis_probabilities(
     right = np.minimum(u_hi - e / 2.0, hi + e / 2.0)
     length = np.clip(right - left, 0.0, denom)
     return length / denom
+
+
+def _axis_probability_matrix(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    u_lo: float,
+    u_hi: float,
+    extents: np.ndarray,
+) -> np.ndarray:
+    """Batch form of :func:`_axis_probabilities`: one row per query extent,
+    one column per partition, computed as a single ``(m, n)`` broadcast."""
+    u_len = u_hi - u_lo
+    e = np.minimum(np.asarray(extents, dtype=np.float64), u_len)
+    denom = u_len - e
+    half = e[:, None] / 2.0
+    left = np.maximum(u_lo + half, lo[None, :] - half)
+    right = np.minimum(u_hi - half, hi[None, :] + half)
+    length = np.clip(right - left, 0.0, denom[:, None])
+    degenerate = denom <= _EPS
+    safe = np.where(degenerate, 1.0, denom)
+    probs = length / safe[:, None]
+    # A query covering this whole dimension intersects every partition.
+    probs[degenerate, :] = 1.0
+    return probs
+
+
+def intersection_probability_matrix(
+    box_array: np.ndarray,
+    universe: Box3,
+    sizes: np.ndarray,
+) -> np.ndarray:
+    """Eq. 12 for ``m`` grouped queries at once: ``out[i, j]`` is the
+    probability that a query of extent ``sizes[i] = (W, H, T)`` intersects
+    partition ``j``.  ``out.sum(axis=1)`` gives every query's analytic
+    ``Np(QG_i, r)`` (Eq. 11) in one vectorized evaluation.
+    """
+    b = np.asarray(box_array, dtype=np.float64)
+    s = np.asarray(sizes, dtype=np.float64)
+    if b.ndim != 2 or b.shape[1] != 6:
+        raise ValueError(f"expected an (n, 6) box array, got shape {b.shape}")
+    if s.ndim != 2 or s.shape[1] != 3:
+        raise ValueError(f"expected an (m, 3) sizes array, got shape {s.shape}")
+    px = _axis_probability_matrix(b[:, 0], b[:, 1], universe.x_min, universe.x_max, s[:, 0])
+    py = _axis_probability_matrix(b[:, 2], b[:, 3], universe.y_min, universe.y_max, s[:, 1])
+    pt = _axis_probability_matrix(b[:, 4], b[:, 5], universe.t_min, universe.t_max, s[:, 2])
+    return px * py * pt
 
 
 def intersection_probabilities(

@@ -1,10 +1,13 @@
 """The BLOT storage engine: storage units, replicas, query processing."""
 
+from repro.storage.cache import CacheStats, PartitionCache
 from repro.storage.engine import (
     BlotStore,
     QueryResult,
     QueryStats,
     ReplicaExists,
+    WorkloadResult,
+    WorkloadStats,
 )
 from repro.storage.manifest import (
     build_manifest,
@@ -38,11 +41,13 @@ from repro.storage.unit import (
 
 __all__ = [
     "BlotStore",
+    "CacheStats",
     "DirectoryStore",
     "DuplicateUnit",
     "InMemoryStore",
     "IngestingBlotStore",
     "LocalScanMeasurer",
+    "PartitionCache",
     "ReplicaSpec",
     "QueryResult",
     "QueryStats",
@@ -52,6 +57,8 @@ __all__ = [
     "StoredReplica",
     "UnitNotFound",
     "UnitStore",
+    "WorkloadResult",
+    "WorkloadStats",
     "build_manifest",
     "build_mixed_replica",
     "build_replica",

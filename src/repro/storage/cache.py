@@ -1,0 +1,136 @@
+"""A byte-budgeted LRU cache of decoded partitions.
+
+Range queries over a workload overlap heavily — consecutive queries often
+touch the same hot partitions — yet the three-step query mechanism
+(Section II-D) re-reads and re-decodes every involved partition from its
+storage unit each time.  :class:`PartitionCache` keeps recently decoded
+partitions in memory, keyed by ``(replica_name, partition_id)`` and
+bounded by the *decoded* size of the cached records, so an overlapping
+workload decodes each hot partition once.
+
+The cache is shared by :meth:`repro.storage.BlotStore.query`,
+:meth:`~repro.storage.BlotStore.count` and
+:meth:`~repro.storage.BlotStore.execute_workload`, and is thread-safe so
+parallel partition scans can consult it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.data.dataset import Dataset
+
+#: Cache key: ``(replica_name, partition_id)``.
+CacheKey = tuple[str, int]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Hit/miss/eviction counters plus the current byte footprint."""
+
+    hits: int
+    misses: int
+    evictions: int
+    current_bytes: int
+    capacity_bytes: int
+    entries: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PartitionCache:
+    """Thread-safe LRU over decoded partitions with a byte budget.
+
+    ``capacity_bytes`` bounds the sum of the cached datasets' decoded
+    (in-memory binary) sizes; inserting past the budget evicts the least
+    recently used entries.  A single partition larger than the whole
+    budget is never cached.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self._capacity = int(capacity_bytes)
+        self._entries: OrderedDict[CacheKey, tuple[Dataset, int]] = OrderedDict()
+        self._current_bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> Dataset | None:
+        """The decoded partition for ``key``, or None on a miss.
+
+        A hit refreshes the entry's recency.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: CacheKey, records: Dataset) -> None:
+        """Insert a decoded partition, evicting LRU entries to stay within
+        the byte budget.  Re-inserting an existing key refreshes it."""
+        nbytes = records.binary_size_bytes()
+        with self._lock:
+            if nbytes > self._capacity:
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._current_bytes -= old[1]
+            self._entries[key] = (records, nbytes)
+            self._current_bytes += nbytes
+            while self._current_bytes > self._capacity:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._current_bytes -= evicted_bytes
+                self._evictions += 1
+
+    def invalidate_replica(self, replica_name: str) -> int:
+        """Drop every cached partition of one replica (e.g. after repair);
+        returns the number of entries removed."""
+        with self._lock:
+            stale = [k for k in self._entries if k[0] == replica_name]
+            for key in stale:
+                _, nbytes = self._entries.pop(key)
+                self._current_bytes -= nbytes
+            return len(stale)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._current_bytes = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                current_bytes=self._current_bytes,
+                capacity_bytes=self._capacity,
+                entries=len(self._entries),
+            )

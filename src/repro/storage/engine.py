@@ -7,21 +7,38 @@ records by the query range.  When several replicas exist and a
 :class:`~repro.costmodel.CostModel` is configured, each query is routed
 to the replica with the lowest estimated cost (Figure 2's "replica
 selection at query time").
+
+Two execution paths exist:
+
+- the per-query path (:meth:`BlotStore.query` / :meth:`BlotStore.count`),
+  and
+- the workload path (:meth:`BlotStore.execute_workload`), which routes a
+  whole workload in one vectorized pass
+  (:meth:`~repro.costmodel.CostModel.route_batch`), groups the plan by
+  replica and decodes each replica's involved-partition *union* once.
+
+Both share a persistent scan thread pool and an optional byte-budgeted
+:class:`~repro.storage.cache.PartitionCache` of decoded partitions, so
+overlapping queries decode each hot partition once.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
-from repro.costmodel.model import CostModel
+from repro.costmodel.model import CostModel, RoutingPlan
 from repro.data.dataset import Dataset
 from repro.encoding.base import EncodingScheme
 from repro.geometry import Box3
 from repro.partition.base import PartitioningScheme
+from repro.storage.cache import CacheStats, PartitionCache
 from repro.storage.replica import StoredReplica, build_replica
 from repro.storage.unit import UnitStore
-from repro.workload.query import Query
+from repro.workload.query import Query, Workload
+
+import numpy as np
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,7 +46,9 @@ class QueryStats:
     """Execution accounting for one range query.
 
     ``scanned_fraction`` is the paper's ``S`` (Figure 2): the share of the
-    dataset's records that had to be scanned.
+    dataset's records that had to be scanned.  ``bytes_read`` counts bytes
+    actually fetched from the unit store — partitions served from the
+    decoded-partition cache contribute zero.
     """
 
     replica_name: str
@@ -55,20 +74,74 @@ class QueryResult:
     stats: QueryStats
 
 
+@dataclass(frozen=True, slots=True)
+class WorkloadStats:
+    """Aggregate accounting for one :meth:`BlotStore.execute_workload` run.
+
+    ``bytes_read`` counts unique store fetches — a partition shared by
+    several queries (or served from the cache) is charged once or not at
+    all, which is the whole point of the batch path.  ``cache_hits`` /
+    ``cache_misses`` are deltas over this run only; ``cache_hit_rate`` is
+    0.0 when no cache is configured.
+    """
+
+    n_queries: int
+    seconds: float
+    bytes_read: int
+    records_scanned: int
+    records_returned: int
+    #: Partitions fetched from the unit store and decoded (cache hits and
+    #: partitions shared across queries are not re-counted).
+    partitions_decoded: int
+    cache_hits: int
+    cache_misses: int
+    per_replica_queries: dict[str, int]
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadResult:
+    """Per-query results (workload order), the routing plan that produced
+    them, and the aggregate execution statistics."""
+
+    results: tuple[QueryResult, ...]
+    plan: RoutingPlan
+    stats: WorkloadStats
+
+
 class ReplicaExists(ValueError):
     """Raised when adding a replica under a name already in use."""
 
 
 class BlotStore:
-    """A single-node BLOT system instance over one logical dataset."""
+    """A single-node BLOT system instance over one logical dataset.
 
-    def __init__(self, dataset: Dataset, cost_model: CostModel | None = None):
+    ``cache_bytes`` enables the decoded-partition LRU cache shared by
+    ``query()``, ``count()`` and ``execute_workload()``; ``None`` keeps
+    the seed behavior of decoding on every access.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        cost_model: CostModel | None = None,
+        cache_bytes: int | None = None,
+    ):
         if len(dataset) == 0:
             raise ValueError("BlotStore needs a non-empty dataset")
         self._dataset = dataset
         self._universe = dataset.bounding_box()
         self._replicas: dict[str, StoredReplica] = {}
         self._cost_model = cost_model
+        self._cache = PartitionCache(cache_bytes) if cache_bytes else None
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = 0
 
     # -- replica management -------------------------------------------------
 
@@ -79,6 +152,15 @@ class BlotStore:
     @property
     def universe(self) -> Box3:
         return self._universe
+
+    @property
+    def partition_cache(self) -> PartitionCache | None:
+        return self._cache
+
+    def cache_stats(self) -> CacheStats | None:
+        """Lifetime counters of the decoded-partition cache (None when
+        no cache is configured)."""
+        return self._cache.stats() if self._cache is not None else None
 
     def replica_names(self) -> list[str]:
         return list(self._replicas)
@@ -115,13 +197,69 @@ class BlotStore:
         """``Storage(R)`` over all registered replicas (Definition 5)."""
         return sum(r.storage_bytes() for r in self._replicas.values())
 
+    # -- shared scan machinery ------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the persistent scan pool (idempotent).  The store
+        remains usable; the pool is recreated on the next parallel scan."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def _executor(self, parallelism: int) -> ThreadPoolExecutor:
+        """The lazily-created persistent scan pool, grown (never shrunk)
+        to ``parallelism`` workers.  Reusing one pool avoids paying thread
+        startup on every query, the seed behavior."""
+        if self._pool is None or self._pool_workers < parallelism:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=parallelism, thread_name_prefix="blot-scan"
+            )
+            self._pool_workers = parallelism
+        return self._pool
+
+    def _fetch_decoded(
+        self, stored: StoredReplica, pid: int
+    ) -> tuple[Dataset, int] | None:
+        """Decode one partition, through the cache when configured.
+
+        Returns ``(records, bytes_read)`` where ``bytes_read`` is 0 on a
+        cache hit, or None for empty partitions (no storage unit).
+        """
+        key = stored.unit_keys[pid]
+        if key is None:
+            return None
+        if self._cache is not None:
+            hit = self._cache.get((stored.name, pid))
+            if hit is not None:
+                return hit, 0
+        blob = stored.store.get(key)
+        records = stored.encoding_for(pid).decode(blob)
+        if self._cache is not None:
+            self._cache.put((stored.name, pid), records)
+        return records, len(blob)
+
+    def _map_partitions(self, fn, pids, parallelism: int) -> list:
+        """Apply ``fn`` over partition ids, on the persistent pool when
+        ``parallelism`` > 1 and there is more than one partition."""
+        pids = [int(p) for p in pids]
+        if parallelism == 1 or len(pids) <= 1:
+            return [fn(pid) for pid in pids]
+        return list(self._executor(parallelism).map(fn, pids))
+
     # -- query processing ------------------------------------------------------
 
     def route(self, query: Query) -> str:
         """Pick the replica with the lowest estimated cost for ``query``.
 
         Requires a cost model when more than one replica exists; with a
-        single replica routing is trivial.
+        single replica routing is trivial.  Equal-cost ties break
+        deterministically toward the lexicographically smallest replica
+        name (the same rule as
+        :meth:`~repro.costmodel.CostModel.route_batch`), so routing never
+        depends on replica registration order.
         """
         if not self._replicas:
             raise ValueError("no replicas registered")
@@ -135,12 +273,41 @@ class BlotStore:
             )
         n = len(self._dataset)
         best_name, best_cost = None, float("inf")
-        for name, replica in self._replicas.items():
-            cost = self._cost_model.query_cost(query, replica.profile(n_records=n))
+        for name in sorted(names):
+            cost = self._cost_model.query_cost(
+                query, self._replicas[name].profile(n_records=n)
+            )
             if cost < best_cost:
                 best_name, best_cost = name, cost
         assert best_name is not None
         return best_name
+
+    def route_workload(self, workload: Workload) -> RoutingPlan:
+        """Batch-route a whole workload in one vectorized pass.
+
+        Computes the queries x replicas Eq. 7 cost matrix with one ``Np``
+        broadcast per replica (instead of per-query Python loops) and
+        returns the argmin :class:`~repro.costmodel.RoutingPlan`.  Agrees
+        with per-query :meth:`route` including tie-breaking.
+        """
+        if not self._replicas:
+            raise ValueError("no replicas registered")
+        names = list(self._replicas)
+        if len(names) == 1:
+            m = len(workload)
+            return RoutingPlan(
+                replica_names=(names[0],),
+                assignments=np.zeros(m, dtype=np.intp),
+                costs=np.zeros((m, 1), dtype=np.float64),
+            )
+        if self._cost_model is None:
+            raise ValueError(
+                "multiple replicas but no cost model configured; "
+                "cannot route a workload"
+            )
+        n = len(self._dataset)
+        profiles = [self._replicas[name].profile(n_records=n) for name in names]
+        return self._cost_model.route_batch(workload, profiles)
 
     def query(
         self,
@@ -152,11 +319,11 @@ class BlotStore:
 
         ``query`` may be a positioned :class:`Query` or a raw box.  When
         ``replica`` is None the engine routes by estimated cost.
-        ``parallelism`` > 1 scans involved partitions with a thread pool
-        ("it is straightforward to conduct parallel query processing by
-        scanning multiple partitions simultaneously"); zlib/LZMA release
-        the GIL during decompression, so compressed replicas genuinely
-        overlap.
+        ``parallelism`` > 1 scans involved partitions with the persistent
+        thread pool ("it is straightforward to conduct parallel query
+        processing by scanning multiple partitions simultaneously");
+        zlib/LZMA release the GIL during decompression, so compressed
+        replicas genuinely overlap.
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
         if parallelism < 1:
@@ -168,20 +335,13 @@ class BlotStore:
         involved = stored.involved_partitions(box)
 
         def scan_one(pid: int) -> tuple[int, int, Dataset] | None:
-            key = stored.unit_keys[pid]
-            if key is None:
+            fetched = self._fetch_decoded(stored, pid)
+            if fetched is None:
                 return None
-            blob = stored.store.get(key)
-            records = stored.encoding_for(pid).decode(blob)
-            return len(blob), len(records), records.filter_box(box)
+            records, nbytes = fetched
+            return nbytes, len(records), records.filter_box(box)
 
-        if parallelism == 1 or len(involved) <= 1:
-            outcomes = [scan_one(int(pid)) for pid in involved]
-        else:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=parallelism) as pool:
-                outcomes = list(pool.map(scan_one, (int(p) for p in involved)))
+        outcomes = self._map_partitions(scan_one, involved, parallelism)
 
         parts: list[Dataset] = []
         scanned = 0
@@ -206,7 +366,12 @@ class BlotStore:
         )
         return QueryResult(records=result, stats=stats)
 
-    def count(self, query: Query | Box3, replica: str | None = None) -> tuple[int, QueryStats]:
+    def count(
+        self,
+        query: Query | Box3,
+        replica: str | None = None,
+        parallelism: int = 1,
+    ) -> tuple[int, QueryStats]:
         """Count records in a range without materializing them.
 
         Partitions wholly *contained* by the query range contribute their
@@ -215,33 +380,51 @@ class BlotStore:
         partitions — intersected but not contained — are decoded and
         filtered.  For large ranges this touches a tiny fraction of the
         data: the count-query analogue of the paper's sequential-scan
-        argument.
+        argument.  ``parallelism`` > 1 decodes boundary partitions on the
+        persistent thread pool, exactly like :meth:`query`.
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
         name = replica or self.route(q)
         stored = self.replica(name)
         box = q.box()
         start = time.perf_counter()
         involved = stored.involved_partitions(box)
-        total = 0
-        scanned = 0
-        bytes_read = 0
-        decoded_partitions = 0
+
+        contained_total = 0
+        boundary: list[int] = []
         for pid in involved:
             pid = int(pid)
-            key = stored.unit_keys[pid]
-            if key is None:
+            if stored.unit_keys[pid] is None:
                 continue
             part_box = Box3(*stored.partitioning.box_array[pid])
             if box.contains_box(part_box):
-                total += int(stored.partitioning.counts[pid])
+                contained_total += int(stored.partitioning.counts[pid])
+            else:
+                boundary.append(pid)
+
+        def count_one(pid: int) -> tuple[int, int, int] | None:
+            fetched = self._fetch_decoded(stored, pid)
+            if fetched is None:
+                return None
+            records, nbytes = fetched
+            return nbytes, len(records), records.count_in_box(box)
+
+        outcomes = self._map_partitions(count_one, boundary, parallelism)
+
+        total = contained_total
+        scanned = 0
+        bytes_read = 0
+        decoded_partitions = 0
+        for outcome in outcomes:
+            if outcome is None:
                 continue
-            blob = stored.store.get(key)
-            bytes_read += len(blob)
-            records = stored.encoding_for(pid).decode(blob)
-            scanned += len(records)
+            nbytes, nrecords, matched = outcome
+            bytes_read += nbytes
+            scanned += nrecords
             decoded_partitions += 1
-            total += records.count_in_box(box)
+            total += matched
         elapsed = time.perf_counter() - start
         stats = QueryStats(
             replica_name=name,
@@ -253,3 +436,131 @@ class BlotStore:
             total_records=len(self._dataset),
         )
         return total, stats
+
+    # -- workload execution ----------------------------------------------------
+
+    def execute_workload(
+        self,
+        workload: Workload,
+        parallelism: int = 1,
+        plan: RoutingPlan | None = None,
+    ) -> WorkloadResult:
+        """Execute a whole workload of positioned queries in one batch.
+
+        The workload is routed with :meth:`route_workload` (unless a
+        ``plan`` is supplied), grouped by chosen replica, and each
+        replica's involved-partition *union* is decoded exactly once —
+        on the persistent thread pool when ``parallelism`` > 1 — before
+        the per-query filters run against the decoded partitions.  A
+        query's records therefore match sequential
+        ``query(q, replica=...)`` exactly, record order included, while
+        partitions shared by overlapping queries are fetched and decoded
+        once instead of once per query.
+
+        Per-query ``bytes_read`` charges each store fetch to the first
+        query that needed the partition; ``WorkloadStats.bytes_read``
+        totals the unique fetches.
+        """
+        if parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        queries: list[Query] = []
+        for i, (q, _) in enumerate(workload):
+            if not isinstance(q, Query):
+                raise ValueError(
+                    f"execute_workload needs positioned queries; entry {i} is a "
+                    f"grouped query {q!r} (position it with .at())"
+                )
+            queries.append(q)
+        if plan is None:
+            plan = self.route_workload(workload)
+        elif plan.n_queries != len(workload):
+            raise ValueError(
+                f"plan covers {plan.n_queries} queries, workload has {len(workload)}"
+            )
+        assigned = plan.assigned_names()
+        cache_before = self._cache.stats() if self._cache is not None else None
+
+        start = time.perf_counter()
+        total_records = len(self._dataset)
+        results: list[QueryResult | None] = [None] * len(queries)
+        total_bytes = 0
+        total_decoded = 0
+
+        by_replica: dict[str, list[int]] = {}
+        for i, name in enumerate(assigned):
+            by_replica.setdefault(name, []).append(i)
+
+        for name, idxs in by_replica.items():
+            stored = self.replica(name)
+            boxes = {i: queries[i].box() for i in idxs}
+            involved = {i: stored.involved_partitions(boxes[i]) for i in idxs}
+            union: list[int] = sorted(
+                {int(pid) for pids in involved.values() for pid in pids}
+            )
+
+            def fetch_one(pid: int):
+                return self._fetch_decoded(stored, pid)
+
+            fetched = self._map_partitions(fetch_one, union, parallelism)
+            decoded: dict[int, Dataset] = {}
+            read_bytes: dict[int, int] = {}
+            for pid, outcome in zip(union, fetched):
+                if outcome is None:
+                    continue
+                records, nbytes = outcome
+                decoded[pid] = records
+                read_bytes[pid] = nbytes
+                total_bytes += nbytes
+                if nbytes > 0:
+                    total_decoded += 1
+
+            charged: set[int] = set()
+            for i in idxs:
+                q_start = time.perf_counter()
+                box = boxes[i]
+                parts: list[Dataset] = []
+                scanned = 0
+                q_bytes = 0
+                for pid in involved[i]:
+                    pid = int(pid)
+                    records = decoded.get(pid)
+                    if records is None:
+                        continue
+                    scanned += len(records)
+                    if pid not in charged:
+                        charged.add(pid)
+                        q_bytes += read_bytes[pid]
+                    parts.append(records.filter_box(box))
+                result = Dataset.concat(parts) if parts else Dataset.empty()
+                stats = QueryStats(
+                    replica_name=name,
+                    partitions_involved=int(len(involved[i])),
+                    records_scanned=scanned,
+                    records_returned=len(result),
+                    bytes_read=q_bytes,
+                    seconds=time.perf_counter() - q_start,
+                    total_records=total_records,
+                )
+                results[i] = QueryResult(records=result, stats=stats)
+
+        elapsed = time.perf_counter() - start
+        final = [r for r in results if r is not None]
+        assert len(final) == len(queries)
+        if self._cache is not None and cache_before is not None:
+            after = self._cache.stats()
+            hits = after.hits - cache_before.hits
+            misses = after.misses - cache_before.misses
+        else:
+            hits = misses = 0
+        stats = WorkloadStats(
+            n_queries=len(queries),
+            seconds=elapsed,
+            bytes_read=total_bytes,
+            records_scanned=sum(r.stats.records_scanned for r in final),
+            records_returned=sum(r.stats.records_returned for r in final),
+            partitions_decoded=total_decoded,
+            cache_hits=hits,
+            cache_misses=misses,
+            per_replica_queries=plan.query_counts(),
+        )
+        return WorkloadResult(results=tuple(final), plan=plan, stats=stats)

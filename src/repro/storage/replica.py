@@ -60,6 +60,7 @@ class StoredReplica:
             "index",
             PartitionIndex(self.partitioning.box_array, self.partitioning.universe),
         )
+        object.__setattr__(self, "_profile_cache", {})
 
     @property
     def n_partitions(self) -> int:
@@ -94,10 +95,20 @@ class StoredReplica:
                 storage_bytes: float | None = None) -> ReplicaProfile:
         """The cost-model view of this replica.  ``n_records`` and
         ``storage_bytes`` default to the materialized values; pass scaled
-        values to model a larger dataset with the same organization."""
+        values to model a larger dataset with the same organization.
+
+        Profiles are immutable and derived from immutable state, so they
+        are memoized per argument pair — per-query routing builds one per
+        replica instead of re-summing counts and store sizes every call.
+        """
+        memo: dict = self._profile_cache  # type: ignore[attr-defined]
+        cache_key = (n_records, storage_bytes)
+        cached = memo.get(cache_key)
+        if cached is not None:
+            return cached
         records = float(n_records if n_records is not None
                         else self.partitioning.counts.sum())
-        return ReplicaProfile(
+        built = ReplicaProfile(
             name=self.name,
             partitioning_name=self.partitioning.scheme_name,
             encoding_name=self.encoding.name,
@@ -107,6 +118,8 @@ class StoredReplica:
             storage_bytes=float(storage_bytes if storage_bytes is not None
                                 else self.storage_bytes()),
         )
+        memo[cache_key] = built
+        return built
 
 
 def build_replica(

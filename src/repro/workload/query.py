@@ -105,6 +105,13 @@ class Workload:
             cleaned.append((query, float(weight)))
         self._entries = tuple(cleaned)
 
+    @classmethod
+    def unweighted(cls, queries: Sequence[AnyQuery]) -> "Workload":
+        """A workload giving every query weight 1 — the natural form for
+        *execution* workloads, where each query runs exactly once and
+        weights only matter to the selection problem."""
+        return cls([(q, 1.0) for q in queries])
+
     # -- container protocol -------------------------------------------------
 
     def __len__(self) -> int:

@@ -1,0 +1,117 @@
+"""Tests for the byte-budgeted decoded-partition LRU cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.data.record import FIELDS
+from repro.storage import PartitionCache
+
+
+def dataset_of(n):
+    return Dataset({
+        f.name: (np.arange(n) if f.name == "t" else np.zeros(n)).astype(f.dtype)
+        for f in FIELDS
+    })
+
+
+ROW_BYTES = dataset_of(1).binary_size_bytes()
+
+
+class TestPartitionCache:
+    def test_miss_then_hit(self):
+        cache = PartitionCache(10_000)
+        assert cache.get(("r", 0)) is None
+        ds = dataset_of(5)
+        cache.put(("r", 0), ds)
+        assert cache.get(("r", 0)) is ds
+        s = cache.stats()
+        assert (s.hits, s.misses) == (1, 1)
+        assert s.hit_rate == 0.5
+        assert s.current_bytes == ds.binary_size_bytes()
+
+    def test_keys_namespaced_by_replica(self):
+        cache = PartitionCache(10_000)
+        cache.put(("a", 7), dataset_of(3))
+        assert cache.get(("b", 7)) is None
+
+    def test_lru_eviction_order(self):
+        cache = PartitionCache(3 * ROW_BYTES)
+        cache.put(("r", 0), dataset_of(1))
+        cache.put(("r", 1), dataset_of(1))
+        cache.put(("r", 2), dataset_of(1))
+        cache.get(("r", 0))  # refresh 0: 1 is now least recently used
+        cache.put(("r", 3), dataset_of(1))
+        assert cache.get(("r", 1)) is None
+        assert cache.get(("r", 0)) is not None
+        assert cache.get(("r", 3)) is not None
+        assert cache.stats().evictions == 1
+
+    def test_byte_budget_respected(self):
+        cache = PartitionCache(10 * ROW_BYTES)
+        for pid in range(50):
+            cache.put(("r", pid), dataset_of(2))
+        s = cache.stats()
+        assert s.current_bytes <= cache.capacity_bytes
+        assert s.entries == 5
+        assert s.evictions == 45
+
+    def test_oversized_entry_not_cached(self):
+        cache = PartitionCache(ROW_BYTES)
+        cache.put(("r", 0), dataset_of(100))
+        assert len(cache) == 0
+        assert cache.get(("r", 0)) is None
+
+    def test_reinsert_replaces_bytes(self):
+        cache = PartitionCache(100 * ROW_BYTES)
+        cache.put(("r", 0), dataset_of(10))
+        cache.put(("r", 0), dataset_of(20))
+        assert cache.stats().current_bytes == dataset_of(20).binary_size_bytes()
+        assert len(cache) == 1
+
+    def test_invalidate_replica(self):
+        cache = PartitionCache(100 * ROW_BYTES)
+        cache.put(("a", 0), dataset_of(1))
+        cache.put(("a", 1), dataset_of(1))
+        cache.put(("b", 0), dataset_of(1))
+        assert cache.invalidate_replica("a") == 2
+        assert cache.get(("b", 0)) is not None
+        assert cache.get(("a", 0)) is None
+
+    def test_clear_keeps_counters(self):
+        cache = PartitionCache(100 * ROW_BYTES)
+        cache.put(("r", 0), dataset_of(1))
+        cache.get(("r", 0))
+        cache.clear()
+        s = cache.stats()
+        assert s.entries == 0 and s.current_bytes == 0
+        assert s.hits == 1
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError, match="positive"):
+            PartitionCache(0)
+
+    def test_concurrent_access(self):
+        cache = PartitionCache(20 * ROW_BYTES)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    key = ("r", (base + i) % 30)
+                    if cache.get(key) is None:
+                        cache.put(key, dataset_of(1))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        s = cache.stats()
+        assert s.current_bytes <= cache.capacity_bytes
+        assert s.hits + s.misses == 8 * 200

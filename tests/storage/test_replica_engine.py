@@ -181,6 +181,28 @@ class TestRouting:
         res = store.query(small)
         assert res.stats.replica_name == "fine"
 
+    def test_equal_cost_tie_breaks_lexicographically(self, ds):
+        """Two identical replicas under different names have exactly equal
+        costs for every query; routing must deterministically pick the
+        lexicographically smallest name, not registration order."""
+        model = CostModel({
+            "ROW-PLAIN": EncodingCostParams(scan_rate=2_000, extra_time=0.01),
+        })
+        store = BlotStore(ds, cost_model=model)
+        scheme = CompositeScheme(KdTreePartitioner(8), 4)
+        enc = encoding_scheme_by_name("ROW-PLAIN")
+        # Register the lexicographically *larger* name first, so a
+        # registration-order tiebreak would get this wrong.
+        store.add_replica(scheme, enc, InMemoryStore(), name="zeta")
+        store.add_replica(scheme, enc, InMemoryStore(), name="alpha")
+        rng = np.random.default_rng(9)
+        queries = [random_query(ds, rng) for _ in range(5)]
+        for q in queries:
+            assert store.route(q) == "alpha"
+        from repro.workload import Workload
+        plan = store.route_workload(Workload.unweighted(queries))
+        assert plan.assigned_names() == ["alpha"] * len(queries)
+
     def test_no_replicas(self, ds):
         store = BlotStore(ds)
         with pytest.raises(ValueError, match="no replicas"):
