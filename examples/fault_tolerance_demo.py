@@ -18,8 +18,13 @@ from repro import synthetic_shanghai_taxis
 from repro.cluster import ClusterPlacement
 from repro.encoding import encoding_scheme_by_name
 from repro.partition import CompositeScheme, KdTreePartitioner
-from repro.storage import InMemoryStore, build_manifest, build_replica, verify_replica
-from repro.storage.recovery import recover_dataset
+from repro.storage import (
+    InMemoryStore,
+    build_manifest,
+    build_replica,
+    recover_dataset,
+    verify_replica,
+)
 
 
 def main() -> None:

@@ -29,7 +29,7 @@ from repro.core import AdaptiveReconfigurator
 from repro.costmodel import Histogram3D
 from repro.encoding import encoding_scheme_by_name
 from repro.partition import CompositeScheme, KdTreePartitioner, small_partitioning_schemes
-from repro.storage.ingest import IngestingBlotStore, ReplicaSpec
+from repro.storage import IngestingBlotStore, ReplicaSpec
 
 
 def main() -> None:

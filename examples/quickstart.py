@@ -8,7 +8,6 @@ Runs in well under a minute on a laptop:
 
 from repro import (
     AdvisorConfig,
-    BlotStore,
     CompositeScheme,
     InMemoryStore,
     KdTreePartitioner,
@@ -17,6 +16,7 @@ from repro import (
     cost_model_for,
     encoding_scheme_by_name,
     make_cluster,
+    open_store,
     paper_encoding_schemes,
     paper_workload,
     small_partitioning_schemes,
@@ -38,13 +38,16 @@ def main() -> None:
 
     # 3. A BLOT store with two *diverse* replicas: same records, different
     #    physical organizations.
-    store = BlotStore(data, cost_model=model)
-    store.add_replica(CompositeScheme(KdTreePartitioner(4), 2),
-                      encoding_scheme_by_name("ROW-PLAIN"),
-                      InMemoryStore(), name="coarse")
-    store.add_replica(CompositeScheme(KdTreePartitioner(64), 8),
-                      encoding_scheme_by_name("COL-GZIP"),
-                      InMemoryStore(), name="fine")
+    store = open_store(
+        data,
+        replicas=[
+            (CompositeScheme(KdTreePartitioner(4), 2),
+             encoding_scheme_by_name("ROW-PLAIN"), InMemoryStore(), "coarse"),
+            (CompositeScheme(KdTreePartitioner(64), 8),
+             encoding_scheme_by_name("COL-GZIP"), InMemoryStore(), "fine"),
+        ],
+        cost_model=model,
+    )
 
     # 4. Queries are routed to the replica with the lowest estimated cost.
     c = bb.centroid

@@ -90,12 +90,19 @@ from repro.partition import (
 )
 from repro.storage import (
     BlotStore,
+    DegradedReadError,
     DirectoryStore,
+    ExecOptions,
+    FaultInjector,
     InMemoryStore,
     PartitionCache,
+    PartitionReadError,
+    QueryResult,
+    QueryStats,
     WorkloadResult,
     WorkloadStats,
     build_replica,
+    open_store,
 )
 from repro.workload import (
     GroupedQuery,
@@ -115,16 +122,22 @@ __all__ = [
     "CompositeScheme",
     "CostModel",
     "Dataset",
+    "DegradedReadError",
     "DirectoryStore",
     "EMR_S3",
     "ENVIRONMENTS",
     "EncodingCostParams",
     "EncodingScheme",
+    "ExecOptions",
+    "FaultInjector",
     "FleetConfig",
     "GridPartitioner",
     "GroupedQuery",
     "InMemoryStore",
     "PartitionCache",
+    "PartitionReadError",
+    "QueryResult",
+    "QueryStats",
     "KdTreePartitioner",
     "LOCAL_HADOOP",
     "PartitionIndex",
@@ -161,6 +174,7 @@ __all__ = [
     "make_cluster",
     "measure_compression_ratio",
     "measure_encoding_ratios",
+    "open_store",
     "paper_encoding_schemes",
     "paper_partitioning_schemes",
     "paper_workload",

@@ -8,8 +8,13 @@ Usage (after ``pip install -e .``)::
     python -m repro calibrate --environment local-hadoop
     python -m repro advise --records-target 65e6 --budget-copies 3 --method exact
     python -m repro query --input taxis.csv --frac 0.1 --encoding COL-GZIP
+    python -m repro run-workload --queries 500 --replicas 3
+    python -m repro drill --fail-replica kd16t4/COL-SNAPPY
 
-Every subcommand is deterministic given ``--seed``.
+Every subcommand is deterministic given ``--seed``.  Shared argument
+groups (``--seed``, the ``--input/--records/--header`` data source, the
+workload shape, the fault schedule) are defined once as argparse parent
+parsers, so every subcommand spells them identically.
 """
 
 from __future__ import annotations
@@ -125,7 +130,7 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.encoding import encoding_scheme_by_name
     from repro.partition import CompositeScheme, KdTreePartitioner
-    from repro.storage import BlotStore, InMemoryStore
+    from repro.storage import BlotStore, ExecOptions, InMemoryStore
     from repro.workload import Query
 
     data = _load_or_generate(args)
@@ -139,7 +144,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     c = bb.centroid
     q = Query(bb.width * args.frac, bb.height * args.frac,
               bb.duration * args.frac, c.x, c.y, c.t)
-    result = store.query(q, parallelism=args.parallelism)
+    result = store.query(q, options=ExecOptions(parallelism=args.parallelism))
     s = result.stats
     print(f"replica {s.replica_name}: {s.records_returned:,} of "
           f"{s.total_records:,} records returned")
@@ -162,23 +167,26 @@ _WORKLOAD_REPLICA_SPECS: tuple[tuple[int, int, str], ...] = (
 )
 
 
-def _cmd_run_workload(args: argparse.Namespace) -> int:
+def _build_workload_store(args: argparse.Namespace):
+    """Build the diverse-replica store shared by ``run-workload`` and
+    ``drill``: ``args.replicas`` kd-tree/time-slice combinations over one
+    dataset, with an optional decoded-partition cache and (when more than
+    one replica exists) a calibrated cost model for routing.
+
+    Returns ``(store, 0)`` or ``(None, exit_code)`` on bad arguments.
+    """
     from repro.cluster import cost_model_for, make_cluster
     from repro.encoding import encoding_scheme_by_name
     from repro.partition import CompositeScheme, KdTreePartitioner
     from repro.storage import BlotStore, InMemoryStore
-    from repro.workload import positioned_random_workload
 
     if not 1 <= args.replicas <= len(_WORKLOAD_REPLICA_SPECS):
         print(f"--replicas must be 1..{len(_WORKLOAD_REPLICA_SPECS)}",
               file=sys.stderr)
-        return 2
+        return None, 2
     if args.queries < 1:
         print("--queries must be >= 1", file=sys.stderr)
-        return 2
-    if args.repeat < 1:
-        print("--repeat must be >= 1", file=sys.stderr)
-        return 2
+        return None, 2
     data = _load_or_generate(args)
     specs = _WORKLOAD_REPLICA_SPECS[:args.replicas]
     model = None
@@ -194,27 +202,155 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
         )
     print(f"{len(data):,} records, {args.replicas} replicas: "
           + ", ".join(store.replica_names()))
+    return store, 0
+
+
+def _make_injector(args: argparse.Namespace, store):
+    """A :class:`FaultInjector` per the shared fault arguments, or an
+    error exit code when a ``--fail-replica`` names an unknown replica."""
+    from repro.storage import FaultInjector
+
+    injector = FaultInjector(
+        seed=args.fault_seed,
+        partition_fail_rate=args.fault_rate,
+        slow_seconds=args.slow_ms / 1e3,
+    )
+    for name in args.fail_replica or []:
+        if name not in store.replica_names():
+            print(f"--fail-replica: no replica named {name!r}; have "
+                  + ", ".join(store.replica_names()), file=sys.stderr)
+            return None, 2
+        injector.fail_replica(name)
+    return injector, 0
+
+
+def _exec_options(args: argparse.Namespace):
+    from repro.storage import ExecOptions
+
+    return ExecOptions(parallelism=args.parallelism,
+                       retries=getattr(args, "retries", 2))
+
+
+def _print_workload_pass(label: str, s, cache_enabled: bool) -> None:
+    print(f"[{label}] {s.n_queries} queries in {s.seconds * 1e3:.1f} ms "
+          f"({s.n_queries / s.seconds:,.0f} q/s)")
+    print(f"  read {s.bytes_read / 1e6:.2f} MB across "
+          f"{s.partitions_decoded} partition decodes, scanned "
+          f"{s.records_scanned:,} records, returned {s.records_returned:,}")
+    if cache_enabled:
+        print(f"  cache hit rate {s.cache_hit_rate:.1%} "
+              f"({s.cache_hits} hits / {s.cache_misses} misses)")
+    routed = ", ".join(f"{name}={count}" for name, count in
+                       sorted(s.per_replica_queries.items()))
+    print(f"  routing: {routed}")
+    if s.degraded:
+        failed = ", ".join(s.failed_replicas) or "none"
+        print(f"  degraded: {s.failovers} failovers, {s.retries} retries, "
+              f"{s.repairs} repairs; failed replicas: {failed}; "
+              f"est. extra cost {s.degraded_cost_delta:+.2f}s")
+
+
+def _cmd_run_workload(args: argparse.Namespace) -> int:
+    from repro.storage import DegradedReadError
+    from repro.workload import positioned_random_workload
+
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
+    store, err = _build_workload_store(args)
+    if store is None:
+        return err
+    if args.inject_faults:
+        injector, err = _make_injector(args, store)
+        if injector is None:
+            return err
+        store.set_fault_injector(injector)
 
     rng = np.random.default_rng(args.seed)
     workload = positioned_random_workload(
-        data.bounding_box(), args.queries, rng, max_fraction=args.max_frac)
+        store.dataset.bounding_box(), args.queries, rng,
+        max_fraction=args.max_frac)
+    opts = _exec_options(args)
+    cache_enabled = store.partition_cache is not None
     for pass_no in range(1, args.repeat + 1):
-        result = store.execute_workload(workload, parallelism=args.parallelism)
-        s = result.stats
         label = f"pass {pass_no}/{args.repeat}" if args.repeat > 1 else "workload"
-        print(f"[{label}] {s.n_queries} queries in {s.seconds * 1e3:.1f} ms "
-              f"({s.n_queries / s.seconds:,.0f} q/s)")
-        print(f"  read {s.bytes_read / 1e6:.2f} MB across "
-              f"{s.partitions_decoded} partition decodes, scanned "
-              f"{s.records_scanned:,} records, returned {s.records_returned:,}")
-        if cache_bytes:
-            print(f"  cache hit rate {s.cache_hit_rate:.1%} "
-                  f"({s.cache_hits} hits / {s.cache_misses} misses)")
-        routed = ", ".join(f"{name}={count}" for name, count in
-                           sorted(s.per_replica_queries.items()))
-        print(f"  routing: {routed}")
+        try:
+            result = store.execute_workload(workload, options=opts)
+        except DegradedReadError as exc:
+            print(f"[{label}] degraded beyond recovery: {exc}", file=sys.stderr)
+            store.close()
+            return 1
+        _print_workload_pass(label, result.stats, cache_enabled)
     store.close()
     return 0
+
+
+def _cmd_drill(args: argparse.Namespace) -> int:
+    """Failure drill: run a workload healthy, impose a failure schedule,
+    run it again, and report the degradation (failovers, retries,
+    repairs, extra estimated cost) plus a result-integrity check."""
+    from repro.storage import DegradedReadError
+    from repro.workload import positioned_random_workload
+
+    store, err = _build_workload_store(args)
+    if store is None:
+        return err
+    rng = np.random.default_rng(args.seed)
+    workload = positioned_random_workload(
+        store.dataset.bounding_box(), args.queries, rng,
+        max_fraction=args.max_frac)
+    opts = _exec_options(args)
+    cache_enabled = store.partition_cache is not None
+
+    healthy = store.execute_workload(workload, options=opts)
+    _print_workload_pass("healthy", healthy.stats, cache_enabled)
+
+    injector, err = _make_injector(args, store)
+    if injector is None:
+        store.close()
+        return err
+    if not args.fail_replica and args.fault_rate == 0 and args.slow_ms == 0:
+        # No schedule given: take down the replica the healthy routing
+        # leaned on hardest — the most informative single-node drill.
+        victim = max(healthy.stats.per_replica_queries.items(),
+                     key=lambda kv: (kv[1], kv[0]))[0]
+        injector.fail_replica(victim)
+        print(f"no failure schedule given; failing busiest replica {victim!r}")
+    store.set_fault_injector(injector)
+    if store.partition_cache is not None:
+        # A drill measures the degraded read path, not yesterday's cache.
+        store.partition_cache.clear()
+
+    try:
+        degraded = store.execute_workload(workload, options=opts)
+    except DegradedReadError as exc:
+        print("drill FAILED: workload cannot be served under this schedule",
+              file=sys.stderr)
+        print(f"  {exc}", file=sys.stderr)
+        store.close()
+        return 1
+    _print_workload_pass("degraded", degraded.stats, cache_enabled)
+
+    per_query_ok = all(
+        h.stats.records_returned == d.stats.records_returned
+        for h, d in zip(healthy.results, degraded.results)
+    )
+    hs, ds = healthy.stats, degraded.stats
+    print("degradation report:")
+    print(f"  results identical: {'yes' if per_query_ok else 'NO'} "
+          f"({ds.records_returned:,} records, healthy {hs.records_returned:,})")
+    print(f"  failovers: {ds.failovers}  retries: {ds.retries}  "
+          f"repairs: {ds.repairs}")
+    print(f"  failed replicas: {', '.join(ds.failed_replicas) or 'none'}")
+    print(f"  est. extra cost vs healthy plan: {ds.degraded_cost_delta:+.2f}s")
+    print(f"  wall clock: healthy {hs.seconds * 1e3:.1f} ms -> "
+          f"degraded {ds.seconds * 1e3:.1f} ms")
+    if injector.stats().faults_injected:
+        fstats = injector.stats()
+        print(f"  injector: {fstats.faults_injected} faults over "
+              f"{fstats.reads_checked} read checks")
+    store.close()
+    return 0 if per_query_ok else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -299,44 +435,96 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if not remaining else 1
 
 
+def _seed_parent(default: int = 7) -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--seed", type=int, default=default)
+    return p
+
+
+def _data_parent(records_default: int = 20_000,
+                 with_input: bool = True) -> argparse.ArgumentParser:
+    """The ``--input/--records/--header`` data-source group shared by
+    every subcommand that reads or synthesizes a taxi log."""
+    p = argparse.ArgumentParser(add_help=False)
+    if with_input:
+        p.add_argument("--input", help="CSV file (default: synthesize)")
+        p.add_argument("--records", type=int, default=records_default,
+                       help="records to synthesize when no --input")
+    else:
+        p.add_argument("--records", type=int, default=records_default)
+    p.add_argument("--header", action="store_true",
+                   help="CSV files carry a header row")
+    return p
+
+
+def _workload_parent() -> argparse.ArgumentParser:
+    """The workload-shape group shared by ``run-workload`` and ``drill``."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--queries", type=int, default=500,
+                   help="positioned queries to generate")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="diverse replicas to build (1..6)")
+    p.add_argument("--max-frac", type=float, default=0.3,
+                   help="largest query extent as a fraction of the universe")
+    p.add_argument("--parallelism", type=int, default=4,
+                   help="partition-scan threads in the persistent pool")
+    p.add_argument("--cache-mb", type=float, default=64.0,
+                   help="decoded-partition cache budget in MB (0 disables)")
+    p.add_argument("--environment", default="amazon-s3-emr")
+    return p
+
+
+def _faults_parent() -> argparse.ArgumentParser:
+    """The fault-schedule group shared by ``run-workload --inject-faults``
+    and ``drill``."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="fail this fraction of (replica, partition) units, "
+                        "deterministically per --fault-seed")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the deterministic fault schedule")
+    p.add_argument("--fail-replica", action="append", default=None,
+                   metavar="NAME",
+                   help="mark a whole replica down (repeatable)")
+    p.add_argument("--slow-ms", type=float, default=0.0,
+                   help="injected latency per storage read, in ms")
+    p.add_argument("--retries", type=int, default=2,
+                   help="extra read attempts per partition before failover")
+    return p
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BLOT diverse-replica storage (ICDCS 2014 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    def common_data(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--input", help="CSV file (default: synthesize)")
-        p.add_argument("--records", type=int, default=20_000,
-                       help="records to synthesize when no --input")
-        p.add_argument("--header", action="store_true",
-                       help="CSV files carry a header row")
-        p.add_argument("--seed", type=int, default=7)
+    seed = _seed_parent()
+    data = _data_parent()
+    workload_shape = _workload_parent()
+    faults = _faults_parent()
 
     p = sub.add_parser("info", help="version, environments, scheme registry")
     p.set_defaults(handler=_cmd_info)
 
-    p = sub.add_parser("generate", help="synthesize a taxi GPS log as CSV")
-    p.add_argument("--records", type=int, default=50_000)
+    p = sub.add_parser("generate", help="synthesize a taxi GPS log as CSV",
+                       parents=[_data_parent(50_000, with_input=False), seed])
     p.add_argument("--taxis", type=int, default=64)
-    p.add_argument("--seed", type=int, default=7)
-    p.add_argument("--header", action="store_true")
     p.add_argument("--out", required=True)
     p.set_defaults(handler=_cmd_generate)
 
-    p = sub.add_parser("ratios", help="Table I: compression ratios")
-    common_data(p)
+    p = sub.add_parser("ratios", help="Table I: compression ratios",
+                       parents=[data, seed])
     p.set_defaults(handler=_cmd_ratios)
 
-    p = sub.add_parser("calibrate", help="Table II: ScanRate/ExtraTime fits")
+    p = sub.add_parser("calibrate", help="Table II: ScanRate/ExtraTime fits",
+                       parents=[seed])
     p.add_argument("--environment", default="amazon-s3-emr")
     p.add_argument("--encodings", nargs="*", default=None)
-    p.add_argument("--seed", type=int, default=7)
     p.set_defaults(handler=_cmd_calibrate)
 
-    p = sub.add_parser("advise", help="recommend a diverse replica set")
-    common_data(p)
+    p = sub.add_parser("advise", help="recommend a diverse replica set",
+                       parents=[data, seed])
     p.add_argument("--records-target", type=float, default=65e6,
                    help="size of the full dataset being planned for")
     p.add_argument("--environment", default="amazon-s3-emr")
@@ -360,8 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--source-store", required=True)
     p.set_defaults(handler=_cmd_repair)
 
-    p = sub.add_parser("analyze", help="fleet analytics (trips, OD flows)")
-    common_data(p)
+    p = sub.add_parser("analyze", help="fleet analytics (trips, OD flows)",
+                       parents=[data, seed])
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--grid", type=int, default=4)
     p.set_defaults(handler=_cmd_analyze)
@@ -369,26 +557,26 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "run-workload",
         help="batch-route and execute a whole query workload",
+        parents=[data, seed, workload_shape, faults],
     )
-    common_data(p)
-    p.add_argument("--queries", type=int, default=500,
-                   help="positioned queries to generate")
-    p.add_argument("--replicas", type=int, default=3,
-                   help="diverse replicas to build (1..6)")
-    p.add_argument("--max-frac", type=float, default=0.3,
-                   help="largest query extent as a fraction of the universe")
-    p.add_argument("--parallelism", type=int, default=4,
-                   help="partition-scan threads in the persistent pool")
-    p.add_argument("--cache-mb", type=float, default=64.0,
-                   help="decoded-partition cache budget in MB (0 disables)")
     p.add_argument("--repeat", type=int, default=2,
                    help="execute the workload this many times "
                         "(second pass shows the cache effect)")
-    p.add_argument("--environment", default="amazon-s3-emr")
+    p.add_argument("--inject-faults", action="store_true",
+                   help="apply the fault schedule (--fault-rate, "
+                        "--fail-replica, --slow-ms) to every pass")
     p.set_defaults(handler=_cmd_run_workload)
 
-    p = sub.add_parser("query", help="run one range query through the engine")
-    common_data(p)
+    p = sub.add_parser(
+        "drill",
+        help="failure drill: healthy pass, inject faults, degraded pass, "
+             "degradation report",
+        parents=[data, seed, workload_shape, faults],
+    )
+    p.set_defaults(handler=_cmd_drill)
+
+    p = sub.add_parser("query", help="run one range query through the engine",
+                       parents=[data, seed])
     p.add_argument("--frac", type=float, default=0.1,
                    help="query extent as a fraction of the universe per axis")
     p.add_argument("--encoding", default="COL-GZIP")

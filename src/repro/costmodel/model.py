@@ -313,6 +313,31 @@ class RoutingPlan:
             return float(best.sum())
         return float(np.dot(np.asarray(weights, dtype=np.float64), best))
 
+    # -- failover support ---------------------------------------------------
+
+    def ranking_for(self, i: int) -> tuple[str, ...]:
+        """Every replica ranked by estimated cost for query ``i`` —
+        cheapest first, equal costs broken toward the lexicographically
+        smallest name.  ``ranking_for(i)[0]`` is the planned replica;
+        the tail is the failover order the engine walks when the
+        assigned replica cannot serve the query.
+        """
+        row = self.costs[i]
+        order = sorted(range(len(self.replica_names)),
+                       key=lambda j: (row[j], self.replica_names[j]))
+        return tuple(self.replica_names[j] for j in order)
+
+    def cost_for(self, i: int, replica_name: str) -> float:
+        """The Eq. 7 cost of serving query ``i`` on one named replica."""
+        return float(self.costs[i, self.replica_names.index(replica_name)])
+
+    def degraded_delta(self, i: int, serving_name: str) -> float:
+        """Extra estimated cost of serving query ``i`` on
+        ``serving_name`` instead of its planned (argmin) replica —
+        0 when the plan was honored, positive under failover."""
+        planned = float(self.costs[i, self.assignments[i]])
+        return self.cost_for(i, serving_name) - planned
+
 
 class CostModel:
     """Estimates ``Cost(q, r)`` for any query on any replica profile.

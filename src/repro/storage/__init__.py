@@ -8,7 +8,16 @@ from repro.storage.engine import (
     ReplicaExists,
     WorkloadResult,
     WorkloadStats,
+    open_store,
 )
+from repro.storage.faults import (
+    DegradedReadError,
+    FaultInjector,
+    FaultStats,
+    InjectedFault,
+    PartitionReadError,
+)
+from repro.storage.options import DEFAULT_EXEC_OPTIONS, ExecOptions
 from repro.storage.manifest import (
     build_manifest,
     load_replica,
@@ -21,6 +30,7 @@ from repro.storage.recovery import (
     rebuild_replica,
     recover_dataset,
     repair_partition,
+    repair_partition_any,
     repair_replica,
 )
 from repro.storage.ingest import IngestingBlotStore, ReplicaSpec
@@ -42,12 +52,19 @@ from repro.storage.unit import (
 __all__ = [
     "BlotStore",
     "CacheStats",
+    "DEFAULT_EXEC_OPTIONS",
+    "DegradedReadError",
     "DirectoryStore",
     "DuplicateUnit",
+    "ExecOptions",
+    "FaultInjector",
+    "FaultStats",
     "InMemoryStore",
     "IngestingBlotStore",
+    "InjectedFault",
     "LocalScanMeasurer",
     "PartitionCache",
+    "PartitionReadError",
     "ReplicaSpec",
     "QueryResult",
     "QueryStats",
@@ -64,9 +81,11 @@ __all__ = [
     "build_replica",
     "temperature_policy",
     "load_replica",
+    "open_store",
     "rebuild_replica",
     "recover_dataset",
     "repair_partition",
+    "repair_partition_any",
     "repair_replica",
     "save_manifest",
     "verify_replica",

@@ -108,6 +108,16 @@ class PartitionCache:
                 self._current_bytes -= evicted_bytes
                 self._evictions += 1
 
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one cached partition (e.g. after its unit failed a read
+        or was repaired); returns True when an entry was removed."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._current_bytes -= entry[1]
+            return True
+
     def invalidate_replica(self, replica_name: str) -> int:
         """Drop every cached partition of one replica (e.g. after repair);
         returns the number of entries removed."""

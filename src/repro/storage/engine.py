@@ -17,16 +17,26 @@ Two execution paths exist:
   (:meth:`~repro.costmodel.CostModel.route_batch`), groups the plan by
   replica and decodes each replica's involved-partition *union* once.
 
-Both share a persistent scan thread pool and an optional byte-budgeted
-:class:`~repro.storage.cache.PartitionCache` of decoded partitions, so
-overlapping queries decode each hot partition once.
+Both share a persistent scan thread pool, an optional byte-budgeted
+:class:`~repro.storage.cache.PartitionCache` of decoded partitions, and
+one **failure path**: a partition read that stays failed after the
+configured retries (an injected fault, a missing unit, corrupt bytes)
+makes the query *fail over* to the next-cheapest replica per the
+Eq. 6–7 cost ranking.  When every replica is exhausted the engine
+attempts :func:`~repro.storage.recovery.repair_partition` from a
+surviving diverse replica, and only then raises a structured
+:class:`~repro.storage.faults.DegradedReadError` — degraded
+configurations are a first-class state, not an exception trace.
+Execution behavior (parallelism, cache policy, retry/failover policy)
+is controlled uniformly by :class:`~repro.storage.options.ExecOptions`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.costmodel.model import CostModel, RoutingPlan
 from repro.data.dataset import Dataset
@@ -34,6 +44,18 @@ from repro.encoding.base import EncodingScheme
 from repro.geometry import Box3
 from repro.partition.base import PartitioningScheme
 from repro.storage.cache import CacheStats, PartitionCache
+from repro.storage.faults import (
+    DegradedReadError,
+    FaultInjector,
+    InjectedFault,
+    PartitionReadError,
+)
+from repro.storage.options import (
+    DEFAULT_EXEC_OPTIONS,
+    ExecOptions,
+    resolve_exec_options,
+)
+from repro.storage.recovery import RecoveryError, repair_partition_any
 from repro.storage.replica import StoredReplica, build_replica
 from repro.storage.unit import UnitStore
 from repro.workload.query import Query, Workload
@@ -48,7 +70,9 @@ class QueryStats:
     ``scanned_fraction`` is the paper's ``S`` (Figure 2): the share of the
     dataset's records that had to be scanned.  ``bytes_read`` counts bytes
     actually fetched from the unit store — partitions served from the
-    decoded-partition cache contribute zero.
+    decoded-partition cache contribute zero.  ``retries`` and
+    ``failovers`` are 0 on a healthy read; a positive ``failovers`` means
+    ``replica_name`` is not the replica routing originally chose.
     """
 
     replica_name: str
@@ -58,6 +82,8 @@ class QueryStats:
     bytes_read: int
     seconds: float
     total_records: int
+    retries: int = 0
+    failovers: int = 0
 
     @property
     def scanned_fraction(self) -> float:
@@ -83,6 +109,14 @@ class WorkloadStats:
     all, which is the whole point of the batch path.  ``cache_hits`` /
     ``cache_misses`` are deltas over this run only; ``cache_hit_rate`` is
     0.0 when no cache is configured.
+
+    The degradation fields report failure handling: ``retries`` (partition
+    reads retried), ``failovers`` (query re-routes to a fallback replica),
+    ``repairs`` (units restored from a diverse replica mid-run),
+    ``failed_replicas`` (replicas observed down), and
+    ``degraded_cost_delta`` — the estimated extra cost (Eq. 7 seconds) of
+    the replicas that actually served versus the healthy routing plan.
+    All are zero/empty on a healthy run.
     """
 
     n_queries: int
@@ -96,13 +130,27 @@ class WorkloadStats:
     cache_hits: int
     cache_misses: int
     per_replica_queries: dict[str, int]
+    retries: int = 0
+    failovers: int = 0
+    repairs: int = 0
+    degraded_cost_delta: float = 0.0
+    failed_replicas: tuple[str, ...] = ()
 
     @property
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         if lookups == 0:
             return 0.0
+        return self.hits_over(lookups)
+
+    def hits_over(self, lookups: int) -> float:
         return self.cache_hits / lookups
+
+    @property
+    def degraded(self) -> bool:
+        """True when any failure handling happened during the run."""
+        return bool(self.retries or self.failovers or self.repairs
+                    or self.failed_replicas)
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,12 +167,40 @@ class ReplicaExists(ValueError):
     """Raised when adding a replica under a name already in use."""
 
 
+class _Accounting:
+    """Thread-safe degradation counters shared by one execution call
+    (partition scans run on the pool, so increments race)."""
+
+    __slots__ = ("retries", "failovers", "repairs", "_lock")
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.failovers = 0
+        self.repairs = 0
+        self._lock = threading.Lock()
+
+    def add_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def add_failover(self) -> None:
+        with self._lock:
+            self.failovers += 1
+
+    def add_repair(self) -> None:
+        with self._lock:
+            self.repairs += 1
+
+
 class BlotStore:
     """A single-node BLOT system instance over one logical dataset.
 
     ``cache_bytes`` enables the decoded-partition LRU cache shared by
     ``query()``, ``count()`` and ``execute_workload()``; ``None`` keeps
-    the seed behavior of decoding on every access.
+    the seed behavior of decoding on every access.  ``fault_injector``
+    routes every storage unit read through a
+    :class:`~repro.storage.faults.FaultInjector` (used by failure drills
+    and tests; ``None`` — the default — costs nothing).
     """
 
     def __init__(
@@ -132,6 +208,7 @@ class BlotStore:
         dataset: Dataset,
         cost_model: CostModel | None = None,
         cache_bytes: int | None = None,
+        fault_injector: FaultInjector | None = None,
     ):
         if len(dataset) == 0:
             raise ValueError("BlotStore needs a non-empty dataset")
@@ -140,6 +217,7 @@ class BlotStore:
         self._replicas: dict[str, StoredReplica] = {}
         self._cost_model = cost_model
         self._cache = PartitionCache(cache_bytes) if cache_bytes else None
+        self._faults = fault_injector
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
 
@@ -156,6 +234,17 @@ class BlotStore:
     @property
     def partition_cache(self) -> PartitionCache | None:
         return self._cache
+
+    @property
+    def fault_injector(self) -> FaultInjector | None:
+        return self._faults
+
+    def set_fault_injector(self, injector: FaultInjector | None) -> None:
+        """Attach (or detach, with None) a fault injector to the store
+        and every registered replica."""
+        self._faults = injector
+        for stored in self._replicas.values():
+            stored.attach_fault_injector(injector)
 
     def cache_stats(self) -> CacheStats | None:
         """Lifetime counters of the decoded-partition cache (None when
@@ -191,6 +280,8 @@ class BlotStore:
         if replica.name in self._replicas:
             raise ReplicaExists(f"replica {replica.name!r} already exists")
         self._replicas[replica.name] = replica
+        if self._faults is not None:
+            replica.attach_fault_injector(self._faults)
         return replica
 
     def total_storage_bytes(self) -> int:
@@ -221,23 +312,55 @@ class BlotStore:
         return self._pool
 
     def _fetch_decoded(
-        self, stored: StoredReplica, pid: int
+        self,
+        stored: StoredReplica,
+        pid: int,
+        options: ExecOptions = DEFAULT_EXEC_OPTIONS,
+        acct: _Accounting | None = None,
     ) -> tuple[Dataset, int] | None:
         """Decode one partition, through the cache when configured.
 
         Returns ``(records, bytes_read)`` where ``bytes_read`` is 0 on a
         cache hit, or None for empty partitions (no storage unit).
+        Transiently failed reads are retried per ``options``; a read
+        that stays failed raises
+        :class:`~repro.storage.faults.PartitionReadError`.  A
+        whole-replica outage fails before the cache is consulted (the
+        node's memory is as gone as its disks) and is never retried.
         """
         key = stored.unit_keys[pid]
         if key is None:
             return None
-        if self._cache is not None:
+        faults = self._faults
+        if faults is not None and faults.replica_failed(stored.name):
+            fault = InjectedFault(stored.name, pid, scope="replica")
+            raise PartitionReadError(stored.name, pid, fault) from fault
+        use_cache = self._cache is not None and options.use_cache
+        if use_cache:
             hit = self._cache.get((stored.name, pid))
             if hit is not None:
                 return hit, 0
-        blob = stored.store.get(key)
-        records = stored.encoding_for(pid).decode(blob)
-        if self._cache is not None:
+        failures = 0
+        while True:
+            try:
+                if faults is not None:
+                    faults.on_read(stored.name, pid)
+                blob = stored.store.get(key)
+                records = stored.encoding_for(pid).decode(blob)
+                break
+            except Exception as exc:
+                if isinstance(exc, InjectedFault) and exc.scope == "replica":
+                    raise PartitionReadError(
+                        stored.name, pid, exc, failures + 1) from exc
+                failures += 1
+                if failures > options.retries:
+                    raise PartitionReadError(
+                        stored.name, pid, exc, failures) from exc
+                if acct is not None:
+                    acct.add_retry()
+                if options.backoff_seconds > 0:
+                    time.sleep(options.backoff_seconds * 2 ** (failures - 1))
+        if use_cache:
             self._cache.put((stored.name, pid), records)
         return records, len(blob)
 
@@ -249,7 +372,18 @@ class BlotStore:
             return [fn(pid) for pid in pids]
         return list(self._executor(parallelism).map(fn, pids))
 
-    # -- query processing ------------------------------------------------------
+    def _note_read_failure(self, err: PartitionReadError) -> None:
+        """Invalidate the cache entries a failed read makes suspect: the
+        whole replica on a replica-level outage, the single unit
+        otherwise."""
+        if self._cache is None:
+            return
+        if err.replica_failed:
+            self._cache.invalidate_replica(err.replica_name)
+        elif err.partition_id is not None:
+            self._cache.invalidate((err.replica_name, err.partition_id))
+
+    # -- routing ---------------------------------------------------------------
 
     def route(self, query: Query) -> str:
         """Pick the replica with the lowest estimated cost for ``query``.
@@ -261,35 +395,69 @@ class BlotStore:
         :meth:`~repro.costmodel.CostModel.route_batch`), so routing never
         depends on replica registration order.
         """
+        return self.route_ranked(query)[0]
+
+    def route_ranked(self, query: Query) -> list[str]:
+        """Every replica ranked by estimated Eq. 7 cost for ``query`` —
+        cheapest first, ties toward the lexicographically smallest name.
+        The head is what :meth:`route` returns; the tail is the failover
+        order the engine walks when the assigned replica fails.
+        """
         if not self._replicas:
             raise ValueError("no replicas registered")
-        names = list(self._replicas)
+        names = sorted(self._replicas)
         if len(names) == 1:
-            return names[0]
+            return names
         if self._cost_model is None:
             raise ValueError(
                 "multiple replicas but no cost model configured; "
                 "pass replica= to query() or construct BlotStore with a cost model"
             )
         n = len(self._dataset)
-        best_name, best_cost = None, float("inf")
-        for name in sorted(names):
-            cost = self._cost_model.query_cost(
-                query, self._replicas[name].profile(n_records=n)
-            )
-            if cost < best_cost:
-                best_name, best_cost = name, cost
-        assert best_name is not None
-        return best_name
+        scored = [
+            (self._cost_model.query_cost(
+                query, self._replicas[name].profile(n_records=n)), name)
+            for name in names
+        ]
+        scored.sort()
+        return [name for _, name in scored]
 
-    def route_workload(self, workload: Workload) -> RoutingPlan:
+    def _candidates(
+        self, query: Query, replica: str | None, options: ExecOptions
+    ) -> list[str]:
+        """The replicas to try for one query, primary first.
+
+        With an explicit ``replica`` the pin wins the first slot; the
+        rest of the ranking (cost order when a model exists, name order
+        otherwise) follows as failover targets when enabled.
+        """
+        if replica is not None:
+            self.replica(replica)  # raise KeyError early on unknown names
+            if not options.failover or len(self._replicas) == 1:
+                return [replica]
+            if self._cost_model is not None:
+                ranked = self.route_ranked(query)
+            else:
+                ranked = sorted(self._replicas)
+            return [replica] + [n for n in ranked if n != replica]
+        ranked = self.route_ranked(query)
+        return ranked if options.failover else ranked[:1]
+
+    def route_workload(
+        self, workload: Workload, options: ExecOptions | None = None
+    ) -> RoutingPlan:
         """Batch-route a whole workload in one vectorized pass.
 
         Computes the queries x replicas Eq. 7 cost matrix with one ``Np``
         broadcast per replica (instead of per-query Python loops) and
         returns the argmin :class:`~repro.costmodel.RoutingPlan`.  Agrees
-        with per-query :meth:`route` including tie-breaking.
+        with per-query :meth:`route` including tie-breaking; the full
+        cost matrix also carries each query's failover ranking
+        (:meth:`~repro.costmodel.RoutingPlan.ranking_for`).  ``options``
+        is accepted for surface uniformity; routing itself is a pure
+        cost computation and uses none of its fields.
         """
+        del options  # uniform surface; routing has no execution knobs
         if not self._replicas:
             raise ValueError("no replicas registered")
         names = list(self._replicas)
@@ -309,39 +477,130 @@ class BlotStore:
         profiles = [self._replicas[name].profile(n_records=n) for name in names]
         return self._cost_model.route_batch(workload, profiles)
 
+    # -- query processing ------------------------------------------------------
+
     def query(
         self,
         query: Query | Box3,
         replica: str | None = None,
-        parallelism: int = 1,
+        parallelism: int | None = None,
+        options: ExecOptions | None = None,
     ) -> QueryResult:
         """Process a range query (Section II-D).
 
         ``query`` may be a positioned :class:`Query` or a raw box.  When
         ``replica`` is None the engine routes by estimated cost.
-        ``parallelism`` > 1 scans involved partitions with the persistent
-        thread pool ("it is straightforward to conduct parallel query
-        processing by scanning multiple partitions simultaneously");
-        zlib/LZMA release the GIL during decompression, so compressed
-        replicas genuinely overlap.
+        Execution behavior — scan parallelism, cache policy, retries,
+        failover, repair — comes from ``options``
+        (:class:`~repro.storage.options.ExecOptions`); the bare
+        ``parallelism=`` keyword is a deprecated shim.  When the serving
+        replica fails mid-read the query transparently fails over down
+        the cost ranking; on exhaustion the engine tries a diverse-
+        replica repair, then raises
+        :class:`~repro.storage.faults.DegradedReadError`.
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
-        if parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
-        name = replica or self.route(q)
-        stored = self.replica(name)
+        opts = resolve_exec_options(options, parallelism, "query")
+        acct = _Accounting()
+        candidates = self._candidates(q, replica, opts)
+        attempts: list[tuple[str, Exception]] = []
+        for name in candidates:
+            stored = self.replica(name)
+            try:
+                result = self._scan_query(stored, q, opts, acct)
+            except PartitionReadError as err:
+                self._note_read_failure(err)
+                attempts.append((name, err))
+                acct.add_failover()
+                continue
+            return self._with_degradation(result, acct)
+        result = self._repair_and_rescan(q, opts, acct, attempts)
+        if result is not None:
+            return self._with_degradation(result, acct)
+        raise DegradedReadError(
+            "range query could not be served by any replica", tuple(attempts))
+
+    def _with_degradation(self, result: QueryResult, acct: _Accounting) -> QueryResult:
+        """Stamp the call's retry/failover counters into the stats.
+        Failovers that never led to a served result (the last candidate)
+        are not counted — the loop only increments on a miss before
+        moving on."""
+        if acct.retries == 0 and acct.failovers == 0:
+            return result
+        return QueryResult(
+            records=result.records,
+            stats=replace(result.stats, retries=acct.retries,
+                          failovers=acct.failovers),
+        )
+
+    def _repair_and_rescan(
+        self,
+        q: Query,
+        opts: ExecOptions,
+        acct: _Accounting,
+        attempts: list[tuple[str, Exception]],
+    ) -> QueryResult | None:
+        """Exhaustion path: repair the cheapest partition-level-failed
+        replica unit by unit from the surviving replicas, then rescan.
+
+        Whole-replica outages are skipped (there is no unit to rewrite on
+        a dead node).  Returns None — leaving ``attempts`` grown with the
+        repair failures — when nothing could be restored.
+        """
+        if not opts.repair:
+            return None
+        target: StoredReplica | None = None
+        for name, err in attempts:
+            if isinstance(err, PartitionReadError) and not err.replica_failed:
+                target = self.replica(name)
+                break
+        if target is None:
+            return None
+        sources = [self.replica(n) for n in sorted(self._replicas)
+                   if n != target.name]
+        # Each pass repairs the first failed unit the scan trips on; a
+        # query involves finitely many partitions, so bound the loop.
+        for _ in range(target.n_partitions + 1):
+            try:
+                return self._scan_query(target, q, opts, acct)
+            except PartitionReadError as err:
+                if err.replica_failed or err.partition_id is None:
+                    attempts.append((target.name, err))
+                    return None
+                try:
+                    repair_partition_any(target, err.partition_id, sources)
+                except (RecoveryError, ValueError) as rec:
+                    attempts.append((target.name, rec))
+                    return None
+                acct.add_repair()
+                if self._faults is not None:
+                    self._faults.heal_partition(target.name, err.partition_id)
+                if self._cache is not None:
+                    self._cache.invalidate((target.name, err.partition_id))
+        return None
+
+    def _scan_query(
+        self,
+        stored: StoredReplica,
+        q: Query,
+        opts: ExecOptions,
+        acct: _Accounting,
+    ) -> QueryResult:
+        """One attempt of the three-step mechanism on one replica.
+        Raises :class:`PartitionReadError` when any involved partition
+        stays unreadable after retries."""
         box = q.box()
         start = time.perf_counter()
         involved = stored.involved_partitions(box)
 
         def scan_one(pid: int) -> tuple[int, int, Dataset] | None:
-            fetched = self._fetch_decoded(stored, pid)
+            fetched = self._fetch_decoded(stored, pid, opts, acct)
             if fetched is None:
                 return None
             records, nbytes = fetched
             return nbytes, len(records), records.filter_box(box)
 
-        outcomes = self._map_partitions(scan_one, involved, parallelism)
+        outcomes = self._map_partitions(scan_one, involved, opts.parallelism)
 
         parts: list[Dataset] = []
         scanned = 0
@@ -356,7 +615,7 @@ class BlotStore:
         result = Dataset.concat(parts) if parts else Dataset.empty()
         elapsed = time.perf_counter() - start
         stats = QueryStats(
-            replica_name=name,
+            replica_name=stored.name,
             partitions_involved=int(len(involved)),
             records_scanned=scanned,
             records_returned=len(result),
@@ -370,7 +629,8 @@ class BlotStore:
         self,
         query: Query | Box3,
         replica: str | None = None,
-        parallelism: int = 1,
+        parallelism: int | None = None,
+        options: ExecOptions | None = None,
     ) -> tuple[int, QueryStats]:
         """Count records in a range without materializing them.
 
@@ -380,15 +640,46 @@ class BlotStore:
         partitions — intersected but not contained — are decoded and
         filtered.  For large ranges this touches a tiny fraction of the
         data: the count-query analogue of the paper's sequential-scan
-        argument.  ``parallelism`` > 1 decodes boundary partitions on the
-        persistent thread pool, exactly like :meth:`query`.
+        argument.  Accepts the same
+        :class:`~repro.storage.options.ExecOptions` as :meth:`query`,
+        with the same retry/failover/repair semantics on boundary-
+        partition reads.
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
-        if parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
-        name = replica or self.route(q)
-        stored = self.replica(name)
+        opts = resolve_exec_options(options, parallelism, "count")
+        acct = _Accounting()
+        candidates = self._candidates(q, replica, opts)
+        attempts: list[tuple[str, Exception]] = []
+        for name in candidates:
+            stored = self.replica(name)
+            try:
+                total, stats = self._scan_count(stored, q, opts, acct)
+            except PartitionReadError as err:
+                self._note_read_failure(err)
+                attempts.append((name, err))
+                acct.add_failover()
+                continue
+            if acct.retries or acct.failovers:
+                stats = replace(stats, retries=acct.retries,
+                                failovers=acct.failovers)
+            return total, stats
+        raise DegradedReadError(
+            "count query could not be served by any replica", tuple(attempts))
+
+    def _scan_count(
+        self,
+        stored: StoredReplica,
+        q: Query,
+        opts: ExecOptions,
+        acct: _Accounting,
+    ) -> tuple[int, QueryStats]:
         box = q.box()
+        faults = self._faults
+        if faults is not None and faults.replica_failed(stored.name):
+            # Fail fast even when the count needs no boundary decodes:
+            # metadata-only answers must not be served from a dead node.
+            fault = InjectedFault(stored.name, scope="replica")
+            raise PartitionReadError(stored.name, None, fault) from fault
         start = time.perf_counter()
         involved = stored.involved_partitions(box)
 
@@ -405,13 +696,13 @@ class BlotStore:
                 boundary.append(pid)
 
         def count_one(pid: int) -> tuple[int, int, int] | None:
-            fetched = self._fetch_decoded(stored, pid)
+            fetched = self._fetch_decoded(stored, pid, opts, acct)
             if fetched is None:
                 return None
             records, nbytes = fetched
             return nbytes, len(records), records.count_in_box(box)
 
-        outcomes = self._map_partitions(count_one, boundary, parallelism)
+        outcomes = self._map_partitions(count_one, boundary, opts.parallelism)
 
         total = contained_total
         scanned = 0
@@ -427,7 +718,7 @@ class BlotStore:
             total += matched
         elapsed = time.perf_counter() - start
         stats = QueryStats(
-            replica_name=name,
+            replica_name=stored.name,
             partitions_involved=decoded_partitions,
             records_scanned=scanned,
             records_returned=total,
@@ -442,27 +733,40 @@ class BlotStore:
     def execute_workload(
         self,
         workload: Workload,
-        parallelism: int = 1,
+        parallelism: int | None = None,
         plan: RoutingPlan | None = None,
+        options: ExecOptions | None = None,
     ) -> WorkloadResult:
         """Execute a whole workload of positioned queries in one batch.
 
         The workload is routed with :meth:`route_workload` (unless a
         ``plan`` is supplied), grouped by chosen replica, and each
         replica's involved-partition *union* is decoded exactly once —
-        on the persistent thread pool when ``parallelism`` > 1 — before
-        the per-query filters run against the decoded partitions.  A
-        query's records therefore match sequential
+        on the persistent thread pool when ``options.parallelism`` > 1 —
+        before the per-query filters run against the decoded partitions.
+        A query's records therefore match sequential
         ``query(q, replica=...)`` exactly, record order included, while
         partitions shared by overlapping queries are fetched and decoded
         once instead of once per query.
 
+        Failure handling mirrors the per-query path, at batch
+        granularity: queries touching a failed partition move as a group
+        to each one's next-cheapest replica
+        (:meth:`~repro.costmodel.RoutingPlan.ranking_for`) and join that
+        replica's union scan in the next round.  A query that exhausts
+        every replica goes through the repair path; if that also fails
+        the whole call raises
+        :class:`~repro.storage.faults.DegradedReadError` — never a
+        partial result set.  The degradation is accounted in
+        :class:`WorkloadStats` (retries, failovers, repairs, failed
+        replicas, and the estimated cost delta vs. the healthy plan).
+
         Per-query ``bytes_read`` charges each store fetch to the first
         query that needed the partition; ``WorkloadStats.bytes_read``
-        totals the unique fetches.
+        totals the unique fetches (including fetches whose queries later
+        failed over, so the two can differ on a degraded run).
         """
-        if parallelism < 1:
-            raise ValueError("parallelism must be >= 1")
+        opts = resolve_exec_options(options, parallelism, "execute_workload")
         queries: list[Query] = []
         for i, (q, _) in enumerate(workload):
             if not isinstance(q, Query):
@@ -482,66 +786,102 @@ class BlotStore:
 
         start = time.perf_counter()
         total_records = len(self._dataset)
-        results: list[QueryResult | None] = [None] * len(queries)
+        m = len(queries)
+        acct = _Accounting()
+        results: list[QueryResult | None] = [None] * m
+        serving: list[str] = list(assigned)
+        tried: list[set[str]] = [{assigned[i]} for i in range(m)]
+        errors: list[list[tuple[str, Exception]]] = [[] for _ in range(m)]
+        failed_replicas: set[str] = set()
         total_bytes = 0
         total_decoded = 0
 
-        by_replica: dict[str, list[int]] = {}
+        current: dict[str, list[int]] = {}
         for i, name in enumerate(assigned):
-            by_replica.setdefault(name, []).append(i)
+            current.setdefault(name, []).append(i)
 
-        for name, idxs in by_replica.items():
-            stored = self.replica(name)
-            boxes = {i: queries[i].box() for i in idxs}
-            involved = {i: stored.involved_partitions(boxes[i]) for i in idxs}
-            union: list[int] = sorted(
-                {int(pid) for pids in involved.values() for pid in pids}
-            )
-
-            def fetch_one(pid: int):
-                return self._fetch_decoded(stored, pid)
-
-            fetched = self._map_partitions(fetch_one, union, parallelism)
-            decoded: dict[int, Dataset] = {}
-            read_bytes: dict[int, int] = {}
-            for pid, outcome in zip(union, fetched):
-                if outcome is None:
-                    continue
-                records, nbytes = outcome
-                decoded[pid] = records
-                read_bytes[pid] = nbytes
-                total_bytes += nbytes
-                if nbytes > 0:
-                    total_decoded += 1
-
-            charged: set[int] = set()
-            for i in idxs:
-                q_start = time.perf_counter()
-                box = boxes[i]
-                parts: list[Dataset] = []
-                scanned = 0
-                q_bytes = 0
-                for pid in involved[i]:
-                    pid = int(pid)
-                    records = decoded.get(pid)
-                    if records is None:
-                        continue
-                    scanned += len(records)
-                    if pid not in charged:
-                        charged.add(pid)
-                        q_bytes += read_bytes[pid]
-                    parts.append(records.filter_box(box))
-                result = Dataset.concat(parts) if parts else Dataset.empty()
-                stats = QueryStats(
-                    replica_name=name,
-                    partitions_involved=int(len(involved[i])),
-                    records_scanned=scanned,
-                    records_returned=len(result),
-                    bytes_read=q_bytes,
-                    seconds=time.perf_counter() - q_start,
-                    total_records=total_records,
+        while current:
+            next_round: dict[str, list[int]] = {}
+            for name in sorted(current):
+                idxs = current[name]
+                stored = self.replica(name)
+                boxes = {i: queries[i].box() for i in idxs}
+                involved = {i: stored.involved_partitions(boxes[i]) for i in idxs}
+                union: list[int] = sorted(
+                    {int(pid) for pids in involved.values() for pid in pids}
                 )
-                results[i] = QueryResult(records=result, stats=stats)
+
+                def fetch_one(pid: int):
+                    try:
+                        return self._fetch_decoded(stored, pid, opts, acct)
+                    except PartitionReadError as err:
+                        return err
+
+                fetched = self._map_partitions(fetch_one, union, opts.parallelism)
+                decoded: dict[int, Dataset] = {}
+                read_bytes: dict[int, int] = {}
+                failed_pids: dict[int, PartitionReadError] = {}
+                for pid, outcome in zip(union, fetched):
+                    if outcome is None:
+                        continue
+                    if isinstance(outcome, PartitionReadError):
+                        failed_pids[pid] = outcome
+                        self._note_read_failure(outcome)
+                        if outcome.replica_failed:
+                            failed_replicas.add(name)
+                        continue
+                    records, nbytes = outcome
+                    decoded[pid] = records
+                    read_bytes[pid] = nbytes
+                    total_bytes += nbytes
+                    if nbytes > 0:
+                        total_decoded += 1
+
+                charged: set[int] = set()
+                for i in idxs:
+                    bad = [int(pid) for pid in involved[i]
+                           if int(pid) in failed_pids]
+                    if bad:
+                        errors[i].append((name, failed_pids[bad[0]]))
+                        fallback = self._next_fallback(plan, i, tried[i], opts)
+                        if fallback is not None:
+                            tried[i].add(fallback)
+                            serving[i] = fallback
+                            acct.add_failover()
+                            next_round.setdefault(fallback, []).append(i)
+                            continue
+                        results[i] = self._finish_exhausted(
+                            plan, i, queries[i], opts, acct, errors[i])
+                        serving[i] = results[i].stats.replica_name
+                        continue
+                    q_start = time.perf_counter()
+                    box = boxes[i]
+                    parts: list[Dataset] = []
+                    scanned = 0
+                    q_bytes = 0
+                    for pid in involved[i]:
+                        pid = int(pid)
+                        records = decoded.get(pid)
+                        if records is None:
+                            continue
+                        scanned += len(records)
+                        if pid not in charged:
+                            charged.add(pid)
+                            q_bytes += read_bytes[pid]
+                        parts.append(records.filter_box(box))
+                    result = Dataset.concat(parts) if parts else Dataset.empty()
+                    stats = QueryStats(
+                        replica_name=name,
+                        partitions_involved=int(len(involved[i])),
+                        records_scanned=scanned,
+                        records_returned=len(result),
+                        bytes_read=q_bytes,
+                        seconds=time.perf_counter() - q_start,
+                        total_records=total_records,
+                        failovers=len(tried[i]) - 1,
+                    )
+                    results[i] = QueryResult(records=result, stats=stats)
+            current = next_round
 
         elapsed = time.perf_counter() - start
         final = [r for r in results if r is not None]
@@ -552,6 +892,11 @@ class BlotStore:
             misses = after.misses - cache_before.misses
         else:
             hits = misses = 0
+        served_counts: dict[str, int] = {}
+        for name in serving:
+            served_counts[name] = served_counts.get(name, 0) + 1
+        delta = sum(plan.degraded_delta(i, serving[i]) for i in range(m)
+                    if serving[i] != assigned[i])
         stats = WorkloadStats(
             n_queries=len(queries),
             seconds=elapsed,
@@ -561,6 +906,75 @@ class BlotStore:
             partitions_decoded=total_decoded,
             cache_hits=hits,
             cache_misses=misses,
-            per_replica_queries=plan.query_counts(),
+            per_replica_queries=served_counts,
+            retries=acct.retries,
+            failovers=acct.failovers,
+            repairs=acct.repairs,
+            degraded_cost_delta=float(delta),
+            failed_replicas=tuple(sorted(failed_replicas)),
         )
         return WorkloadResult(results=tuple(final), plan=plan, stats=stats)
+
+    def _next_fallback(
+        self, plan: RoutingPlan, i: int, tried: set[str], opts: ExecOptions
+    ) -> str | None:
+        """The next untried replica in query ``i``'s cost ranking, or
+        None when failover is disabled or the ranking is exhausted."""
+        if not opts.failover:
+            return None
+        for name in plan.ranking_for(i):
+            if name not in tried:
+                return name
+        return None
+
+    def _finish_exhausted(
+        self,
+        plan: RoutingPlan,
+        i: int,
+        q: Query,
+        opts: ExecOptions,
+        acct: _Accounting,
+        attempts: list[tuple[str, Exception]],
+    ) -> QueryResult:
+        """Last resort for a query that failed on every replica: the
+        repair path, else a structured :class:`DegradedReadError`."""
+        result = self._repair_and_rescan(q, opts, acct, attempts)
+        if result is not None:
+            return result
+        raise DegradedReadError(
+            f"workload query {i} could not be served by any replica",
+            tuple(attempts))
+
+
+def open_store(
+    dataset: Dataset,
+    replicas: tuple = (),
+    *,
+    cost_model: CostModel | None = None,
+    cache_bytes: int | None = None,
+    fault_injector: FaultInjector | None = None,
+) -> BlotStore:
+    """Build a :class:`BlotStore` and register replicas in one call —
+    the stable entry point examples and applications should use.
+
+    Each item of ``replicas`` is either an already-built
+    :class:`~repro.storage.replica.StoredReplica` (e.g. reopened from a
+    manifest) or a ``(scheme, encoding, store)`` /
+    ``(scheme, encoding, store, name)`` tuple to build fresh.
+    """
+    blot = BlotStore(dataset, cost_model=cost_model, cache_bytes=cache_bytes,
+                     fault_injector=fault_injector)
+    for spec in replicas:
+        if isinstance(spec, StoredReplica):
+            blot.register_replica(spec)
+            continue
+        if not isinstance(spec, (tuple, list)) or not 3 <= len(spec) <= 4:
+            raise TypeError(
+                "each replica must be a StoredReplica or a "
+                "(scheme, encoding, store[, name]) tuple; got "
+                f"{spec!r}"
+            )
+        scheme, encoding, store, *rest = spec
+        blot.add_replica(scheme, encoding, store,
+                         name=rest[0] if rest else None)
+    return blot

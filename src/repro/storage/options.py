@@ -1,0 +1,84 @@
+"""Unified execution options for the query engine.
+
+Every execution-facing entry point of :class:`~repro.storage.BlotStore`
+— ``query()``, ``count()``, ``route_workload()`` and
+``execute_workload()`` — accepts one :class:`ExecOptions` value instead
+of a growing pile of ad-hoc keyword arguments.  The old ``parallelism=``
+keyword is kept as a deprecation shim for one release (it warns and is
+folded into an ``ExecOptions``).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True, slots=True)
+class ExecOptions:
+    """How a query or workload should be executed.
+
+    - ``parallelism``: partition scans per query on the persistent
+      thread pool (1 = serial).
+    - ``use_cache``: consult/populate the store's decoded-partition
+      cache when one is configured (False bypasses it for this call).
+    - ``retries``: extra read attempts per partition after the first
+      failure (transient faults, flaky object stores).  Whole-replica
+      outages are never retried — the node is gone.
+    - ``backoff_seconds``: base sleep before retry *k* (exponential:
+      ``backoff_seconds * 2**(k-1)``); 0 retries immediately.
+    - ``failover``: on a failed partition read, re-route the query to
+      the next-cheapest replica per the Eq. 6–7 cost ranking.
+    - ``repair``: when every replica failed, attempt
+      :func:`~repro.storage.recovery.repair_partition` from a surviving
+      diverse replica before giving up with
+      :class:`~repro.storage.faults.DegradedReadError`.
+    """
+
+    parallelism: int = 1
+    use_cache: bool = True
+    retries: int = 2
+    backoff_seconds: float = 0.0
+    failover: bool = True
+    repair: bool = True
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be >= 1")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+
+
+#: The default options every entry point starts from.
+DEFAULT_EXEC_OPTIONS = ExecOptions()
+
+
+def resolve_exec_options(
+    options: ExecOptions | None,
+    parallelism: int | None,
+    method: str,
+) -> ExecOptions:
+    """Merge the deprecated ``parallelism=`` keyword into an
+    :class:`ExecOptions`, warning on the legacy spelling.
+
+    Passing both ``options`` and ``parallelism`` is an error — the two
+    would silently disagree otherwise.
+    """
+    if options is not None and parallelism is not None:
+        raise TypeError(
+            f"{method}() takes options= or the deprecated parallelism=, "
+            "not both"
+        )
+    if options is None:
+        if parallelism is None:
+            return DEFAULT_EXEC_OPTIONS
+        warnings.warn(
+            f"{method}(parallelism=...) is deprecated; pass "
+            f"options=ExecOptions(parallelism=...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return replace(DEFAULT_EXEC_OPTIONS, parallelism=parallelism)
+    return options

@@ -172,6 +172,38 @@ def repair_partition(
     return len(recovered)
 
 
+def repair_partition_any(
+    damaged: StoredReplica,
+    partition_id: int,
+    sources: list[StoredReplica],
+) -> str:
+    """Restore one unit from the first source replica able to serve it.
+
+    Sources are tried in order; a source that fails mid-repair (its own
+    units are damaged or fault-injected, or it disagrees with the
+    damaged replica's metadata) is skipped.  Returns the name of the
+    source that succeeded; raises :class:`RecoveryError` carrying every
+    per-source failure when none could.
+    """
+    if not sources:
+        raise RecoveryError(
+            f"partition {partition_id}: no source replicas to repair from"
+        )
+    failures: list[str] = []
+    for source in sources:
+        if source.name == damaged.name:
+            continue
+        try:
+            repair_partition(damaged, partition_id, source)
+            return source.name
+        except Exception as exc:  # noqa: BLE001 — every source failure is recorded
+            failures.append(f"{source.name}: {exc}")
+    raise RecoveryError(
+        f"partition {partition_id}: every source replica failed ["
+        + "; ".join(failures) + "]"
+    )
+
+
 def repair_replica(
     damaged: StoredReplica,
     partition_ids: list[int],

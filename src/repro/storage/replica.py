@@ -61,6 +61,7 @@ class StoredReplica:
             PartitionIndex(self.partitioning.box_array, self.partitioning.universe),
         )
         object.__setattr__(self, "_profile_cache", {})
+        object.__setattr__(self, "fault_injector", None)
 
     @property
     def n_partitions(self) -> int:
@@ -80,11 +81,27 @@ class StoredReplica:
         """``Storage(r)``: total bytes of all encoded partitions."""
         return sum(self.store.size(k) for k in self.unit_keys if k is not None)
 
+    def attach_fault_injector(self, injector) -> None:
+        """Route this replica's unit reads through a
+        :class:`~repro.storage.faults.FaultInjector` (None detaches).
+        :meth:`repro.storage.BlotStore.register_replica` attaches the
+        store's injector automatically, so recovery flows that read a
+        replica directly see the same failure schedule as queries."""
+        object.__setattr__(self, "fault_injector", injector)
+
     def read_partition(self, partition_id: int) -> Dataset:
-        """Decode the records of one data partition."""
+        """Decode the records of one data partition.
+
+        Raises :class:`~repro.storage.faults.InjectedFault` when an
+        attached fault injector marks this unit (or the whole replica)
+        as failed.
+        """
         key = self.unit_keys[partition_id]
         if key is None:
             return Dataset.empty()
+        injector = self.fault_injector  # type: ignore[attr-defined]
+        if injector is not None:
+            injector.on_read(self.name, partition_id)
         return self.encoding_for(partition_id).decode(self.store.get(key))
 
     def involved_partitions(self, query_box: Box3) -> np.ndarray:

@@ -1,0 +1,151 @@
+"""Error-path tests for partition repair: corrupted sources, metadata
+contradictions, and exhausted source sets."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage import (
+    InMemoryStore,
+    RecoveryError,
+    build_replica,
+    repair_partition,
+    repair_partition_any,
+    repair_replica,
+)
+from repro.storage.faults import FaultInjector
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(3000, seed=29, num_taxis=12)
+
+
+def make_pair(ds):
+    damaged = build_replica(ds, CompositeScheme(KdTreePartitioner(8), 4),
+                            encoding_scheme_by_name("COL-GZIP"),
+                            InMemoryStore(), name="damaged")
+    source = build_replica(ds, CompositeScheme(KdTreePartitioner(4), 2),
+                           encoding_scheme_by_name("ROW-PLAIN"),
+                           InMemoryStore(), name="source")
+    return damaged, source
+
+
+def first_unit(replica):
+    return next(i for i, k in enumerate(replica.unit_keys) if k is not None)
+
+
+class TestRepairPartitionErrors:
+    def test_out_of_range_partition_id(self, ds):
+        damaged, source = make_pair(ds)
+        with pytest.raises(ValueError, match="out of range"):
+            repair_partition(damaged, damaged.n_partitions, source)
+        with pytest.raises(ValueError, match="out of range"):
+            repair_partition(damaged, -1, source)
+
+    def test_corrupted_source_bytes_fail_the_repair(self, ds):
+        damaged, source = make_pair(ds)
+        pid = first_unit(damaged)
+        for key in source.unit_keys:
+            if key is not None:
+                source.store.delete(key)
+                source.store.put(key, b"\x00garbage\xff")
+        with pytest.raises(Exception):
+            repair_partition(damaged, pid, source)
+
+    def test_source_missing_units_fail_the_repair(self, ds):
+        damaged, source = make_pair(ds)
+        pid = first_unit(damaged)
+        for key in source.unit_keys:
+            if key is not None:
+                source.store.delete(key)
+        with pytest.raises(Exception):
+            repair_partition(damaged, pid, source)
+
+    def test_metadata_contradiction_raises_recovery_error(self, ds):
+        # A source holding different records than the damaged replica's
+        # metadata expects: the recovered count must not be trusted.
+        damaged, _ = make_pair(ds)
+        other = synthetic_shanghai_taxis(3000, seed=77, num_taxis=12)
+        impostor = build_replica(other, CompositeScheme(KdTreePartitioner(4), 2),
+                                 encoding_scheme_by_name("ROW-PLAIN"),
+                                 InMemoryStore(), name="impostor")
+        with pytest.raises(RecoveryError, match="metadata says"):
+            repair_partition(damaged, first_unit(damaged), impostor)
+
+    def test_missing_unit_key_with_nonzero_count(self, ds):
+        damaged, source = make_pair(ds)
+        pid = first_unit(damaged)
+        keys = list(damaged.unit_keys)
+        keys[pid] = None  # metadata says records exist, but no unit key
+        broken = replace(damaged, unit_keys=tuple(keys))
+        with pytest.raises(RecoveryError, match="no unit key"):
+            repair_partition(broken, pid, source)
+
+
+class TestRepairPartitionAny:
+    def test_empty_source_list(self, ds):
+        damaged, _ = make_pair(ds)
+        with pytest.raises(RecoveryError, match="no source replicas"):
+            repair_partition_any(damaged, first_unit(damaged), [])
+
+    def test_skips_self_and_uses_healthy_source(self, ds):
+        damaged, source = make_pair(ds)
+        pid = first_unit(damaged)
+        damaged.store.delete(damaged.unit_keys[pid])
+        used = repair_partition_any(damaged, pid, [damaged, source])
+        assert used == "source"
+        assert damaged.read_partition(pid).count_in_box(
+            damaged.partitioning.universe) > 0
+
+    def test_all_sources_failed_lists_every_failure(self, ds):
+        damaged, source = make_pair(ds)
+        pid = first_unit(damaged)
+        inj = FaultInjector()
+        inj.fail_replica("source")
+        source.attach_fault_injector(inj)
+        other = synthetic_shanghai_taxis(3000, seed=78, num_taxis=12)
+        impostor = build_replica(other, CompositeScheme(KdTreePartitioner(4), 2),
+                                 encoding_scheme_by_name("ROW-PLAIN"),
+                                 InMemoryStore(), name="impostor")
+        with pytest.raises(RecoveryError) as e:
+            repair_partition_any(damaged, pid, [source, impostor])
+        msg = str(e.value)
+        assert "source:" in msg and "impostor:" in msg
+
+    def test_falls_through_failed_source_to_healthy_one(self, ds):
+        damaged, source = make_pair(ds)
+        pid = first_unit(damaged)
+        inj = FaultInjector()
+        inj.fail_replica("deadsource")
+        dead = build_replica(ds, CompositeScheme(KdTreePartitioner(4), 2),
+                             encoding_scheme_by_name("ROW-PLAIN"),
+                             InMemoryStore(), name="deadsource")
+        dead.attach_fault_injector(inj)
+        damaged.store.delete(damaged.unit_keys[pid])
+        assert repair_partition_any(damaged, pid, [dead, source]) == "source"
+
+
+class TestRepairReplicaErrors:
+    def test_failure_mid_batch_propagates(self, ds):
+        damaged, source = make_pair(ds)
+        pids = [i for i, k in enumerate(damaged.unit_keys)
+                if k is not None][:3]
+        for key in source.unit_keys:
+            if key is not None:
+                source.store.delete(key)
+        with pytest.raises(Exception):
+            repair_replica(damaged, pids, source)
+
+    def test_happy_path_restores_all(self, ds):
+        damaged, source = make_pair(ds)
+        pids = [i for i, k in enumerate(damaged.unit_keys)
+                if k is not None][:3]
+        for pid in pids:
+            damaged.store.delete(damaged.unit_keys[pid])
+        restored = repair_replica(damaged, pids, source)
+        expected = sum(int(damaged.partitioning.counts[p]) for p in pids)
+        assert restored == expected
