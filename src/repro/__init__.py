@@ -78,6 +78,13 @@ from repro.encoding import (
     paper_encoding_schemes,
 )
 from repro.geometry import Box3, Point3
+from repro.obs import (
+    DriftMonitor,
+    DriftStatus,
+    MetricsRegistry,
+    Observability,
+    TraceRecorder,
+)
 from repro.partition import (
     CompositeScheme,
     GridPartitioner,
@@ -124,6 +131,8 @@ __all__ = [
     "Dataset",
     "DegradedReadError",
     "DirectoryStore",
+    "DriftMonitor",
+    "DriftStatus",
     "EMR_S3",
     "ENVIRONMENTS",
     "EncodingCostParams",
@@ -140,6 +149,8 @@ __all__ = [
     "QueryStats",
     "KdTreePartitioner",
     "LOCAL_HADOOP",
+    "MetricsRegistry",
+    "Observability",
     "PartitionIndex",
     "Point3",
     "QuadtreePartitioner",
@@ -153,6 +164,7 @@ __all__ = [
     "SimulatedCluster",
     "TaxiFleetGenerator",
     "TemporalSlicer",
+    "TraceRecorder",
     "Workload",
     "WorkloadResult",
     "WorkloadStats",

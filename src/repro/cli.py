@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro query --input taxis.csv --frac 0.1 --encoding COL-GZIP
     python -m repro run-workload --queries 500 --replicas 3
     python -m repro drill --fail-replica kd16t4/COL-SNAPPY
+    python -m repro stats --queries 200 --json
 
 Every subcommand is deterministic given ``--seed``.  Shared argument
 groups (``--seed``, the ``--input/--records/--header`` data source, the
@@ -167,11 +168,14 @@ _WORKLOAD_REPLICA_SPECS: tuple[tuple[int, int, str], ...] = (
 )
 
 
-def _build_workload_store(args: argparse.Namespace):
-    """Build the diverse-replica store shared by ``run-workload`` and
-    ``drill``: ``args.replicas`` kd-tree/time-slice combinations over one
-    dataset, with an optional decoded-partition cache and (when more than
-    one replica exists) a calibrated cost model for routing.
+def _build_workload_store(args: argparse.Namespace, observability=None,
+                          quiet: bool = False):
+    """Build the diverse-replica store shared by ``run-workload``,
+    ``drill`` and ``stats``: ``args.replicas`` kd-tree/time-slice
+    combinations over one dataset, with an optional decoded-partition
+    cache and (when more than one replica exists) a calibrated cost
+    model for routing.  ``observability`` attaches a telemetry bundle;
+    ``quiet`` suppresses the banner (machine-readable output modes).
 
     Returns ``(store, 0)`` or ``(None, exit_code)`` on bad arguments.
     """
@@ -194,14 +198,16 @@ def _build_workload_store(args: argparse.Namespace):
         cluster = make_cluster(args.environment, seed=args.seed)
         model = cost_model_for(cluster, sorted({enc for _, _, enc in specs}))
     cache_bytes = int(args.cache_mb * 1e6) if args.cache_mb > 0 else None
-    store = BlotStore(data, cost_model=model, cache_bytes=cache_bytes)
+    store = BlotStore(data, cost_model=model, cache_bytes=cache_bytes,
+                      observability=observability)
     for leaves, slices, enc in specs:
         store.add_replica(
             CompositeScheme(KdTreePartitioner(leaves), slices),
             encoding_scheme_by_name(enc), InMemoryStore(),
         )
-    print(f"{len(data):,} records, {args.replicas} replicas: "
-          + ", ".join(store.replica_names()))
+    if not quiet:
+        print(f"{len(data):,} records, {args.replicas} replicas: "
+              + ", ".join(store.replica_names()))
     return store, 0
 
 
@@ -224,11 +230,14 @@ def _make_injector(args: argparse.Namespace, store):
     return injector, 0
 
 
-def _exec_options(args: argparse.Namespace):
+def _exec_options(args: argparse.Namespace, trace: bool | None = None):
     from repro.storage import ExecOptions
 
+    if trace is None:
+        trace = bool(getattr(args, "trace", False))
     return ExecOptions(parallelism=args.parallelism,
-                       retries=getattr(args, "retries", 2))
+                       retries=getattr(args, "retries", 2),
+                       trace=trace)
 
 
 def _print_workload_pass(label: str, s, cache_enabled: bool) -> None:
@@ -250,14 +259,41 @@ def _print_workload_pass(label: str, s, cache_enabled: bool) -> None:
               f"est. extra cost {s.degraded_cost_delta:+.2f}s")
 
 
+def _print_telemetry(obs) -> None:
+    """The human-readable telemetry block shared by ``stats``,
+    ``run-workload --trace`` and ``drill``."""
+    m = obs.metrics
+    print("telemetry:")
+    hits = m.counter_value("repro_cache_hits_total")
+    misses = m.counter_value("repro_cache_misses_total")
+    lookups = hits + misses
+    if lookups:
+        print(f"  cache: {hits:.0f} of {lookups:.0f} lookups hit "
+              f"({hits / lookups:.1%})")
+    print(f"  degradation: {m.counter_value('repro_retries_total'):.0f} "
+          f"retries, {m.counter_value('repro_failovers_total'):.0f} "
+          f"failovers, {m.counter_value('repro_repairs_total'):.0f} repairs")
+    counts = obs.tracer.span_counts()
+    if counts:
+        spans = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"  trace: {obs.tracer.recorded} spans ({spans})")
+    for st in obs.drift.statuses():
+        verdict = "DRIFTING — recalibrate" if st.flagged else "ok"
+        print(f"  drift[{st.replica_name}]: {st.samples} samples, "
+              f"mean rel. error {st.mean_relative_error:.2f}, "
+              f"measured/predicted x{st.scale_factor:.2f} ({verdict})")
+
+
 def _cmd_run_workload(args: argparse.Namespace) -> int:
+    from repro.obs import Observability
     from repro.storage import DegradedReadError
     from repro.workload import positioned_random_workload
 
     if args.repeat < 1:
         print("--repeat must be >= 1", file=sys.stderr)
         return 2
-    store, err = _build_workload_store(args)
+    obs = Observability.create() if args.trace else None
+    store, err = _build_workload_store(args, observability=obs)
     if store is None:
         return err
     if args.inject_faults:
@@ -281,7 +317,60 @@ def _cmd_run_workload(args: argparse.Namespace) -> int:
             store.close()
             return 1
         _print_workload_pass(label, result.stats, cache_enabled)
+    if obs is not None:
+        _print_telemetry(obs)
+        if args.trace_out:
+            obs.tracer.dump_jsonl(args.trace_out)
+            print(f"wrote {len(obs.tracer.spans())} spans to {args.trace_out}")
     store.close()
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run a workload with full telemetry and report the engine's
+    metrics, trace summary and cost-model drift — as text, JSON
+    (``--json``) or Prometheus exposition text (``--prom``)."""
+    import json
+
+    from repro.obs import Observability
+    from repro.storage import DegradedReadError
+    from repro.workload import positioned_random_workload
+
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
+    machine = args.json or args.prom
+    obs = Observability.create(drift_threshold=args.drift_threshold)
+    store, err = _build_workload_store(args, observability=obs, quiet=machine)
+    if store is None:
+        return err
+    if args.inject_faults:
+        injector, err = _make_injector(args, store)
+        if injector is None:
+            return err
+        store.set_fault_injector(injector)
+    rng = np.random.default_rng(args.seed)
+    workload = positioned_random_workload(
+        store.dataset.bounding_box(), args.queries, rng,
+        max_fraction=args.max_frac)
+    opts = _exec_options(args, trace=True)
+    try:
+        for _ in range(args.repeat):
+            result = store.execute_workload(workload, options=opts)
+    except DegradedReadError as exc:
+        print(f"degraded beyond recovery: {exc}", file=sys.stderr)
+        store.close()
+        return 1
+    store.close()
+    if args.prom:
+        print(obs.metrics.render_prometheus(), end="")
+        return 0
+    if args.json:
+        print(json.dumps(obs.snapshot(), indent=2, sort_keys=True))
+        return 0
+    _print_workload_pass("workload", result.stats,
+                         store.partition_cache is not None)
+    _print_telemetry(obs)
     return 0
 
 
@@ -289,17 +378,19 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     """Failure drill: run a workload healthy, impose a failure schedule,
     run it again, and report the degradation (failovers, retries,
     repairs, extra estimated cost) plus a result-integrity check."""
+    from repro.obs import Observability
     from repro.storage import DegradedReadError
     from repro.workload import positioned_random_workload
 
-    store, err = _build_workload_store(args)
+    obs = Observability.create()
+    store, err = _build_workload_store(args, observability=obs)
     if store is None:
         return err
     rng = np.random.default_rng(args.seed)
     workload = positioned_random_workload(
         store.dataset.bounding_box(), args.queries, rng,
         max_fraction=args.max_frac)
-    opts = _exec_options(args)
+    opts = _exec_options(args, trace=True)
     cache_enabled = store.partition_cache is not None
 
     healthy = store.execute_workload(workload, options=opts)
@@ -349,6 +440,7 @@ def _cmd_drill(args: argparse.Namespace) -> int:
         fstats = injector.stats()
         print(f"  injector: {fstats.faults_injected} faults over "
               f"{fstats.reads_checked} read checks")
+    _print_telemetry(obs)
     store.close()
     return 0 if per_query_ok else 1
 
@@ -565,7 +657,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-faults", action="store_true",
                    help="apply the fault schedule (--fault-rate, "
                         "--fail-replica, --slow-ms) to every pass")
+    p.add_argument("--trace", action="store_true",
+                   help="collect per-query trace spans and print the "
+                        "telemetry summary")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="with --trace, dump the retained spans as "
+                        "JSON lines to PATH")
     p.set_defaults(handler=_cmd_run_workload)
+
+    p = sub.add_parser(
+        "stats",
+        help="run a workload with full telemetry and report metrics, "
+             "traces and cost-model drift",
+        parents=[data, seed, workload_shape, faults],
+    )
+    p.add_argument("--repeat", type=int, default=2,
+                   help="workload passes to accumulate telemetry over")
+    p.add_argument("--inject-faults", action="store_true",
+                   help="apply the fault schedule before the passes")
+    p.add_argument("--drift-threshold", type=float, default=0.5,
+                   help="mean relative error above which a replica's "
+                        "cost model is flagged as drifting")
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="emit the full telemetry snapshot as JSON")
+    fmt.add_argument("--prom", action="store_true",
+                     help="emit the metrics in Prometheus text format")
+    p.set_defaults(handler=_cmd_stats)
 
     p = sub.add_parser(
         "drill",

@@ -66,9 +66,14 @@ class SelectionReport:
     @property
     def approximation_ratio(self) -> float:
         """Cost relative to the Ideal (all candidates, no budget) — the
-        bracketed numbers of Figure 6."""
+        bracketed numbers of Figure 6.
+
+        A zero ideal with a nonzero achieved cost is *infinitely* worse
+        than ideal, not equal to it: the ratio is ``inf`` there, and 1.0
+        only when both costs are zero (both plans are free).
+        """
         if self.ideal_cost == 0:
-            return 1.0
+            return 1.0 if self.cost == 0 else float("inf")
         return self.cost / self.ideal_cost
 
     @property

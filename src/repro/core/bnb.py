@@ -51,11 +51,15 @@ def branch_and_bound_select(
     instance: SelectionInstance,
     max_nodes: int = 20_000_000,
     on_limit: str = "return",
+    metrics=None,
 ) -> Selection:
     """Provably optimal selection (unless the node limit triggers).
 
     ``on_limit``: ``"return"`` yields the best incumbent with
     ``optimal=False``; ``"raise"`` raises :class:`BranchAndBoundLimit`.
+    ``metrics`` optionally publishes run/node counters
+    (``repro_solver_*``) into a
+    :class:`~repro.obs.MetricsRegistry`.
     """
     if on_limit not in ("return", "raise"):
         raise ValueError(f"unknown on_limit mode {on_limit!r}")
@@ -114,6 +118,17 @@ def branch_and_bound_select(
 
     visit(0, empty_min, 0.0)
 
+    if metrics is not None:
+        labels = {"solver": "bnb"}
+        metrics.counter("repro_solver_runs_total", labels=labels).inc()
+        metrics.counter("repro_solver_nodes_explored_total",
+                        labels=labels).inc(nodes)
+        metrics.counter("repro_solver_replicas_selected_total",
+                        labels=labels).inc(len(incumbent))
+    if limit_hit and on_limit == "raise":
+        raise BranchAndBoundLimit(
+            f"node budget {max_nodes} exhausted after exploring "
+            f"{nodes} nodes")
     # The greedy incumbent itself might be the optimum; incumbent_cost is
     # always a feasible selection's cost.
     return Selection(

@@ -38,12 +38,16 @@ class GreedyStep:
 
 
 def greedy_select(
-    instance: SelectionInstance, trace: list[GreedyStep] | None = None
+    instance: SelectionInstance, trace: list[GreedyStep] | None = None,
+    metrics=None,
 ) -> Selection:
     """Run Algorithm 1 on ``instance``.
 
     Runs in ``O(k · m · n)`` for ``k`` selected replicas.  Returns a
     feasible (possibly empty) selection; ``optimal`` is never claimed.
+    ``metrics`` optionally publishes run/round counters
+    (``repro_solver_*``) into a
+    :class:`~repro.obs.MetricsRegistry`.
     """
     n, m = instance.n_queries, instance.n_replicas
     weights = instance.weights
@@ -86,6 +90,11 @@ def greedy_select(
                 storage_after=used,
             ))
 
+    if metrics is not None:
+        labels = {"solver": "greedy"}
+        metrics.counter("repro_solver_runs_total", labels=labels).inc()
+        metrics.counter("repro_solver_replicas_selected_total",
+                        labels=labels).inc(len(selected))
     return Selection(
         selected=tuple(selected),
         cost=instance.workload_cost(selected),

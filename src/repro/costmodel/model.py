@@ -364,6 +364,20 @@ class CostModel:
                 f"have {sorted(self._params)}"
             ) from None
 
+    def scaled_rates(self, factor: float) -> "CostModel":
+        """A model with every encoding's ``scan_rate`` scaled by
+        ``factor`` (``extra_time`` unchanged) — a deliberately
+        mis-calibrated variant for drift-detection tests and what-if
+        analyses (``factor`` < 1 models a slower environment than the
+        one calibrated against)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return CostModel({
+            name: EncodingCostParams(scan_rate=p.scan_rate * factor,
+                                     extra_time=p.extra_time)
+            for name, p in self._params.items()
+        })
+
     def query_cost(self, query: AnyQuery, profile: ReplicaProfile) -> float:
         """Eq. 7: expected seconds to evaluate ``query`` on ``profile``."""
         params = self.params_for(profile.encoding_name)

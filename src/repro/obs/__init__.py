@@ -1,0 +1,105 @@
+"""Observability for the BLOT engine: metrics, traces, drift detection.
+
+The paper's serving loop is *predict → route → scan → calibrate*
+(Eq. 6–7 predicts, the selector routes, Section IV-B calibrates from
+measured scan times).  This package is the instrumentation of that
+loop:
+
+- :class:`MetricsRegistry` — thread-safe counters / gauges / histograms
+  (fixed bucket boundaries) that the engine, the decoded-partition
+  cache, the fault injector and the selection solvers publish into;
+- :class:`TraceRecorder` — per-query spans (``route`` →
+  ``scan[partition]`` → ``decode`` / ``cache`` / ``retry`` /
+  ``failover`` / ``repair``) with parent/child structure, retained in a
+  ring buffer and dumpable as JSON lines;
+- :class:`DriftMonitor` — rolling (predicted Eq. 7, measured seconds)
+  comparison per replica that flags when recalibration is due.
+
+:class:`Observability` bundles the three; pass one to
+:class:`~repro.storage.BlotStore` (or ``open_store``) and enable span
+collection per call with ``ExecOptions(trace=True)``.  With no bundle
+attached, the engine holds the no-op :data:`NULL_RECORDER` and skips
+every publication — the disabled path stays on the PR 1 benchmark
+budget.
+
+This package deliberately imports nothing from the rest of ``repro``:
+any layer (storage, solvers, CLI) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.drift import DriftMonitor, DriftStatus, relative_error
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    NullTraceRecorder,
+    Span,
+    TraceRecorder,
+)
+
+
+@dataclass
+class Observability:
+    """One engine's telemetry bundle: registry + tracer + drift monitor.
+
+    Construct with :meth:`create` for tuned capacities, or directly with
+    pre-built components (tests inject deterministic clocks this way).
+    """
+
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: TraceRecorder = field(default_factory=TraceRecorder)
+    drift: DriftMonitor = field(default_factory=DriftMonitor)
+
+    @classmethod
+    def create(
+        cls,
+        trace_capacity: int = 8192,
+        drift_window: int = 64,
+        drift_threshold: float = 0.5,
+        drift_min_samples: int = 5,
+    ) -> "Observability":
+        return cls(
+            metrics=MetricsRegistry(),
+            tracer=TraceRecorder(capacity=trace_capacity),
+            drift=DriftMonitor(window=drift_window,
+                               threshold=drift_threshold,
+                               min_samples=drift_min_samples),
+        )
+
+    def snapshot(self) -> dict:
+        """The full telemetry picture as JSON-safe data."""
+        return {
+            "metrics": self.metrics.snapshot(),
+            "drift": self.drift.snapshot(),
+            "trace": {
+                "recorded": self.tracer.recorded,
+                "retained": len(self.tracer.spans()),
+                "span_counts": dict(sorted(
+                    self.tracer.span_counts().items())),
+            },
+        }
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DriftMonitor",
+    "DriftStatus",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullTraceRecorder",
+    "Observability",
+    "Span",
+    "TraceRecorder",
+    "relative_error",
+]

@@ -1,0 +1,294 @@
+"""A thread-safe metrics registry: counters, gauges, histograms.
+
+The telemetry substrate of the engine (see ``docs/observability.md``).
+Every component that makes a runtime decision — the query engine, the
+decoded-partition cache, the fault injector, the selection solvers —
+publishes its counters into one :class:`MetricsRegistry`, so a single
+snapshot answers "what did the system actually do", independent of the
+per-call :class:`~repro.storage.QueryStats` / ``WorkloadStats`` values.
+
+Design constraints:
+
+- **Thread-safe**: partition scans run on the engine's thread pool, so
+  every mutation takes the instrument's lock.
+- **Deterministic shape**: histogram bucket boundaries are fixed at
+  creation (no adaptive/wall-clock-derived buckets), so two runs of the
+  same workload produce snapshots with identical structure.
+- **Pull-based export**: :meth:`MetricsRegistry.snapshot` returns plain
+  data (JSON-safe), :meth:`MetricsRegistry.render_prometheus` the
+  standard text exposition format.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+
+#: Default histogram boundaries for second-valued observations: fixed,
+#: log-spaced, covering sub-millisecond cache hits up to multi-second
+#: degraded scans.  Observations above the last bound land in +Inf.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Canonical label encoding inside the registry: a sorted tuple of
+#: ``(key, value)`` pairs, hashable and order-independent.
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _labelset(labels: dict[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: LabelSet) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing value (events, bytes, retries)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (resident bytes, active spans)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelSet = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """A distribution over fixed, pre-declared bucket boundaries.
+
+    ``buckets`` are the *upper bounds* of each finite bucket, strictly
+    increasing; an implicit +Inf bucket catches the tail.  The rendered
+    counts are cumulative, matching the Prometheus exposition format.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(self, name: str, labels: LabelSet = (),
+                 buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +Inf tail
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` per bucket, +Inf last."""
+        with self._lock:
+            counts = list(self._counts)
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets + (float("inf"),), counts):
+            running += n
+            out.append((bound, running))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, optionally labeled instruments.
+
+    One registry per :class:`~repro.obs.Observability`; instruments are
+    identified by ``(name, labels)`` and re-requesting an existing one
+    returns the same object.  Requesting an existing name as a different
+    instrument type raises ``TypeError`` — a name means one thing.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelSet], object] = {}
+        self._types: dict[str, type] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: dict[str, str] | None,
+             **kwargs):
+        key = (name, _labelset(labels))
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {cls.__name__}")
+                return existing
+            declared = self._types.get(name)
+            if declared is not None and declared is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{declared.__name__}, not {cls.__name__}")
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+            self._types[name] = cls
+            return metric
+
+    def counter(self, name: str, labels: dict[str, str] | None = None) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, labels: dict[str, str] | None = None,
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def _sorted_metrics(self) -> list[object]:
+        with self._lock:
+            items = list(self._metrics.items())
+        items.sort(key=lambda kv: kv[0])
+        return [m for _, m in items]
+
+    def counter_value(self, name: str, labels: dict[str, str] | None = None,
+                      default: float = 0.0) -> float:
+        """The current value of one counter, ``default`` when it was
+        never created (a path that never ran publishes nothing)."""
+        key = (name, _labelset(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+        if metric is None:
+            return default
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is not a Counter")
+        return metric.value
+
+    def snapshot(self) -> dict:
+        """All instruments as plain JSON-safe data, deterministically
+        ordered by ``(name, labels)``."""
+        out: dict[str, list[dict]] = {"counters": [], "gauges": [],
+                                      "histograms": []}
+        for metric in self._sorted_metrics():
+            labels = dict(metric.labels)
+            if isinstance(metric, Counter):
+                out["counters"].append(
+                    {"name": metric.name, "labels": labels,
+                     "value": metric.value})
+            elif isinstance(metric, Gauge):
+                out["gauges"].append(
+                    {"name": metric.name, "labels": labels,
+                     "value": metric.value})
+            elif isinstance(metric, Histogram):
+                out["histograms"].append({
+                    "name": metric.name, "labels": labels,
+                    "count": metric.count, "sum": metric.sum,
+                    "buckets": [
+                        {"le": bound, "count": n}
+                        for bound, n in metric.cumulative_counts()
+                    ],
+                })
+        return out
+
+    def render_prometheus(self) -> str:
+        """The standard Prometheus text exposition format."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for metric in self._sorted_metrics():
+            if isinstance(metric, Counter):
+                if metric.name not in seen_types:
+                    lines.append(f"# TYPE {metric.name} counter")
+                    seen_types.add(metric.name)
+                lines.append(
+                    f"{metric.name}{_render_labels(metric.labels)} "
+                    f"{_fmt(metric.value)}")
+            elif isinstance(metric, Gauge):
+                if metric.name not in seen_types:
+                    lines.append(f"# TYPE {metric.name} gauge")
+                    seen_types.add(metric.name)
+                lines.append(
+                    f"{metric.name}{_render_labels(metric.labels)} "
+                    f"{_fmt(metric.value)}")
+            elif isinstance(metric, Histogram):
+                if metric.name not in seen_types:
+                    lines.append(f"# TYPE {metric.name} histogram")
+                    seen_types.add(metric.name)
+                for bound, n in metric.cumulative_counts():
+                    le = "+Inf" if bound == float("inf") else _fmt(bound)
+                    bucket_labels = metric.labels + (("le", le),)
+                    lines.append(
+                        f"{metric.name}_bucket{_render_labels(bucket_labels)}"
+                        f" {n}")
+                lines.append(
+                    f"{metric.name}_sum{_render_labels(metric.labels)} "
+                    f"{_fmt(metric.sum)}")
+                lines.append(
+                    f"{metric.name}_count{_render_labels(metric.labels)} "
+                    f"{metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt(value: float) -> str:
+    """Render integral floats without the trailing ``.0`` noise."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -29,6 +29,17 @@ surviving diverse replica, and only then raises a structured
 configurations are a first-class state, not an exception trace.
 Execution behavior (parallelism, cache policy, retry/failover policy)
 is controlled uniformly by :class:`~repro.storage.options.ExecOptions`.
+
+The whole read path is instrumented: with an
+:class:`~repro.obs.Observability` bundle attached the engine publishes
+counters/histograms into its metrics registry, records (predicted
+Eq. 7, measured) cost pairs into its drift monitor, and — per call,
+when ``ExecOptions.trace`` is set — collects ``route`` →
+``scan[partition]`` → ``decode``/``cache``/``retry``/``failover``/
+``repair`` spans into its trace recorder.  With no bundle attached the
+engine holds the no-op recorder and skips every publication, so the
+un-instrumented path costs one ``None`` check per call
+(``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -42,6 +53,8 @@ from repro.costmodel.model import CostModel, RoutingPlan
 from repro.data.dataset import Dataset
 from repro.encoding.base import EncodingScheme
 from repro.geometry import Box3
+from repro.obs import Observability
+from repro.obs.trace import NULL_RECORDER
 from repro.partition.base import PartitioningScheme
 from repro.storage.cache import CacheStats, PartitionCache
 from repro.storage.faults import (
@@ -209,6 +222,7 @@ class BlotStore:
         cost_model: CostModel | None = None,
         cache_bytes: int | None = None,
         fault_injector: FaultInjector | None = None,
+        observability: Observability | None = None,
     ):
         if len(dataset) == 0:
             raise ValueError("BlotStore needs a non-empty dataset")
@@ -216,8 +230,13 @@ class BlotStore:
         self._universe = dataset.bounding_box()
         self._replicas: dict[str, StoredReplica] = {}
         self._cost_model = cost_model
-        self._cache = PartitionCache(cache_bytes) if cache_bytes else None
+        self._obs = observability
+        metrics = observability.metrics if observability is not None else None
+        self._cache = (PartitionCache(cache_bytes, metrics=metrics)
+                       if cache_bytes else None)
         self._faults = fault_injector
+        if fault_injector is not None and metrics is not None:
+            fault_injector.bind_metrics(metrics)
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
 
@@ -239,10 +258,18 @@ class BlotStore:
     def fault_injector(self) -> FaultInjector | None:
         return self._faults
 
+    @property
+    def observability(self) -> Observability | None:
+        """The telemetry bundle the engine publishes into (None when the
+        store runs un-instrumented)."""
+        return self._obs
+
     def set_fault_injector(self, injector: FaultInjector | None) -> None:
         """Attach (or detach, with None) a fault injector to the store
         and every registered replica."""
         self._faults = injector
+        if injector is not None and self._obs is not None:
+            injector.bind_metrics(self._obs.metrics)
         for stored in self._replicas.values():
             stored.attach_fault_injector(injector)
 
@@ -317,16 +344,21 @@ class BlotStore:
         pid: int,
         options: ExecOptions = DEFAULT_EXEC_OPTIONS,
         acct: _Accounting | None = None,
+        rec=NULL_RECORDER,
+        parent=None,
     ) -> tuple[Dataset, int] | None:
         """Decode one partition, through the cache when configured.
 
         Returns ``(records, bytes_read)`` where ``bytes_read`` is 0 on a
         cache hit, or None for empty partitions (no storage unit).
-        Transiently failed reads are retried per ``options``; a read
-        that stays failed raises
+        Transiently failed reads are retried per ``options``, sleeping
+        through ``options.sleep`` (``time.sleep`` unless a test/drill
+        injects a no-op sleeper); a read that stays failed raises
         :class:`~repro.storage.faults.PartitionReadError`.  A
         whole-replica outage fails before the cache is consulted (the
         node's memory is as gone as its disks) and is never retried.
+        ``rec``/``parent`` attach ``cache``/``decode``/``retry`` spans
+        under the caller's scan span when tracing.
         """
         key = stored.unit_keys[pid]
         if key is None:
@@ -338,15 +370,20 @@ class BlotStore:
         use_cache = self._cache is not None and options.use_cache
         if use_cache:
             hit = self._cache.get((stored.name, pid))
+            rec.event("cache", parent=parent,
+                      outcome="hit" if hit is not None else "miss")
             if hit is not None:
                 return hit, 0
         failures = 0
         while True:
             try:
-                if faults is not None:
-                    faults.on_read(stored.name, pid)
-                blob = stored.store.get(key)
-                records = stored.encoding_for(pid).decode(blob)
+                with rec.start("decode", parent=parent) as decode_span:
+                    if faults is not None:
+                        faults.on_read(stored.name, pid)
+                    blob = stored.store.get(key)
+                    records = stored.encoding_for(pid).decode(blob)
+                    decode_span.annotate(bytes=len(blob),
+                                         records=len(records))
                 break
             except Exception as exc:
                 if isinstance(exc, InjectedFault) and exc.scope == "replica":
@@ -358,8 +395,11 @@ class BlotStore:
                         stored.name, pid, exc, failures) from exc
                 if acct is not None:
                     acct.add_retry()
-                if options.backoff_seconds > 0:
-                    time.sleep(options.backoff_seconds * 2 ** (failures - 1))
+                with rec.start("retry", parent=parent, attempt=failures,
+                               cause=type(exc).__name__):
+                    if options.backoff_seconds > 0:
+                        sleep = options.sleep or time.sleep
+                        sleep(options.backoff_seconds * 2 ** (failures - 1))
         if use_cache:
             self._cache.put((stored.name, pid), records)
         return records, len(blob)
@@ -502,23 +542,94 @@ class BlotStore:
         q = Query.from_box(query) if isinstance(query, Box3) else query
         opts = resolve_exec_options(options, parallelism, "query")
         acct = _Accounting()
-        candidates = self._candidates(q, replica, opts)
-        attempts: list[tuple[str, Exception]] = []
-        for name in candidates:
-            stored = self.replica(name)
-            try:
-                result = self._scan_query(stored, q, opts, acct)
-            except PartitionReadError as err:
-                self._note_read_failure(err)
-                attempts.append((name, err))
-                acct.add_failover()
-                continue
-            return self._with_degradation(result, acct)
-        result = self._repair_and_rescan(q, opts, acct, attempts)
-        if result is not None:
-            return self._with_degradation(result, acct)
-        raise DegradedReadError(
-            "range query could not be served by any replica", tuple(attempts))
+        rec = self._recorder(opts)
+        with rec.start("query", kind="query") as root:
+            with rec.start("route", parent=root) as route_span:
+                candidates = self._candidates(q, replica, opts)
+                route_span.annotate(candidates=list(candidates))
+            attempts: list[tuple[str, Exception]] = []
+            for name in candidates:
+                stored = self.replica(name)
+                try:
+                    result = self._scan_query(stored, q, opts, acct,
+                                              rec=rec, root=root)
+                except PartitionReadError as err:
+                    self._note_read_failure(err)
+                    attempts.append((name, err))
+                    acct.add_failover()
+                    rec.event("failover", parent=root, failed_replica=name)
+                    continue
+                root.annotate(replica=name)
+                return self._finish_query(q, result, acct, "query")
+            result = self._repair_and_rescan(q, opts, acct, attempts,
+                                             rec=rec, root=root)
+            if result is not None:
+                root.annotate(replica=result.stats.replica_name)
+                return self._finish_query(q, result, acct, "query")
+            raise DegradedReadError(
+                "range query could not be served by any replica",
+                tuple(attempts))
+
+    def _recorder(self, opts: ExecOptions):
+        """The trace recorder for one call: the store's real recorder
+        when telemetry is attached and ``opts.trace`` is set, the
+        shared no-op recorder otherwise."""
+        if self._obs is not None and opts.trace:
+            return self._obs.tracer
+        return NULL_RECORDER
+
+    def _finish_query(self, q: Query, result: QueryResult,
+                      acct: _Accounting, path: str) -> QueryResult:
+        """Seal one served query: stamp degradation counters into the
+        stats, publish metrics and the drift pair."""
+        result = self._with_degradation(result, acct)
+        obs = self._obs
+        if obs is not None:
+            self._publish_query(obs, result.stats, path, acct)
+            self._record_drift(obs, q, result.stats.replica_name,
+                               result.stats.seconds)
+        return result
+
+    def _publish_query(self, obs: Observability, stats: QueryStats,
+                       path: str, acct: _Accounting | None) -> None:
+        m = obs.metrics
+        m.counter("repro_queries_total", labels={"path": path}).inc()
+        m.counter("repro_queries_by_replica_total",
+                  labels={"replica": stats.replica_name}).inc()
+        m.counter("repro_bytes_read_total").inc(stats.bytes_read)
+        m.counter("repro_records_scanned_total").inc(stats.records_scanned)
+        m.counter("repro_partitions_involved_total").inc(
+            stats.partitions_involved)
+        m.histogram("repro_query_seconds").observe(stats.seconds)
+        if acct is not None:
+            self._publish_degradation(obs, acct)
+
+    @staticmethod
+    def _publish_degradation(obs: Observability, acct: _Accounting) -> None:
+        m = obs.metrics
+        if acct.retries:
+            m.counter("repro_retries_total").inc(acct.retries)
+        if acct.failovers:
+            m.counter("repro_failovers_total").inc(acct.failovers)
+        if acct.repairs:
+            m.counter("repro_repairs_total").inc(acct.repairs)
+
+    def _record_drift(self, obs: Observability, q: Query,
+                      replica_name: str, measured_seconds: float) -> None:
+        """Record the (predicted Eq. 7, measured) pair for the replica
+        that actually served — the raw material of Section IV-B
+        recalibration decisions."""
+        if self._cost_model is None:
+            return
+        stored = self._replicas.get(replica_name)
+        if stored is None:
+            return
+        try:
+            predicted = self._cost_model.query_cost(
+                q, stored.profile(n_records=len(self._dataset)))
+        except KeyError:
+            return  # no calibrated params for this encoding
+        obs.drift.record(replica_name, predicted, measured_seconds)
 
     def _with_degradation(self, result: QueryResult, acct: _Accounting) -> QueryResult:
         """Stamp the call's retry/failover counters into the stats.
@@ -539,6 +650,8 @@ class BlotStore:
         opts: ExecOptions,
         acct: _Accounting,
         attempts: list[tuple[str, Exception]],
+        rec=NULL_RECORDER,
+        root=None,
     ) -> QueryResult | None:
         """Exhaustion path: repair the cheapest partition-level-failed
         replica unit by unit from the surviving replicas, then rescan.
@@ -562,16 +675,22 @@ class BlotStore:
         # query involves finitely many partitions, so bound the loop.
         for _ in range(target.n_partitions + 1):
             try:
-                return self._scan_query(target, q, opts, acct)
+                return self._scan_query(target, q, opts, acct,
+                                        rec=rec, root=root)
             except PartitionReadError as err:
                 if err.replica_failed or err.partition_id is None:
                     attempts.append((target.name, err))
                     return None
-                try:
-                    repair_partition_any(target, err.partition_id, sources)
-                except (RecoveryError, ValueError) as rec:
-                    attempts.append((target.name, rec))
-                    return None
+                with rec.start("repair", parent=root,
+                               replica=target.name,
+                               partition=err.partition_id) as repair_span:
+                    try:
+                        repair_partition_any(target, err.partition_id, sources)
+                    except (RecoveryError, ValueError) as recovery_err:
+                        repair_span.annotate(outcome="failed")
+                        attempts.append((target.name, recovery_err))
+                        return None
+                    repair_span.annotate(outcome="repaired")
                 acct.add_repair()
                 if self._faults is not None:
                     self._faults.heal_partition(target.name, err.partition_id)
@@ -585,6 +704,8 @@ class BlotStore:
         q: Query,
         opts: ExecOptions,
         acct: _Accounting,
+        rec=NULL_RECORDER,
+        root=None,
     ) -> QueryResult:
         """One attempt of the three-step mechanism on one replica.
         Raises :class:`PartitionReadError` when any involved partition
@@ -594,11 +715,15 @@ class BlotStore:
         involved = stored.involved_partitions(box)
 
         def scan_one(pid: int) -> tuple[int, int, Dataset] | None:
-            fetched = self._fetch_decoded(stored, pid, opts, acct)
-            if fetched is None:
-                return None
-            records, nbytes = fetched
-            return nbytes, len(records), records.filter_box(box)
+            with rec.start("scan", parent=root, replica=stored.name,
+                           partition=pid) as scan_span:
+                fetched = self._fetch_decoded(stored, pid, opts, acct,
+                                              rec=rec, parent=scan_span)
+                if fetched is None:
+                    return None
+                records, nbytes = fetched
+                scan_span.annotate(records=len(records), bytes=nbytes)
+                return nbytes, len(records), records.filter_box(box)
 
         outcomes = self._map_partitions(scan_one, involved, opts.parallelism)
 
@@ -648,23 +773,35 @@ class BlotStore:
         q = Query.from_box(query) if isinstance(query, Box3) else query
         opts = resolve_exec_options(options, parallelism, "count")
         acct = _Accounting()
-        candidates = self._candidates(q, replica, opts)
-        attempts: list[tuple[str, Exception]] = []
-        for name in candidates:
-            stored = self.replica(name)
-            try:
-                total, stats = self._scan_count(stored, q, opts, acct)
-            except PartitionReadError as err:
-                self._note_read_failure(err)
-                attempts.append((name, err))
-                acct.add_failover()
-                continue
-            if acct.retries or acct.failovers:
-                stats = replace(stats, retries=acct.retries,
-                                failovers=acct.failovers)
-            return total, stats
-        raise DegradedReadError(
-            "count query could not be served by any replica", tuple(attempts))
+        rec = self._recorder(opts)
+        with rec.start("query", kind="count") as root:
+            with rec.start("route", parent=root) as route_span:
+                candidates = self._candidates(q, replica, opts)
+                route_span.annotate(candidates=list(candidates))
+            attempts: list[tuple[str, Exception]] = []
+            for name in candidates:
+                stored = self.replica(name)
+                try:
+                    total, stats = self._scan_count(stored, q, opts, acct,
+                                                    rec=rec, root=root)
+                except PartitionReadError as err:
+                    self._note_read_failure(err)
+                    attempts.append((name, err))
+                    acct.add_failover()
+                    rec.event("failover", parent=root, failed_replica=name)
+                    continue
+                if acct.retries or acct.failovers:
+                    stats = replace(stats, retries=acct.retries,
+                                    failovers=acct.failovers)
+                root.annotate(replica=name)
+                obs = self._obs
+                if obs is not None:
+                    self._publish_query(obs, stats, "count", acct)
+                    self._record_drift(obs, q, name, stats.seconds)
+                return total, stats
+            raise DegradedReadError(
+                "count query could not be served by any replica",
+                tuple(attempts))
 
     def _scan_count(
         self,
@@ -672,6 +809,8 @@ class BlotStore:
         q: Query,
         opts: ExecOptions,
         acct: _Accounting,
+        rec=NULL_RECORDER,
+        root=None,
     ) -> tuple[int, QueryStats]:
         box = q.box()
         faults = self._faults
@@ -696,11 +835,15 @@ class BlotStore:
                 boundary.append(pid)
 
         def count_one(pid: int) -> tuple[int, int, int] | None:
-            fetched = self._fetch_decoded(stored, pid, opts, acct)
-            if fetched is None:
-                return None
-            records, nbytes = fetched
-            return nbytes, len(records), records.count_in_box(box)
+            with rec.start("scan", parent=root, replica=stored.name,
+                           partition=pid) as scan_span:
+                fetched = self._fetch_decoded(stored, pid, opts, acct,
+                                              rec=rec, parent=scan_span)
+                if fetched is None:
+                    return None
+                records, nbytes = fetched
+                scan_span.annotate(records=len(records), bytes=nbytes)
+                return nbytes, len(records), records.count_in_box(box)
 
         outcomes = self._map_partitions(count_one, boundary, opts.parallelism)
 
@@ -775,12 +918,34 @@ class BlotStore:
                     f"grouped query {q!r} (position it with .at())"
                 )
             queries.append(q)
-        if plan is None:
-            plan = self.route_workload(workload)
-        elif plan.n_queries != len(workload):
-            raise ValueError(
-                f"plan covers {plan.n_queries} queries, workload has {len(workload)}"
-            )
+        rec = self._recorder(opts)
+        wl_root = rec.start("workload", n_queries=len(queries))
+        try:
+            if plan is None:
+                with rec.start("route", parent=wl_root, batch=True):
+                    plan = self.route_workload(workload)
+            elif plan.n_queries != len(workload):
+                raise ValueError(
+                    f"plan covers {plan.n_queries} queries, "
+                    f"workload has {len(workload)}"
+                )
+            return self._execute_planned(queries, plan, opts, rec, wl_root)
+        except BaseException as exc:
+            wl_root.annotate(error=f"{type(exc).__name__}: {exc}")
+            raise
+        finally:
+            rec.finish(wl_root)
+
+    def _execute_planned(
+        self,
+        queries: list[Query],
+        plan: RoutingPlan,
+        opts: ExecOptions,
+        rec,
+        wl_root,
+    ) -> WorkloadResult:
+        """The batch execution loop behind :meth:`execute_workload`,
+        with the workload-level trace span already open."""
         assigned = plan.assigned_names()
         cache_before = self._cache.stats() if self._cache is not None else None
 
@@ -812,10 +977,21 @@ class BlotStore:
                 )
 
                 def fetch_one(pid: int):
-                    try:
-                        return self._fetch_decoded(stored, pid, opts, acct)
-                    except PartitionReadError as err:
-                        return err
+                    with rec.start("scan", parent=wl_root,
+                                   replica=stored.name,
+                                   partition=pid) as scan_span:
+                        try:
+                            fetched = self._fetch_decoded(
+                                stored, pid, opts, acct,
+                                rec=rec, parent=scan_span)
+                        except PartitionReadError as err:
+                            scan_span.annotate(
+                                error=f"{type(err).__name__}: {err}")
+                            return err
+                        if fetched is not None:
+                            scan_span.annotate(records=len(fetched[0]),
+                                               bytes=fetched[1])
+                        return fetched
 
                 fetched = self._map_partitions(fetch_one, union, opts.parallelism)
                 decoded: dict[int, Dataset] = {}
@@ -848,13 +1024,18 @@ class BlotStore:
                             tried[i].add(fallback)
                             serving[i] = fallback
                             acct.add_failover()
+                            rec.event("failover", parent=wl_root, query=i,
+                                      failed_replica=name, fallback=fallback)
                             next_round.setdefault(fallback, []).append(i)
                             continue
                         results[i] = self._finish_exhausted(
-                            plan, i, queries[i], opts, acct, errors[i])
+                            plan, i, queries[i], opts, acct, errors[i],
+                            rec=rec, root=wl_root)
                         serving[i] = results[i].stats.replica_name
                         continue
                     q_start = time.perf_counter()
+                    q_span = rec.start("query", parent=wl_root,
+                                       kind="workload", query=i, replica=name)
                     box = boxes[i]
                     parts: list[Dataset] = []
                     scanned = 0
@@ -880,6 +1061,8 @@ class BlotStore:
                         total_records=total_records,
                         failovers=len(tried[i]) - 1,
                     )
+                    q_span.annotate(records_returned=len(result))
+                    rec.finish(q_span)
                     results[i] = QueryResult(records=result, stats=stats)
             current = next_round
 
@@ -913,7 +1096,51 @@ class BlotStore:
             degraded_cost_delta=float(delta),
             failed_replicas=tuple(sorted(failed_replicas)),
         )
+        obs = self._obs
+        if obs is not None:
+            self._publish_workload(obs, stats, plan, queries, serving,
+                                   final, acct)
         return WorkloadResult(results=tuple(final), plan=plan, stats=stats)
+
+    def _publish_workload(
+        self,
+        obs: Observability,
+        stats: WorkloadStats,
+        plan: RoutingPlan,
+        queries: list[Query],
+        serving: list[str],
+        results: list[QueryResult],
+        acct: _Accounting,
+    ) -> None:
+        """Publish one batch run into the telemetry bundle: aggregate
+        counters, the run histogram, and one drift pair per query (the
+        plan's Eq. 7 prediction for the replica that actually served,
+        against that query's measured filter/decode seconds)."""
+        m = obs.metrics
+        m.counter("repro_workloads_total").inc()
+        m.counter("repro_queries_total", labels={"path": "workload"}).inc(
+            stats.n_queries)
+        for name, count in stats.per_replica_queries.items():
+            m.counter("repro_queries_by_replica_total",
+                      labels={"replica": name}).inc(count)
+        m.counter("repro_bytes_read_total").inc(stats.bytes_read)
+        m.counter("repro_records_scanned_total").inc(stats.records_scanned)
+        m.counter("repro_partitions_involved_total").inc(
+            sum(r.stats.partitions_involved for r in results))
+        m.histogram("repro_workload_seconds").observe(stats.seconds)
+        self._publish_degradation(obs, acct)
+        if self._cost_model is None:
+            return
+        # Single-replica plans carry an all-zeros cost matrix (routing is
+        # trivial), so fall back to a direct Eq. 7 evaluation there.
+        multi = len(plan.replica_names) > 1
+        for i, q in enumerate(queries):
+            measured = results[i].stats.seconds
+            if multi:
+                obs.drift.record(serving[i], plan.cost_for(i, serving[i]),
+                                 measured)
+            else:
+                self._record_drift(obs, q, serving[i], measured)
 
     def _next_fallback(
         self, plan: RoutingPlan, i: int, tried: set[str], opts: ExecOptions
@@ -935,10 +1162,13 @@ class BlotStore:
         opts: ExecOptions,
         acct: _Accounting,
         attempts: list[tuple[str, Exception]],
+        rec=NULL_RECORDER,
+        root=None,
     ) -> QueryResult:
         """Last resort for a query that failed on every replica: the
         repair path, else a structured :class:`DegradedReadError`."""
-        result = self._repair_and_rescan(q, opts, acct, attempts)
+        result = self._repair_and_rescan(q, opts, acct, attempts,
+                                         rec=rec, root=root)
         if result is not None:
             return result
         raise DegradedReadError(
@@ -953,6 +1183,7 @@ def open_store(
     cost_model: CostModel | None = None,
     cache_bytes: int | None = None,
     fault_injector: FaultInjector | None = None,
+    observability: Observability | None = None,
 ) -> BlotStore:
     """Build a :class:`BlotStore` and register replicas in one call —
     the stable entry point examples and applications should use.
@@ -963,7 +1194,7 @@ def open_store(
     ``(scheme, encoding, store, name)`` tuple to build fresh.
     """
     blot = BlotStore(dataset, cost_model=cost_model, cache_bytes=cache_bytes,
-                     fault_injector=fault_injector)
+                     fault_injector=fault_injector, observability=observability)
     for spec in replicas:
         if isinstance(spec, StoredReplica):
             blot.register_replica(spec)

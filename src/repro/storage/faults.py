@@ -131,7 +131,7 @@ class FaultInjector:
     """
 
     def __init__(self, seed: int = 0, partition_fail_rate: float = 0.0,
-                 slow_seconds: float = 0.0):
+                 slow_seconds: float = 0.0, metrics=None):
         if not 0.0 <= partition_fail_rate <= 1.0:
             raise ValueError("partition_fail_rate must be in [0, 1]")
         if slow_seconds < 0:
@@ -148,6 +148,21 @@ class FaultInjector:
         self._faults_injected = 0
         self._reads_slowed = 0
         self._lock = threading.Lock()
+        self._m_checked = self._m_injected = self._m_slowed = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics) -> None:
+        """Mirror the lifetime counters into a
+        :class:`~repro.obs.MetricsRegistry` from now on (counts so far
+        are copied in, so a late bind still reconciles)."""
+        self._m_checked = metrics.counter("repro_fault_reads_checked_total")
+        self._m_injected = metrics.counter("repro_faults_injected_total")
+        self._m_slowed = metrics.counter("repro_fault_reads_slowed_total")
+        with self._lock:
+            self._m_checked.inc(self._reads_checked - self._m_checked.value)
+            self._m_injected.inc(self._faults_injected - self._m_injected.value)
+            self._m_slowed.inc(self._reads_slowed - self._m_slowed.value)
 
     # -- schedule mutators -------------------------------------------------
 
@@ -231,8 +246,12 @@ class FaultInjector:
         delay = 0.0
         with self._lock:
             self._reads_checked += 1
+            if self._m_checked is not None:
+                self._m_checked.inc()
             if replica_name in self._failed_replicas:
                 self._faults_injected += 1
+                if self._m_injected is not None:
+                    self._m_injected.inc()
                 raise InjectedFault(replica_name, int(partition_id),
                                     scope="replica")
             fault = False
@@ -252,11 +271,15 @@ class FaultInjector:
                     fault = True
             if fault:
                 self._faults_injected += 1
+                if self._m_injected is not None:
+                    self._m_injected.inc()
                 raise InjectedFault(replica_name, int(partition_id),
                                     scope="partition")
             delay = self._slow_by_replica.get(replica_name, self._slow_default)
             if delay > 0:
                 self._reads_slowed += 1
+                if self._m_slowed is not None:
+                    self._m_slowed.inc()
         if delay > 0:
             time.sleep(delay)
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
+from typing import Callable
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,20 +28,30 @@ class ExecOptions:
       outages are never retried — the node is gone.
     - ``backoff_seconds``: base sleep before retry *k* (exponential:
       ``backoff_seconds * 2**(k-1)``); 0 retries immediately.
+    - ``sleep``: the callable that performs the backoff sleep; None
+      means ``time.sleep``.  Fault-injection tests and drills pass a
+      no-op (or recording) sleeper so retried reads don't block
+      wall-clock time.
     - ``failover``: on a failed partition read, re-route the query to
       the next-cheapest replica per the Eq. 6–7 cost ranking.
     - ``repair``: when every replica failed, attempt
       :func:`~repro.storage.recovery.repair_partition` from a surviving
       diverse replica before giving up with
       :class:`~repro.storage.faults.DegradedReadError`.
+    - ``trace``: collect per-query spans into the store's
+      :class:`~repro.obs.TraceRecorder` (requires an
+      :class:`~repro.obs.Observability` attached to the store;
+      a no-op otherwise).
     """
 
     parallelism: int = 1
     use_cache: bool = True
     retries: int = 2
     backoff_seconds: float = 0.0
+    sleep: Callable[[float], None] | None = None
     failover: bool = True
     repair: bool = True
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:

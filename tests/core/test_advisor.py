@@ -181,3 +181,28 @@ class TestRecommend:
             for f in (0.5, 1.0, 2.0, 3.0)
         ]
         assert all(a >= b - 1e-9 for a, b in zip(costs, costs[1:]))
+
+
+class TestApproximationRatioEdgeCases:
+    """Direct unit tests for the zero-ideal corner of the ratio."""
+
+    @staticmethod
+    def report(cost, ideal_cost):
+        from repro.core.advisor import SelectionReport
+
+        return SelectionReport(
+            selection=None, instance=None, replica_names=("r",),
+            cost=cost, ideal_cost=ideal_cost, single_cost=cost,
+            single_name="r", storage_used=0.0, budget=1.0, assignment={},
+        )
+
+    def test_normal_case_is_plain_division(self):
+        assert self.report(3.0, 2.0).approximation_ratio == pytest.approx(1.5)
+
+    def test_zero_ideal_nonzero_cost_is_infinite(self):
+        # Regression: this used to return 1.0, claiming a costly plan
+        # matched a free ideal.
+        assert self.report(5.0, 0.0).approximation_ratio == float("inf")
+
+    def test_both_zero_is_exactly_ideal(self):
+        assert self.report(0.0, 0.0).approximation_ratio == 1.0

@@ -224,3 +224,43 @@ class TestMip:
         rng = np.random.default_rng(1)
         with pytest.raises(ValueError):
             solve_mip(random_instance(rng), backend="gurobi")
+
+
+class TestSolverTelemetry:
+    def test_node_limit_raises_when_asked(self):
+        # Regression: on_limit="raise" used to be accepted but ignored.
+        from repro.core import BranchAndBoundLimit
+
+        rng = np.random.default_rng(0)
+        inst = random_instance(rng, n=12, m=18, budget_frac=0.25)
+        with pytest.raises(BranchAndBoundLimit):
+            branch_and_bound_select(inst, max_nodes=2, on_limit="raise")
+
+    def test_greedy_publishes_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        rng = np.random.default_rng(1)
+        inst = random_instance(rng, budget_frac=0.8)
+        sel = greedy_select(inst, metrics=reg)
+        assert reg.counter_value(
+            "repro_solver_runs_total", labels={"solver": "greedy"}) == 1
+        assert reg.counter_value(
+            "repro_solver_replicas_selected_total",
+            labels={"solver": "greedy"}) == len(sel.selected)
+
+    def test_bnb_publishes_metrics(self):
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        rng = np.random.default_rng(2)
+        inst = random_instance(rng)
+        sel = branch_and_bound_select(inst, metrics=reg)
+        labels = {"solver": "bnb"}
+        assert reg.counter_value("repro_solver_runs_total", labels=labels) == 1
+        assert reg.counter_value(
+            "repro_solver_nodes_explored_total",
+            labels=labels) == sel.nodes_explored
+        assert reg.counter_value(
+            "repro_solver_replicas_selected_total",
+            labels=labels) == len(sel.selected)

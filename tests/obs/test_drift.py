@@ -1,0 +1,163 @@
+"""Tests for cost-model drift detection.
+
+The headline scenario: an engine whose ``ScanRate`` constants are off by
+4x must trip the drift alarm, while a well-calibrated model must not.
+"""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import CostModel, EncodingCostParams, ReplicaProfile
+from repro.geometry import Box3
+from repro.obs import DriftMonitor
+from repro.obs.drift import relative_error
+from repro.workload import Query
+
+
+class TestRelativeError:
+    def test_perfect_prediction_is_zero(self):
+        assert relative_error(1.5, 1.5) == 0.0
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_symmetric(self):
+        assert relative_error(2.0, 8.0) == pytest.approx(relative_error(8.0, 2.0))
+
+    def test_bounded_below_one(self):
+        assert relative_error(1e-6, 1e6) < 1.0
+
+    def test_scale_free(self):
+        # 4x off scores the same whether costs are microseconds or hours.
+        assert relative_error(1.0, 4.0) == pytest.approx(
+            relative_error(3600.0, 14400.0))
+        assert relative_error(1.0, 4.0) == pytest.approx(0.75)
+
+
+class TestDriftMonitor:
+    def test_no_alarm_below_min_samples(self):
+        mon = DriftMonitor(threshold=0.5, min_samples=5)
+        for _ in range(4):
+            mon.record("r", 1.0, 100.0)  # wildly off, but too few samples
+        assert mon.status("r").flagged is False
+        mon.record("r", 1.0, 100.0)
+        assert mon.status("r").flagged is True
+        assert mon.flagged() == ["r"]
+
+    def test_calibrated_model_stays_quiet(self):
+        mon = DriftMonitor(threshold=0.5, min_samples=5)
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            cost = rng.uniform(0.5, 2.0)
+            mon.record("r", cost, cost * rng.uniform(0.9, 1.1))
+        status = mon.status("r")
+        assert status.flagged is False
+        assert status.mean_relative_error < 0.1
+        assert status.scale_factor == pytest.approx(1.0, abs=0.1)
+
+    def test_window_forgets_ancient_history(self):
+        mon = DriftMonitor(window=10, threshold=0.5, min_samples=5)
+        for _ in range(100):
+            mon.record("r", 1.0, 1.0)       # long healthy history...
+        for _ in range(10):
+            mon.record("r", 1.0, 100.0)     # ...then the model goes stale
+        assert mon.status("r").flagged is True
+        assert mon.status("r").samples == 10
+
+    def test_unknown_replica_has_empty_status(self):
+        status = DriftMonitor().status("never-seen")
+        assert status.samples == 0
+        assert status.flagged is False
+
+    def test_clear_resets_windows(self):
+        mon = DriftMonitor(min_samples=1)
+        mon.record("r", 1.0, 9.0)
+        mon.clear()
+        assert mon.replica_names() == []
+        assert mon.recorded == 1  # lifetime count survives
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        mon = DriftMonitor(min_samples=1)
+        mon.record("r", 0.0, 1.0)  # infinite scale factor -> null in JSON
+        (entry,) = mon.snapshot()
+        json.dumps(entry)
+        assert entry["scale_factor"] is None
+        assert entry["flagged"] is True
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=0)
+        with pytest.raises(ValueError):
+            DriftMonitor(threshold=1.5)
+        with pytest.raises(ValueError):
+            DriftMonitor(min_samples=0)
+
+
+def grid_profile(encoding_name="ROW-PLAIN", n=4):
+    """A synthetic n x n x 1 grid profile over the unit universe."""
+    boxes = []
+    for i in range(n):
+        for j in range(n):
+            boxes.append([i / n, (i + 1) / n, j / n, (j + 1) / n, 0.0, 1.0])
+    return ReplicaProfile(
+        name=f"grid{n}/{encoding_name}",
+        partitioning_name=f"grid{n}",
+        encoding_name=encoding_name,
+        box_array=np.array(boxes),
+        universe=Box3(0, 1, 0, 1, 0, 1),
+        n_records=100_000,
+        storage_bytes=1_000_000,
+    )
+
+
+class TestScaledRates:
+    def test_scaling_scales_predictions(self):
+        model = CostModel({"ROW-PLAIN": EncodingCostParams(scan_rate=10_000,
+                                                           extra_time=0.0)})
+        profile = grid_profile()
+        q = Query(0.5, 0.5, 1.0, 0.5, 0.5, 0.5)
+        base = model.query_cost(q, profile)
+        fast = model.scaled_rates(4.0).query_cost(q, profile)
+        assert fast == pytest.approx(base / 4.0)
+
+    def test_factor_must_be_positive(self):
+        model = CostModel({"X": EncodingCostParams(scan_rate=1.0,
+                                                   extra_time=0.0)})
+        with pytest.raises(ValueError, match="positive"):
+            model.scaled_rates(0.0)
+
+
+class TestMiscalibrationAlarm:
+    """The acceptance scenario: a 4x ScanRate error trips the alarm."""
+
+    def run_monitor(self, serving_model):
+        truth = CostModel({"ROW-PLAIN": EncodingCostParams(
+            scan_rate=10_000, extra_time=0.005)})
+        profile = grid_profile()
+        mon = DriftMonitor(threshold=0.5, min_samples=5)
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            w = rng.uniform(0.1, 0.8)
+            q = Query(w, w, rng.uniform(0.1, 1.0),
+                      rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8), 0.5)
+            # "Measured" seconds follow the true environment (with noise);
+            # the engine predicts with its possibly-stale serving model.
+            measured = truth.query_cost(q, profile) * rng.uniform(0.95, 1.05)
+            predicted = serving_model.query_cost(q, profile)
+            mon.record(profile.name, predicted, measured)
+        return mon.status(profile.name)
+
+    def test_calibrated_model_not_flagged(self):
+        truth = CostModel({"ROW-PLAIN": EncodingCostParams(
+            scan_rate=10_000, extra_time=0.005)})
+        status = self.run_monitor(truth)
+        assert status.flagged is False
+
+    def test_four_x_scan_rate_error_flagged(self):
+        stale = CostModel({"ROW-PLAIN": EncodingCostParams(
+            scan_rate=10_000, extra_time=0.005)}).scaled_rates(4.0)
+        status = self.run_monitor(stale)
+        assert status.flagged is True
+        # ~4x optimistic: ScanRate inflated 4x makes predictions ~4x low.
+        assert status.mean_relative_error > 0.5
+        assert status.scale_factor > 2.0

@@ -1,0 +1,152 @@
+"""Tests for the thread-safe metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_SECONDS_BUCKETS, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reads_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", labels={"k": "1"}) is not reg.counter("a")
+        assert (reg.counter("a", labels={"k": "1"})
+                is reg.counter("a", labels={"k": "1"}))
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("a", labels={"x": "1", "y": "2"})
+        c2 = reg.counter("a", labels={"y": "2", "x": "1"})
+        assert c1 is c2
+
+    def test_counter_value_lookup(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"path": "query"}).inc(3)
+        assert reg.counter_value("hits", labels={"path": "query"}) == 3
+        assert reg.counter_value("hits") == 0.0
+        assert reg.counter_value("never_created", default=-1.0) == -1.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("resident_bytes")
+        g.set(100)
+        g.inc(10)
+        g.dec(60)
+        assert g.value == 50
+
+
+class TestTypeSafety:
+    def test_same_name_different_type_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+        # ...even under different labels: a name means one thing.
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("x", labels={"k": "v"})
+
+    def test_counter_value_on_non_counter(self):
+        reg = MetricsRegistry()
+        reg.gauge("g")
+        with pytest.raises(TypeError, match="not a Counter"):
+            reg.counter_value("g")
+
+
+class TestHistogram:
+    def test_fixed_buckets_cumulative(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == pytest.approx(56.05)
+        cum = h.cumulative_counts()
+        assert cum == [(0.1, 1), (1.0, 3), (10.0, 4), (float("inf"), 5)]
+
+    def test_boundary_lands_in_its_bucket(self):
+        # Prometheus buckets are "le": an observation equal to a bound
+        # belongs to that bound's bucket.
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.cumulative_counts()[0] == (1.0, 1)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("bad", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("bad", buckets=())
+
+    def test_default_buckets_are_seconds_scaled(self):
+        assert DEFAULT_SECONDS_BUCKETS[0] < 0.001
+        assert DEFAULT_SECONDS_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_SECONDS_BUCKETS) == sorted(DEFAULT_SECONDS_BUCKETS)
+
+
+class TestExport:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_queries_total", labels={"path": "query"}).inc(2)
+        reg.gauge("repro_cache_resident_bytes").set(4096)
+        reg.histogram("repro_query_seconds",
+                      buckets=(0.01, 0.1)).observe(0.05)
+        return reg
+
+    def test_snapshot_is_json_safe_and_ordered(self):
+        snap = self.build().snapshot()
+        json.dumps(snap)  # must not raise
+        assert [c["name"] for c in snap["counters"]] == ["repro_queries_total"]
+        assert snap["counters"][0]["labels"] == {"path": "query"}
+        assert snap["counters"][0]["value"] == 2
+        (hist,) = snap["histograms"]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        text = self.build().render_prometheus()
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{path="query"} 2' in text
+        assert "# TYPE repro_cache_resident_bytes gauge" in text
+        assert "repro_cache_resident_bytes 4096" in text
+        assert 'repro_query_seconds_bucket{le="0.01"} 0' in text
+        assert 'repro_query_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_query_seconds_sum 0.05" in text
+        assert "repro_query_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.counter("n").inc()
+                reg.histogram("h", buckets=(0.5,)).observe(0.1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n").value == 8000
+        assert reg.histogram("h", buckets=(0.5,)).count == 8000

@@ -1,0 +1,148 @@
+"""Tests for the trace recorder: span trees, ring buffer, export."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.obs import NULL_RECORDER, TraceRecorder
+from repro.obs.trace import NullTraceRecorder
+
+
+def ticking_clock(step=1.0):
+    """A deterministic clock: 0, step, 2*step, ..."""
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+class TestSpanLifecycle:
+    def test_parent_child_share_a_trace(self):
+        rec = TraceRecorder(clock=ticking_clock())
+        root = rec.start("query")
+        child = rec.start("scan", parent=root, partition=3)
+        child.finish()
+        root.finish()
+        spans = rec.spans()
+        assert [s.name for s in spans] == ["scan", "query"]
+        scan, query = spans
+        assert scan.trace_id == query.trace_id == query.span_id
+        assert scan.parent_id == query.span_id
+        assert query.parent_id is None
+        assert scan.attrs == {"partition": 3}
+
+    def test_separate_roots_get_separate_traces(self):
+        rec = TraceRecorder()
+        a = rec.start("query")
+        b = rec.start("query")
+        a.finish()
+        b.finish()
+        assert len({s.trace_id for s in rec.spans()}) == 2
+
+    def test_durations_from_injected_clock(self):
+        rec = TraceRecorder(clock=ticking_clock(0.5))
+        with rec.start("work"):
+            pass
+        (span,) = rec.spans()
+        assert span.seconds == pytest.approx(0.5)
+
+    def test_context_manager_annotates_exceptions(self):
+        rec = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.start("work"):
+                raise RuntimeError("boom")
+        (span,) = rec.spans()
+        assert span.end is not None
+        assert span.attrs["error"] == "RuntimeError: boom"
+
+    def test_double_finish_is_idempotent(self):
+        rec = TraceRecorder()
+        h = rec.start("work")
+        h.finish()
+        h.finish()
+        assert rec.recorded == 1
+
+    def test_annotate_merges_attrs(self):
+        rec = TraceRecorder()
+        with rec.start("scan", partition=1) as h:
+            h.annotate(records=10, bytes=100)
+        (span,) = rec.spans()
+        assert span.attrs == {"partition": 1, "records": 10, "bytes": 100}
+
+    def test_event_is_a_zero_duration_span(self):
+        rec = TraceRecorder(clock=ticking_clock())
+        root = rec.start("query")
+        rec.event("failover", parent=root, failed_replica="r1")
+        root.finish()
+        failover = rec.spans()[0]
+        assert failover.name == "failover"
+        assert failover.parent_id == root.span_id
+
+
+class TestRingBuffer:
+    def test_retention_is_bounded_but_recorded_is_lifetime(self):
+        rec = TraceRecorder(capacity=4)
+        for i in range(10):
+            rec.event("e", i=i)
+        assert rec.recorded == 10
+        spans = rec.spans()
+        assert len(spans) == 4
+        assert [s.attrs["i"] for s in spans] == [6, 7, 8, 9]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TraceRecorder(capacity=0)
+
+    def test_clear_keeps_lifetime_count(self):
+        rec = TraceRecorder()
+        rec.event("e")
+        rec.clear()
+        assert rec.spans() == []
+        assert rec.recorded == 1
+
+
+class TestInspection:
+    def test_span_counts_and_traces(self):
+        rec = TraceRecorder()
+        root = rec.start("query")
+        rec.event("scan", parent=root)
+        rec.event("scan", parent=root)
+        root.finish()
+        rec.event("workload")
+        assert rec.span_counts() == {"query": 1, "scan": 2, "workload": 1}
+        traces = rec.traces()
+        assert len(traces) == 2
+        assert sorted(len(v) for v in traces.values()) == [1, 3]
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = TraceRecorder(clock=ticking_clock())
+        with rec.start("query", kind="query") as root:
+            rec.event("scan", parent=root, partition=0)
+        lines = rec.to_jsonl().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert {p["name"] for p in parsed} == {"query", "scan"}
+        path = tmp_path / "spans.jsonl"
+        assert rec.dump_jsonl(str(path)) == 2
+        assert path.read_text().splitlines() == lines
+
+
+class TestNullRecorder:
+    def test_surface_is_noop(self, tmp_path):
+        rec = NullTraceRecorder()
+        with rec.start("query", kind="query") as h:
+            h.annotate(replica="r")
+            rec.event("scan", parent=h)
+        assert rec.spans() == []
+        assert rec.recorded == 0
+        assert rec.span_counts() == {}
+        assert rec.traces() == {}
+        assert rec.to_jsonl() == ""
+        path = tmp_path / "empty.jsonl"
+        assert rec.dump_jsonl(str(path)) == 0
+        assert path.read_text() == ""
+
+    def test_shared_instance_flags_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert TraceRecorder.enabled is True

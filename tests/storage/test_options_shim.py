@@ -1,0 +1,68 @@
+"""Focused tests for the deprecated ``parallelism=`` keyword shim.
+
+The suite runs with ``error::DeprecationWarning:repro`` (pyproject), so
+any *internal* caller still using the legacy spelling fails the build;
+these tests exercise the shim from outside, where it must warn — exactly
+once per call — and fold the value into an :class:`ExecOptions`.
+"""
+
+import warnings
+
+import pytest
+
+from repro.storage import ExecOptions
+from repro.storage.options import (
+    DEFAULT_EXEC_OPTIONS,
+    resolve_exec_options,
+)
+
+
+class TestResolveExecOptions:
+    def test_no_arguments_yields_defaults(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_exec_options(None, None, "query") \
+                is DEFAULT_EXEC_OPTIONS
+
+    def test_options_pass_through_unchanged(self):
+        opts = ExecOptions(parallelism=3, retries=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_exec_options(opts, None, "query") is opts
+
+    def test_legacy_parallelism_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolved = resolve_exec_options(None, 4, "query")
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "parallelism" in str(deprecations[0].message)
+        assert "query(" in str(deprecations[0].message)
+
+    def test_legacy_value_maps_onto_exec_options(self):
+        with pytest.warns(DeprecationWarning):
+            resolved = resolve_exec_options(None, 4, "execute_workload")
+        assert resolved.parallelism == 4
+        # Every other knob keeps its default.
+        assert resolved.retries == DEFAULT_EXEC_OPTIONS.retries
+        assert resolved.use_cache == DEFAULT_EXEC_OPTIONS.use_cache
+        assert resolved.trace == DEFAULT_EXEC_OPTIONS.trace
+
+    def test_both_spellings_is_a_type_error(self):
+        with pytest.raises(TypeError, match="count.*not both"):
+            resolve_exec_options(ExecOptions(), 2, "count")
+
+    def test_warning_names_the_calling_method(self):
+        with pytest.warns(DeprecationWarning, match="count\\(parallelism"):
+            resolve_exec_options(None, 2, "count")
+
+    def test_warning_attributed_to_caller_not_repro(self):
+        # stacklevel points the warning at the *caller's* frame, so the
+        # error::DeprecationWarning:repro filter catches internal misuse
+        # without breaking external callers (like this test module).
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_exec_options(None, 2, "query")
+        (w,) = caught
+        assert "repro" not in w.filename.replace("tests", "")

@@ -20,6 +20,13 @@ def dataset_of(n):
 ROW_BYTES = dataset_of(1).binary_size_bytes()
 
 
+def assert_conserved(cache):
+    """Every entry that ever entered the cache is resident, evicted or
+    invalidated — nothing vanishes unaccounted."""
+    s = cache.stats()
+    assert s.entries == s.inserts - s.evictions - s.invalidations
+
+
 class TestPartitionCache:
     def test_miss_then_hit(self):
         cache = PartitionCache(10_000)
@@ -57,12 +64,17 @@ class TestPartitionCache:
         assert s.current_bytes <= cache.capacity_bytes
         assert s.entries == 5
         assert s.evictions == 45
+        assert s.inserts == 50
+        assert_conserved(cache)
 
     def test_oversized_entry_not_cached(self):
         cache = PartitionCache(ROW_BYTES)
         cache.put(("r", 0), dataset_of(100))
         assert len(cache) == 0
         assert cache.get(("r", 0)) is None
+        # A rejected put is not an insert: conservation still holds.
+        assert cache.stats().inserts == 0
+        assert_conserved(cache)
 
     def test_reinsert_replaces_bytes(self):
         cache = PartitionCache(100 * ROW_BYTES)
@@ -70,6 +82,9 @@ class TestPartitionCache:
         cache.put(("r", 0), dataset_of(20))
         assert cache.stats().current_bytes == dataset_of(20).binary_size_bytes()
         assert len(cache) == 1
+        # Refreshing a resident key is not a second insert.
+        assert cache.stats().inserts == 1
+        assert_conserved(cache)
 
     def test_invalidate_replica(self):
         cache = PartitionCache(100 * ROW_BYTES)
@@ -79,6 +94,8 @@ class TestPartitionCache:
         assert cache.invalidate_replica("a") == 2
         assert cache.get(("b", 0)) is not None
         assert cache.get(("a", 0)) is None
+        assert cache.stats().invalidations == 2
+        assert_conserved(cache)
 
     def test_clear_keeps_counters(self):
         cache = PartitionCache(100 * ROW_BYTES)
@@ -88,6 +105,9 @@ class TestPartitionCache:
         s = cache.stats()
         assert s.entries == 0 and s.current_bytes == 0
         assert s.hits == 1
+        # clear() accounts its drops as invalidations.
+        assert s.invalidations == 1
+        assert_conserved(cache)
 
     def test_positive_capacity_required(self):
         with pytest.raises(ValueError, match="positive"):
@@ -115,3 +135,51 @@ class TestPartitionCache:
         s = cache.stats()
         assert s.current_bytes <= cache.capacity_bytes
         assert s.hits + s.misses == 8 * 200
+        assert_conserved(cache)
+
+    def test_conservation_through_every_drop_path(self):
+        cache = PartitionCache(5 * ROW_BYTES)
+        for pid in range(8):          # 3 evictions
+            cache.put(("a", pid), dataset_of(1))
+        cache.put(("b", 0), dataset_of(1))   # evicts one more
+        cache.invalidate(("a", 7))            # 1 invalidation
+        cache.invalidate(("a", 7))            # no-op: already gone
+        cache.invalidate_replica("b")         # 1 invalidation
+        assert_conserved(cache)
+        cache.clear()                         # the rest become invalidations
+        s = cache.stats()
+        assert s.entries == 0
+        assert s.inserts == 9
+        assert s.inserts == s.evictions + s.invalidations
+        assert_conserved(cache)
+
+    def test_metrics_mirror_stats(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        cache = PartitionCache(5 * ROW_BYTES, metrics=metrics)
+        for pid in range(8):
+            cache.put(("r", pid), dataset_of(1))
+        cache.get(("r", 7))
+        cache.get(("r", 0))   # evicted: a miss
+        cache.invalidate(("r", 7))
+        s = cache.stats()
+        assert metrics.counter_value("repro_cache_hits_total") == s.hits
+        assert metrics.counter_value("repro_cache_misses_total") == s.misses
+        assert metrics.counter_value("repro_cache_evictions_total") == s.evictions
+        assert metrics.counter_value("repro_cache_inserts_total") == s.inserts
+        assert metrics.counter_value(
+            "repro_cache_invalidations_total") == s.invalidations
+
+    def test_late_metrics_bind_reconciles(self):
+        from repro.obs import MetricsRegistry
+
+        cache = PartitionCache(100 * ROW_BYTES)
+        cache.put(("r", 0), dataset_of(1))
+        cache.get(("r", 0))
+        cache.get(("r", 1))
+        metrics = MetricsRegistry()
+        cache.bind_metrics(metrics)
+        assert metrics.counter_value("repro_cache_hits_total") == 1
+        assert metrics.counter_value("repro_cache_misses_total") == 1
+        assert metrics.counter_value("repro_cache_inserts_total") == 1

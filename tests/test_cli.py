@@ -171,3 +171,63 @@ class TestQuery:
         assert main(["query", "--records", "3000", "--frac", "0.5",
                      "--parallelism", "4"]) == 0
         assert "records returned" in capsys.readouterr().out
+
+
+WORKLOAD_ARGS = ["--records", "3000", "--queries", "15",
+                 "--replicas", "2", "--repeat", "1"]
+
+
+class TestRunWorkloadTrace:
+    def test_trace_prints_telemetry_and_dumps_spans(self, tmp_path, capsys):
+        out_path = str(tmp_path / "spans.jsonl")
+        assert main(["run-workload", *WORKLOAD_ARGS,
+                     "--trace", "--trace-out", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "trace:" in out
+        assert "drift[" in out
+        import json
+        lines = open(out_path).read().splitlines()
+        assert len(lines) >= 15  # at least one span per query
+        names = {json.loads(line)["name"] for line in lines}
+        assert {"workload", "query", "scan"} <= names
+
+    def test_without_trace_no_telemetry(self, capsys):
+        assert main(["run-workload", *WORKLOAD_ARGS]) == 0
+        assert "telemetry:" not in capsys.readouterr().out
+
+
+class TestStats:
+    def test_text_report(self, capsys):
+        assert main(["stats", *WORKLOAD_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "degradation:" in out
+        assert "drift[" in out
+
+    def test_json_report_consistent_with_workload(self, capsys):
+        import json
+        assert main(["stats", *WORKLOAD_ARGS, "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert set(snap) == {"metrics", "trace", "drift"}
+        counters = {(c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+                    for c in snap["metrics"]["counters"]}
+        assert counters[("repro_workloads_total", ())] == 1
+        assert counters[("repro_queries_total",
+                         (("path", "workload"),))] == 15
+        # One drift sample per executed query, spread over the replicas.
+        assert sum(d["samples"] for d in snap["drift"]) == 15
+
+    def test_prometheus_exposition(self, capsys):
+        assert main(["stats", *WORKLOAD_ARGS, "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_workloads_total counter" in out
+        assert "repro_workloads_total 1" in out
+        assert "repro_workload_seconds_bucket" in out
+
+    def test_json_and_prom_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["stats", *WORKLOAD_ARGS, "--json", "--prom"])
+
+    def test_repeat_must_be_positive(self, capsys):
+        assert main(["stats", *WORKLOAD_ARGS[:-2], "--repeat", "0"]) == 2
