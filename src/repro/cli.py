@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro run-workload --queries 500 --replicas 3
     python -m repro drill --fail-replica kd16t4/COL-SNAPPY
     python -m repro stats --queries 200 --json
+    python -m repro verify-store --store units/ --manifest kd.json --manifest grid.json
 
 Every subcommand is deterministic given ``--seed``.  Shared argument
 groups (``--seed``, the ``--input/--records/--header`` data source, the
@@ -501,6 +502,53 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_verify_store(args: argparse.Namespace) -> int:
+    """Differential oracle sweep over an on-disk store: CRC integrity,
+    cross-replica content recovery, and bit-identical query answers.
+    Exits non-zero on any mismatch."""
+    import json
+
+    from repro.data import dataset_from_csv
+    from repro.obs import MetricsRegistry
+    from repro.storage import DirectoryStore
+    from repro.verify import verify_store
+
+    reference = None
+    if args.input:
+        reference = dataset_from_csv(args.input, header=args.header)
+    metrics = MetricsRegistry()
+    result = verify_store(
+        DirectoryStore(args.store),
+        list(args.manifest),
+        n_queries=args.queries,
+        seed=args.seed,
+        reference=reference,
+        metrics=metrics,
+    )
+    if args.json:
+        print(json.dumps({
+            "ok": result.ok,
+            "checks": result.checks,
+            "queries": result.n_queries,
+            "replicas": [
+                {
+                    "name": r.name,
+                    "ok": r.ok,
+                    "units": r.units,
+                    "damaged_units": list(r.damaged),
+                    "content_ok": r.content_ok,
+                    "read_errors": list(r.read_errors),
+                }
+                for r in result.replicas
+            ],
+            "mismatches": [m.describe() for m in result.mismatches],
+            "metrics": metrics.snapshot(),
+        }, indent=2))
+    else:
+        print(result.summary())
+    return 0 if result.ok else 1
+
+
 def _cmd_repair(args: argparse.Namespace) -> int:
     import json
 
@@ -631,6 +679,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest", required=True)
     p.add_argument("--store", required=True, help="replica unit directory")
     p.set_defaults(handler=_cmd_verify)
+
+    p = sub.add_parser(
+        "verify-store",
+        help="differential oracle sweep over an on-disk store "
+             "(CRC + cross-replica content + query answers)",
+        parents=[seed])
+    p.add_argument("--manifest", required=True, action="append",
+                   help="replica manifest JSON (repeat per replica)")
+    p.add_argument("--store", required=True, help="replica unit directory")
+    p.add_argument("--queries", type=int, default=12,
+                   help="random oracle queries per replica")
+    p.add_argument("--input", default=None,
+                   help="reference CSV (ground truth; default: "
+                        "cross-replica majority)")
+    p.add_argument("--header", action="store_true",
+                   help="reference CSV carries a header row")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report (includes metrics)")
+    p.set_defaults(handler=_cmd_verify_store)
 
     p = sub.add_parser("repair",
                        help="repair damaged units from a diverse replica")

@@ -172,6 +172,21 @@ def solve_mip(
 
     from scipy.optimize import LinearConstraint, milp
 
+    # The explicit model forces every query onto a chosen replica
+    # (Eq. 2-4), so it cannot express the empty selection: with no
+    # affordable replica (or no queries) HiGHS would report the model
+    # infeasible even though ∅ is the valid optimum under the
+    # capped-cost convention.  Short-circuit those instances.
+    affordable = instance.storage <= instance.budget + 1e-9
+    if instance.n_queries == 0 or not affordable.any():
+        return Selection(
+            selected=(),
+            cost=instance.workload_cost(()),
+            storage=0.0,
+            optimal=True,
+            solver=f"mip-scipy/{constraint_form}",
+        )
+
     formulation = build_mip(instance, constraint_form)
     constraints = [
         LinearConstraint(formulation.a_ub, -np.inf, formulation.b_ub),

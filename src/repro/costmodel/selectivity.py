@@ -84,17 +84,29 @@ class Histogram3D:
         return float(np.einsum("i,j,k,ijk->", fx, fy, ft, self.counts))
 
     def estimate_query(self, query: AnyQuery, rng: np.random.Generator | None = None,
-                       samples: int = 64) -> float:
+                       samples: int = 64, seed: int = 0) -> float:
         """Expected result size of a query.
 
         Positioned queries evaluate directly; grouped queries average
-        :meth:`estimate_count` over sampled centroid positions.
+        :meth:`estimate_count` over sampled centroid positions.  Grouped
+        extents are clamped to the universe first — the same convention
+        as :meth:`GroupedQuery.selectivity`, so an over-wide dimension
+        behaves as "covers the whole universe" rather than spilling the
+        sampled box past the data bounds.  ``seed`` makes the centroid
+        sampling reproducible-by-choice; pass ``rng`` to share a
+        generator instead.
         """
         if isinstance(query, Query):
             return self.estimate_count(query.box())
         if rng is None:
-            rng = np.random.default_rng(0)
-        cr = centroid_range(self.universe, query.size)
+            rng = np.random.default_rng(seed)
+        u = self.universe
+        size = (
+            min(query.width, u.width),
+            min(query.height, u.height),
+            min(query.duration, u.duration),
+        )
+        cr = centroid_range(u, size)
         total = 0.0
         for _ in range(samples):
             center = (
@@ -102,7 +114,7 @@ class Histogram3D:
                 rng.uniform(cr.y_min, cr.y_max) if cr.height > 0 else cr.y_min,
                 rng.uniform(cr.t_min, cr.t_max) if cr.duration > 0 else cr.t_min,
             )
-            total += self.estimate_count(Box3.from_center_size(center, *query.size))
+            total += self.estimate_count(Box3.from_center_size(center, *size))
         return total / samples
 
     def selectivity(self, box: Box3) -> float:

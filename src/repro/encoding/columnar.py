@@ -155,10 +155,14 @@ def _scaled_fixed_point(values: np.ndarray, exponent: int) -> np.ndarray | None:
     # also rejects overflowed non-finite products).
     if not np.all(np.abs(scaled) < 2**52):
         return None
-    back = (scaled / scale).astype(values.dtype)
-    if not np.array_equal(back, values):
+    mantissas = scaled.astype(np.int64)
+    # Emulate the decoder exactly (int64 mantissas, not the float
+    # intermediate) and compare raw bytes: ``==`` would let -0.0 slip
+    # through and come back as +0.0, breaking bit-identical replicas.
+    back = (mantissas.astype(np.float64) / scale).astype(values.dtype)
+    if back.tobytes() != values.tobytes():
         return None
-    return scaled.astype(np.int64)
+    return mantissas
 
 
 def _encode_column(name: str, values: np.ndarray, out: bytearray) -> None:
@@ -176,9 +180,13 @@ def _encode_column(name: str, values: np.ndarray, out: bytearray) -> None:
     # integral number representable in int64 (e.g. whole-second timestamps).
     if dtype == np.float64 and values.size and np.all(values == np.floor(values)) \
             and np.all(np.abs(values) < 2**62):
-        out.append(_KIND_IVARINT_DELTA)
-        _encode_int_delta(values.astype(np.int64), out)
-        return
+        as_int = values.astype(np.int64)
+        # Bit-exact guard: the int64 round-trip drops the sign of -0.0,
+        # so only take this path when the raw bytes survive it.
+        if as_int.astype(np.float64).tobytes() == values.tobytes():
+            out.append(_KIND_IVARINT_DELTA)
+            _encode_int_delta(as_int, out)
+            return
     exponent = _SCALE_HINTS.get(name)
     if exponent is not None:
         mantissas = _scaled_fixed_point(values, exponent)

@@ -18,6 +18,8 @@ def encode_uvarint(value: int, out: bytearray) -> None:
     """Append one unsigned LEB128 varint to ``out``."""
     if value < 0:
         raise ValueError(f"uvarint cannot encode negative value {value}")
+    if value > _MASK64:
+        raise ValueError(f"uvarint value {value} exceeds 64 bits")
     while value >= 0x80:
         out.append((value & 0x7F) | 0x80)
         value >>= 7
@@ -25,7 +27,12 @@ def encode_uvarint(value: int, out: bytearray) -> None:
 
 
 def decode_uvarint(data: bytes | memoryview, pos: int) -> tuple[int, int]:
-    """Decode one unsigned varint at ``pos``; return ``(value, next_pos)``."""
+    """Decode one unsigned varint at ``pos``; return ``(value, next_pos)``.
+
+    Rejects streams longer than the 10 bytes a 64-bit value needs and
+    values whose magnitude overflows 64 bits (a 10-byte varint can carry
+    up to 70 payload bits; corrupted input must not decode silently).
+    """
     result = 0
     shift = 0
     n = len(data)
@@ -36,9 +43,11 @@ def decode_uvarint(data: bytes | memoryview, pos: int) -> tuple[int, int]:
         pos += 1
         result |= (byte & 0x7F) << shift
         if not byte & 0x80:
+            if result > _MASK64:
+                raise ValueError("varint overflows 64 bits")
             return result, pos
         shift += 7
-        if shift > 70:
+        if shift > 63:
             raise ValueError("varint too long")
 
 
@@ -74,6 +83,8 @@ def encode_uvarint_array(values: np.ndarray | list[int], out: bytearray) -> None
         v = int(v)
         if v < 0:
             raise ValueError(f"uvarint cannot encode negative value {v}")
+        if v > _MASK64:
+            raise ValueError(f"uvarint value {v} exceeds 64 bits")
         while v >= 0x80:
             out.append((v & 0x7F) | 0x80)
             v >>= 7
@@ -83,7 +94,12 @@ def encode_uvarint_array(values: np.ndarray | list[int], out: bytearray) -> None
 def decode_uvarint_array(
     data: bytes | memoryview, pos: int, count: int
 ) -> tuple[list[int], int]:
-    """Decode ``count`` consecutive unsigned varints starting at ``pos``."""
+    """Decode ``count`` consecutive unsigned varints starting at ``pos``.
+
+    Applies the same malformed-input guards as :func:`decode_uvarint`:
+    over-long streams and values overflowing 64 bits both raise
+    :class:`ValueError` instead of decoding silently.
+    """
     values = []
     n = len(data)
     for _ in range(count):
@@ -98,8 +114,10 @@ def decode_uvarint_array(
             if not byte & 0x80:
                 break
             shift += 7
-            if shift > 70:
+            if shift > 63:
                 raise ValueError("varint too long")
+        if result > _MASK64:
+            raise ValueError("varint overflows 64 bits")
         values.append(result)
     return values, pos
 
@@ -109,6 +127,8 @@ def encode_svarint_array(values: np.ndarray | list[int], out: bytearray) -> None
     for v in values:
         v = int(v)
         z = (v << 1) if v >= 0 else ((-v) << 1) - 1
+        if z > _MASK64:
+            raise ValueError(f"svarint value {v} exceeds 64 bits")
         while z >= 0x80:
             out.append((z & 0x7F) | 0x80)
             z >>= 7

@@ -538,8 +538,15 @@ class BlotStore:
         the cost ranking; on exhaustion the engine tries a diverse-
         replica repair, then raises
         :class:`~repro.storage.faults.DegradedReadError`.
+
+        When given a raw :class:`Box3` the scan uses those exact bounds;
+        the positioned :class:`Query` derived from it is used only for
+        routing.  (Re-deriving the box from the centered form can move
+        a face by one ulp, dropping or admitting records that lie
+        exactly on the query boundary.)
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
+        box = query if isinstance(query, Box3) else query.box()
         opts = resolve_exec_options(options, parallelism, "query")
         acct = _Accounting()
         rec = self._recorder(opts)
@@ -552,7 +559,7 @@ class BlotStore:
                 stored = self.replica(name)
                 try:
                     result = self._scan_query(stored, q, opts, acct,
-                                              rec=rec, root=root)
+                                              rec=rec, root=root, box=box)
                 except PartitionReadError as err:
                     self._note_read_failure(err)
                     attempts.append((name, err))
@@ -562,7 +569,7 @@ class BlotStore:
                 root.annotate(replica=name)
                 return self._finish_query(q, result, acct, "query")
             result = self._repair_and_rescan(q, opts, acct, attempts,
-                                             rec=rec, root=root)
+                                             rec=rec, root=root, box=box)
             if result is not None:
                 root.annotate(replica=result.stats.replica_name)
                 return self._finish_query(q, result, acct, "query")
@@ -652,6 +659,7 @@ class BlotStore:
         attempts: list[tuple[str, Exception]],
         rec=NULL_RECORDER,
         root=None,
+        box: Box3 | None = None,
     ) -> QueryResult | None:
         """Exhaustion path: repair the cheapest partition-level-failed
         replica unit by unit from the surviving replicas, then rescan.
@@ -676,7 +684,7 @@ class BlotStore:
         for _ in range(target.n_partitions + 1):
             try:
                 return self._scan_query(target, q, opts, acct,
-                                        rec=rec, root=root)
+                                        rec=rec, root=root, box=box)
             except PartitionReadError as err:
                 if err.replica_failed or err.partition_id is None:
                     attempts.append((target.name, err))
@@ -706,11 +714,15 @@ class BlotStore:
         acct: _Accounting,
         rec=NULL_RECORDER,
         root=None,
+        box: Box3 | None = None,
     ) -> QueryResult:
         """One attempt of the three-step mechanism on one replica.
+        ``box`` carries the caller's exact bounds when the query came in
+        as a raw :class:`Box3` (``q.box()`` may differ by one ulp).
         Raises :class:`PartitionReadError` when any involved partition
         stays unreadable after retries."""
-        box = q.box()
+        if box is None:
+            box = q.box()
         start = time.perf_counter()
         involved = stored.involved_partitions(box)
 
@@ -768,9 +780,11 @@ class BlotStore:
         argument.  Accepts the same
         :class:`~repro.storage.options.ExecOptions` as :meth:`query`,
         with the same retry/failover/repair semantics on boundary-
-        partition reads.
+        partition reads.  As with :meth:`query`, a raw :class:`Box3` is
+        counted against its exact bounds.
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
+        box = query if isinstance(query, Box3) else query.box()
         opts = resolve_exec_options(options, parallelism, "count")
         acct = _Accounting()
         rec = self._recorder(opts)
@@ -783,7 +797,8 @@ class BlotStore:
                 stored = self.replica(name)
                 try:
                     total, stats = self._scan_count(stored, q, opts, acct,
-                                                    rec=rec, root=root)
+                                                    rec=rec, root=root,
+                                                    box=box)
                 except PartitionReadError as err:
                     self._note_read_failure(err)
                     attempts.append((name, err))
@@ -811,8 +826,10 @@ class BlotStore:
         acct: _Accounting,
         rec=NULL_RECORDER,
         root=None,
+        box: Box3 | None = None,
     ) -> tuple[int, QueryStats]:
-        box = q.box()
+        if box is None:
+            box = q.box()
         faults = self._faults
         if faults is not None and faults.replica_failed(stored.name):
             # Fail fast even when the count needs no boundary decodes:

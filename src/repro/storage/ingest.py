@@ -111,17 +111,22 @@ class IngestingBlotStore:
         if not self._buffer:
             return
         merged = self.dataset().sorted_by_time()
-        self._buffer.clear()
+        # Rebuild before dropping the buffer: if a replica build raises,
+        # the store must keep serving base + buffer with no records lost.
         self._base = self._build_base(merged)
+        self._buffer.clear()
         self._compactions += 1
 
     # -- reads ----------------------------------------------------------------
 
     def query(self, query: Query | Box3, replica: str | None = None) -> QueryResult:
-        """Range query over base replicas plus the delta buffer."""
-        q = Query.from_box(query) if isinstance(query, Box3) else query
-        box = q.box()
-        base_result = self._base.query(q, replica=replica)
+        """Range query over base replicas plus the delta buffer.
+
+        A raw :class:`Box3` is matched against its exact bounds in both
+        the base scan and the buffer filter (no centered round-trip).
+        """
+        box = query if isinstance(query, Box3) else query.box()
+        base_result = self._base.query(query, replica=replica)
         if not self._buffer:
             return base_result
         extra_scanned = self.buffered_records

@@ -1,0 +1,69 @@
+"""Differential correctness harness (the repository's oracle suite).
+
+Diverse replicas differ only in layout; this package enforces the
+invariant that makes replica routing sound — every replica, every
+encoding and every execution path returns bit-identical answers to a
+brute-force scan of the raw dataset:
+
+- :mod:`repro.verify.oracle` — ground truth + multiset diffing;
+- :mod:`repro.verify.harness` — the advisor-grid x execution-path sweep
+  (:class:`DifferentialHarness`, :func:`verify_dataset`);
+- :mod:`repro.verify.solvers` — solver decisions vs brute-force
+  enumeration (:func:`check_instance`, :func:`check_budget_sweep`);
+- :mod:`repro.verify.diskcheck` — the on-disk sweep behind
+  ``repro verify-store`` (:func:`verify_store`).
+"""
+
+from repro.verify.diskcheck import (
+    ReplicaDiskReport,
+    StoreVerification,
+    verify_store,
+)
+from repro.verify.harness import (
+    ALL_PATHS,
+    DifferentialHarness,
+    default_grid,
+    verify_dataset,
+)
+from repro.verify.oracle import (
+    Mismatch,
+    ResultDiff,
+    VerificationReport,
+    canonical,
+    datasets_identical,
+    diff_results,
+    edge_pinned_boxes,
+    oracle_answer,
+    random_boxes,
+    row_keys,
+)
+from repro.verify.solvers import (
+    SOLVERS,
+    SolverCheckReport,
+    check_budget_sweep,
+    check_instance,
+)
+
+__all__ = [
+    "ALL_PATHS",
+    "DifferentialHarness",
+    "Mismatch",
+    "ReplicaDiskReport",
+    "ResultDiff",
+    "SOLVERS",
+    "SolverCheckReport",
+    "StoreVerification",
+    "VerificationReport",
+    "canonical",
+    "check_budget_sweep",
+    "check_instance",
+    "datasets_identical",
+    "default_grid",
+    "diff_results",
+    "edge_pinned_boxes",
+    "oracle_answer",
+    "random_boxes",
+    "row_keys",
+    "verify_dataset",
+    "verify_store",
+]

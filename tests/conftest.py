@@ -1,0 +1,29 @@
+"""Shared test configuration: Hypothesis profiles.
+
+The ``ci`` profile (selected with ``HYPOTHESIS_PROFILE=ci``) pins the
+example stream (``derandomize=True``) so CI failures reproduce locally,
+and prints the failing blob so the run log itself is the failure corpus.
+The default ``dev`` profile keeps Hypothesis's randomized exploration
+but disables deadlines — several suites build real replica grids per
+example, and wall-clock flakiness is not a correctness signal.
+"""
+
+import os
+
+from hypothesis import HealthCheck, Verbosity, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "thorough",
+    max_examples=500,
+    deadline=None,
+    verbosity=Verbosity.normal,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

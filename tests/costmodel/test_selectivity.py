@@ -114,6 +114,50 @@ class TestEstimates:
         # return at most the whole dataset and on average far less.
         assert 0 < est < len(ds) * 0.6
 
+    def test_grouped_seed_is_reproducible(self, hist):
+        """The centroid-sampling seed is now an explicit parameter, not a
+        hard-coded default_rng(0): same seed -> same estimate, different
+        seed -> (almost surely) a different sample average."""
+        g = GroupedQuery(0.2, 0.2, 3600.0)
+        a = hist.estimate_query(g, seed=11, samples=32)
+        b = hist.estimate_query(g, seed=11, samples=32)
+        assert a == b
+        c = hist.estimate_query(g, seed=12, samples=32)
+        assert c != a
+        # The historical default (seed=0) is preserved for callers that
+        # never passed anything.
+        assert hist.estimate_query(g, samples=32) == \
+            hist.estimate_query(g, seed=0, samples=32)
+
+    def test_grouped_rng_overrides_seed(self, hist):
+        g = GroupedQuery(0.2, 0.2, 3600.0)
+        a = hist.estimate_query(g, rng=np.random.default_rng(99),
+                                samples=32, seed=5)
+        b = hist.estimate_query(g, rng=np.random.default_rng(99),
+                                samples=32, seed=6)
+        assert a == b  # seed is ignored when a generator is shared
+
+    def test_grouped_oversized_extents_clamped_to_universe(self, ds, hist):
+        """Extents wider than the universe must behave as 'covers the
+        whole universe' (GroupedQuery.selectivity's convention): the
+        sampled box then *is* the universe, so the estimate is exact and
+        cannot spill past the data bounds."""
+        u = ds.bounding_box()
+        huge = GroupedQuery(u.width * 3, u.height * 3, u.duration * 3)
+        est = hist.estimate_query(huge, seed=4, samples=8)
+        assert est == pytest.approx(len(ds))
+        clamped = GroupedQuery(u.width, u.height, u.duration)
+        assert est == pytest.approx(
+            hist.estimate_query(clamped, seed=4, samples=8))
+
+    def test_grouped_one_oversized_dimension(self, ds, hist):
+        """Clamping is per-dimension; a sane-width query with an
+        over-tall duration must stay within [0, |D|]."""
+        u = ds.bounding_box()
+        g = GroupedQuery(u.width * 0.25, u.height * 0.25, u.duration * 10)
+        est = hist.estimate_query(g, seed=4, samples=32)
+        assert 0.0 < est < len(ds)
+
     @settings(max_examples=25, deadline=None)
     @given(
         x0=st.floats(120.0, 121.9), w=st.floats(0.01, 1.5),

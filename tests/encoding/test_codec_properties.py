@@ -63,20 +63,16 @@ def datasets(draw, max_size=40):
 
 
 def columns_bit_equal(a: Dataset, b: Dataset) -> bool:
-    """Bitwise equality per column (NaN == NaN, -0.0 != 0.0 tolerated via
-    bit views for floats)."""
+    """Strict bitwise equality per column: NaN == NaN, and -0.0 != +0.0.
+
+    Every codec must round-trip the exact bit patterns — diverse replicas
+    are only interchangeable if their decoded bytes are identical, so a
+    fast path normalising -0.0 to +0.0 is a correctness bug (it once hid
+    in the fixed-point and integral-float64 delta paths)."""
     for f in FIELDS:
         ca, cb = a.column(f.name), b.column(f.name)
-        if np.issubdtype(f.dtype, np.floating):
-            width = "u8" if f.dtype == np.float64 else "u4"
-            if not np.array_equal(ca.view(width), cb.view(width)):
-                # Fast paths may normalise -0.0 to +0.0; accept only that.
-                mismatch = ca.view(width) != cb.view(width)
-                if not np.all((ca[mismatch] == 0) & (cb[mismatch] == 0)):
-                    return False
-        else:
-            if not np.array_equal(ca, cb):
-                return False
+        if ca.tobytes() != cb.tobytes():
+            return False
     return True
 
 
@@ -144,7 +140,26 @@ class TestSpecificHazards:
     def test_negative_zero_speed(self):
         ds = self.make(speed=[-0.0, 0.0, 1.5])
         back = decode_columns(encode_columns(ds))
-        assert np.array_equal(back.column("speed"), ds.column("speed"))
+        assert back.column("speed").tobytes() == ds.column("speed").tobytes()
+
+    def test_negative_zero_survives_fixed_point_path(self):
+        """Regression: the scaled fixed-point guard compared with ``==``,
+        so a column of otherwise scale-representable values containing
+        -0.0 took the int64-mantissa path and came back as +0.0."""
+        for name in ("heading", "speed", "odometer", "x", "y"):
+            ds = self.make(**{name: [-0.0, 0.5, 1.5]})
+            back = decode_columns(encode_columns(ds))
+            col = back.column(name)
+            assert col.tobytes() == ds.column(name).tobytes(), name
+            assert math.copysign(1.0, float(col[0])) == -1.0, name
+
+    def test_negative_zero_survives_integral_delta_path(self):
+        """Regression: integral float64 columns (whole-second timestamps)
+        took the int64 delta path, and int64(-0.0) == 0 drops the sign."""
+        ds = self.make(t=[-0.0, 1.0, 2.0])
+        back = decode_columns(encode_columns(ds))
+        assert back.column("t").tobytes() == ds.column("t").tobytes()
+        assert math.copysign(1.0, float(back.column("t")[0])) == -1.0
 
     def test_alternating_occupancy_worst_case_rle(self):
         ds = self.make(occupied=[0, 1] * 20)

@@ -59,6 +59,71 @@ class TestUvarint:
         assert got == values and pos == len(out)
 
 
+def raw_leb128(value: int) -> bytes:
+    """Reference LEB128 encoder with no magnitude bound, for forging
+    overlong inputs the hardened decoders must reject."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+class TestOverflowGuards:
+    """Regression: the decoders bounded the *length* (<= 10 bytes) but not
+    the *magnitude*, so 10/11-byte varints encoding values >= 2**64
+    decoded silently to Python bigints and corrupted columns downstream."""
+
+    @pytest.mark.parametrize("value", [2**64, 2**64 + 1, 2**70 - 1])
+    def test_decode_rejects_past_64_bits(self, value):
+        forged = raw_leb128(value)
+        with pytest.raises(ValueError, match="64 bits|too long"):
+            decode_uvarint(forged, 0)
+        with pytest.raises(ValueError, match="64 bits|too long"):
+            decode_uvarint_array(forged, 0, 1)
+
+    def test_decode_accepts_exactly_64_bits(self):
+        forged = raw_leb128(2**64 - 1)
+        assert decode_uvarint(forged, 0) == (2**64 - 1, len(forged))
+        values, _ = decode_uvarint_array(forged, 0, 1)
+        assert values == [2**64 - 1]
+
+    def test_encoders_reject_past_64_bits(self):
+        with pytest.raises(ValueError, match="64 bits"):
+            encode_uvarint(2**64, bytearray())
+        with pytest.raises(ValueError, match="64 bits"):
+            encode_uvarint_array([0, 2**64], bytearray())
+        with pytest.raises(ValueError, match="64 bits"):
+            encode_svarint_array([2**63], bytearray())  # zigzag -> 2**64
+
+    def test_svarint_full_64_bit_range(self):
+        out = bytearray()
+        encode_svarint_array([2**63 - 1, -(2**63)], out)
+        got, _ = decode_svarint_array(bytes(out), 0, 2)
+        assert got == [2**63 - 1, -(2**63)]
+
+    @given(st.binary(min_size=1, max_size=40))
+    def test_fuzz_decoders_never_exceed_64_bits(self, blob):
+        """Arbitrary bytes either fail cleanly or decode within range —
+        for BOTH decoders (scalar and array share the guard)."""
+        try:
+            value, pos = decode_uvarint(blob, 0)
+        except ValueError:
+            pass
+        else:
+            assert 0 <= value <= 2**64 - 1 and 0 < pos <= len(blob)
+        try:
+            values, pos = decode_uvarint_array(blob, 0, 3)
+        except ValueError:
+            pass
+        else:
+            assert all(0 <= v <= 2**64 - 1 for v in values)
+
+
 class TestZigzag:
     @pytest.mark.parametrize("signed,unsigned", [
         (0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4), (2**31 - 1, 2**32 - 2),

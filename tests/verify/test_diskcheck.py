@@ -1,0 +1,129 @@
+"""Tests for the on-disk oracle sweep behind ``repro verify-store``:
+clean stores pass, bit-flips are caught by CRC, and silent corruption
+(valid blob, wrong records, *regenerated* manifest) is caught by the
+cross-replica majority vote."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.obs import MetricsRegistry
+from repro.partition import CompositeScheme, KdTreePartitioner
+from repro.storage import DirectoryStore, build_manifest, build_replica
+from repro.verify import verify_store
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return synthetic_shanghai_taxis(1200, seed=77, num_taxis=8)
+
+
+@pytest.fixture()
+def layout(ds, tmp_path):
+    """Three diverse replicas of one dataset in one directory store,
+    with in-memory manifests (fresh per test: corruption tests mutate)."""
+    store = DirectoryStore(str(tmp_path / "units"))
+    replicas, manifests = [], []
+    for name, leaves, enc in [("kd8", 8, "COL-GZIP"),
+                              ("kd4", 4, "ROW-PLAIN"),
+                              ("kd16", 16, "COL-SNAPPY")]:
+        replica = build_replica(
+            ds, CompositeScheme(KdTreePartitioner(leaves), 2),
+            encoding_scheme_by_name(enc), store, name=name)
+        replicas.append(replica)
+        manifests.append(build_manifest(replica))
+    return store, replicas, manifests
+
+
+def first_key(replica):
+    return next(k for k in replica.unit_keys if k is not None)
+
+
+class TestCleanStore:
+    def test_ok(self, ds, layout):
+        store, _, manifests = layout
+        metrics = MetricsRegistry()
+        result = verify_store(store, manifests, n_queries=6, seed=3,
+                              metrics=metrics)
+        assert result.ok, result.summary()
+        assert len(result.replicas) == 3
+        assert all(rep.ok for rep in result.replicas)
+        assert result.checks > 3
+        assert metrics.gauge("repro_verify_ok").value == 1.0
+
+    def test_reference_dataset_accepted(self, ds, layout):
+        store, _, manifests = layout
+        result = verify_store(store, manifests, n_queries=4, seed=3,
+                              reference=ds)
+        assert result.ok, result.summary()
+
+    def test_requires_manifests(self, layout):
+        store, _, _ = layout
+        with pytest.raises(ValueError, match="at least one manifest"):
+            verify_store(store, [])
+
+
+class TestBitFlip:
+    def test_crc_damage_detected(self, layout):
+        store, replicas, manifests = layout
+        key = first_key(replicas[0])
+        blob = bytearray(store.get(key))
+        blob[len(blob) // 2] ^= 0xFF
+        store.delete(key)
+        store.put(key, bytes(blob))
+        result = verify_store(store, manifests, n_queries=4, seed=3)
+        assert not result.ok
+        damaged = next(r for r in result.replicas if r.name == "kd8")
+        assert damaged.damaged
+        healthy = [r for r in result.replicas if r.name != "kd8"]
+        assert all(r.ok for r in healthy)
+
+
+class TestSilentCorruption:
+    def test_majority_vote_catches_regenerated_manifest(self, ds, layout):
+        """Re-encode one unit with a record dropped AND regenerate the
+        victim's manifest: its CRCs now pass, only the cross-replica
+        content vote can convict it."""
+        store, replicas, manifests = layout
+        victim = replicas[0]
+        pid = next(p for p, k in enumerate(victim.unit_keys)
+                   if k is not None)
+        part = victim.read_partition(pid)
+        assert len(part) > 1
+        key = victim.unit_keys[pid]
+        store.delete(key)
+        store.put(key, victim.encoding.encode(
+            part.take(np.arange(1, len(part)))))
+        manifests[0] = build_manifest(victim)  # CRCs now "valid"
+
+        metrics = MetricsRegistry()
+        result = verify_store(store, manifests, n_queries=4, seed=3,
+                              metrics=metrics)
+        assert not result.ok
+        convicted = next(r for r in result.replicas if r.name == "kd8")
+        assert not convicted.damaged        # CRC is clean...
+        assert not convicted.content_ok     # ...the vote is not
+        assert metrics.counter_value(
+            "repro_verify_mismatches_total",
+            labels={"path": "recover", "replica": "kd8"}) == 1.0
+        assert metrics.gauge("repro_verify_ok").value == 0.0
+
+    def test_reference_overrules_majority(self, ds, layout):
+        """With the original dataset as reference, even a corrupted
+        *majority* cannot vouch for itself."""
+        store, replicas, manifests = layout
+        for idx in (0, 1):  # corrupt a majority, each in its own way
+            victim = replicas[idx]
+            pid = next(p for p, k in enumerate(victim.unit_keys)
+                       if k is not None)
+            part = victim.read_partition(pid)
+            key = victim.unit_keys[pid]
+            store.delete(key)
+            store.put(key, victim.encoding.encode(part.head(len(part) - 1)))
+            manifests[idx] = build_manifest(victim)
+        result = verify_store(store, manifests, n_queries=4, seed=3,
+                              reference=ds)
+        assert not result.ok
+        bad = {r.name for r in result.replicas if not r.content_ok}
+        assert bad == {"kd8", "kd4"}

@@ -1,0 +1,131 @@
+"""Unit tests for the oracle primitives: canonical ordering, bit-level
+multiset comparison, and the diff structure the harness reports."""
+
+import numpy as np
+
+from repro.data import Dataset, synthetic_shanghai_taxis
+from repro.data.record import FIELDS
+from repro.geometry import Box3
+from repro.verify import (
+    canonical,
+    datasets_identical,
+    diff_results,
+    edge_pinned_boxes,
+    oracle_answer,
+    random_boxes,
+    row_keys,
+)
+
+
+def make(n, seed=0):
+    return synthetic_shanghai_taxis(n, seed=seed, num_taxis=4)
+
+
+def shuffled(dataset, seed=3):
+    rng = np.random.default_rng(seed)
+    return dataset.take(rng.permutation(len(dataset)))
+
+
+class TestCanonical:
+    def test_empty_passthrough(self):
+        ds = Dataset.empty()
+        assert len(canonical(ds)) == 0
+
+    def test_order_invariant(self):
+        ds = make(200)
+        a = canonical(ds)
+        b = canonical(shuffled(ds))
+        for f in FIELDS:
+            assert a.column(f.name).tobytes() == b.column(f.name).tobytes()
+
+    def test_row_keys_are_per_record(self):
+        ds = make(50)
+        keys = row_keys(ds)
+        assert len(keys) == 50
+        assert len(keys[0]) == len(FIELDS)
+        assert row_keys(Dataset.empty()) == []
+
+
+class TestDatasetsIdentical:
+    def test_identical_under_reorder(self):
+        ds = make(300)
+        assert datasets_identical(ds, shuffled(ds))
+
+    def test_length_mismatch(self):
+        ds = make(100)
+        assert not datasets_identical(ds, ds.head(99))
+
+    def test_negative_zero_is_not_positive_zero(self):
+        """The comparison must be bit-level: -0.0 and +0.0 are different
+        records (an encoder normalising the sign bit must be caught)."""
+        ds = make(10)
+        cols = {f.name: ds.column(f.name).copy() for f in FIELDS}
+        cols["heading"][0] = np.float32(-0.0)
+        a = Dataset(cols)
+        cols2 = dict(cols)
+        cols2["heading"] = cols["heading"].copy()
+        cols2["heading"][0] = np.float32(0.0)
+        b = Dataset(cols2)
+        assert a.column("heading")[0] == b.column("heading")[0]  # == lies
+        assert not datasets_identical(a, b)
+
+    def test_nan_equals_nan(self):
+        ds = make(10)
+        cols = {f.name: ds.column(f.name).copy() for f in FIELDS}
+        cols["speed"][2] = np.float32("nan")
+        a, b = Dataset(cols), Dataset({k: v.copy() for k, v in cols.items()})
+        assert datasets_identical(a, b)
+
+
+class TestDiffResults:
+    def test_none_on_match(self):
+        ds = make(120)
+        assert diff_results(ds, shuffled(ds)) is None
+
+    def test_missing_and_extra(self):
+        ds = make(40)
+        expected = ds.head(30)
+        got = ds.take(np.arange(10, 40))  # drops [0,10), adds [30,40)
+        diff = diff_results(expected, got)
+        assert diff is not None
+        assert diff.expected_count == 30 and diff.got_count == 30
+        assert len(diff.missing) == 10 and len(diff.extra) == 10
+        assert "missing" in diff.describe() and "extra" in diff.describe()
+
+    def test_duplicate_counted_as_multiset(self):
+        """A record returned twice is an *extra*, even though the set of
+        distinct records matches — double-counting must not hide."""
+        ds = make(20)
+        doubled = Dataset.concat([ds, ds.head(1)])
+        diff = diff_results(ds, doubled)
+        assert diff is not None
+        assert len(diff.extra) == 1 and not diff.missing
+
+
+class TestOracleAnswer:
+    def test_matches_filter_box(self):
+        ds = make(500)
+        u = ds.bounding_box()
+        box = Box3(u.x_min, u.centroid.x, u.y_min, u.centroid.y,
+                   u.t_min, u.centroid.t)
+        want = ds.filter_box(box)
+        got = oracle_answer(ds, box)
+        assert datasets_identical(want, got)
+
+
+class TestQueryBoxes:
+    def test_random_boxes_deterministic(self):
+        ds = make(200)
+        assert [b for b in random_boxes(ds, 5, seed=9)] == \
+            [b for b in random_boxes(ds, 5, seed=9)]
+
+    def test_edge_pinned_boxes_include_point_queries(self):
+        ds = make(200)
+        boundaries = [ds.bounding_box()]
+        boxes = edge_pinned_boxes(ds, boundaries)
+        degenerate = [b for b in boxes
+                      if b.x_min == b.x_max and b.t_min == b.t_max]
+        assert degenerate, "expected point queries pinned to record coords"
+        xs = set(ds.column("x").tolist())
+        for b in degenerate:
+            assert b.x_min in xs

@@ -1,0 +1,136 @@
+"""Solver edge cases and the differential check against brute force:
+empty workloads, zero/insufficient budgets, single candidates and ties
+must never make any solver infeasible or wrong (satellite of the
+differential-correctness sweep)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SelectionInstance, brute_force_select
+from repro.verify import SOLVERS, check_budget_sweep, check_instance
+from repro.verify.solvers import _mip_scipy
+
+
+def instance(costs, storage, budget, weights=None):
+    costs = np.asarray(costs, dtype=np.float64)
+    if weights is None:
+        weights = np.ones(costs.shape[0])
+    return SelectionInstance(
+        costs=costs,
+        weights=np.asarray(weights, dtype=np.float64),
+        storage=np.asarray(storage, dtype=np.float64),
+        budget=float(budget),
+    )
+
+
+def random_instance(rng, n, m):
+    costs = rng.uniform(0.5, 20.0, size=(n, m))
+    storage = rng.uniform(1.0, 10.0, size=m)
+    budget = float(rng.uniform(0.0, storage.sum()))
+    weights = rng.uniform(0.1, 3.0, size=n)
+    return instance(costs, storage, budget, weights)
+
+
+def all_solvers(inst):
+    out = {name: solver(inst) for name, (solver, _) in SOLVERS.items()}
+    mip = _mip_scipy(inst)
+    if mip is not None:
+        out["mip-scipy"] = mip
+    return out
+
+
+class TestEdgeCases:
+    def test_empty_workload(self):
+        inst = instance(np.empty((0, 3)), [1.0, 2.0, 3.0], budget=10.0)
+        for name, sel in all_solvers(inst).items():
+            assert inst.is_feasible(sel.selected), name
+            assert inst.capped_workload_cost(sel.selected) == 0.0, name
+
+    def test_zero_budget_forces_empty_selection(self):
+        inst = instance([[1.0, 2.0], [2.0, 1.0]], [5.0, 5.0], budget=0.0)
+        for name, sel in all_solvers(inst).items():
+            assert sel.selected == (), name
+            assert sel.storage == 0.0, name
+
+    def test_insufficient_budget(self):
+        """Budget below the cheapest replica: nobody may pick anything,
+        nobody may error out (regression: the scipy MIP used to report
+        the model infeasible here)."""
+        inst = instance([[1.0, 2.0]], [5.0, 7.0], budget=4.9)
+        for name, sel in all_solvers(inst).items():
+            assert sel.selected == (), name
+
+    def test_single_candidate(self):
+        """m=1: the capped empty-set cost equals the lone replica's cost,
+        so () and (0,) are co-optimal — solvers may pick either but must
+        hit the optimum and stay feasible."""
+        inst = instance([[3.0], [1.0]], [2.0], budget=2.0)
+        report = check_instance(inst, label="single")
+        assert report.ok, report.summary()
+        optimum = inst.capped_workload_cost(
+            brute_force_select(inst).selected)
+        for name, sel in all_solvers(inst).items():
+            assert inst.is_feasible(sel.selected), name
+            assert inst.capped_workload_cost(sel.selected) == \
+                pytest.approx(optimum), name
+
+    def test_identical_replicas_tie(self):
+        """Two byte-identical candidates: any one of them is optimal,
+        every solver must land on the same cost."""
+        inst = instance([[2.0, 2.0], [4.0, 4.0]], [3.0, 3.0], budget=3.0)
+        report = check_instance(inst, label="tie")
+        assert report.ok, report.summary()
+        optimum = inst.capped_workload_cost(
+            brute_force_select(inst).selected)
+        for name, sel in all_solvers(inst).items():
+            assert inst.capped_workload_cost(sel.selected) == \
+                pytest.approx(optimum), name
+
+    def test_exact_budget_boundary(self):
+        """Storage exactly equal to the budget is affordable (<=, Eq. 1):
+        replica 1 strictly beats the capped empty-set cost and fits."""
+        inst = instance([[5.0, 1.0]], [9.0, 5.0], budget=5.0)
+        for name, sel in all_solvers(inst).items():
+            assert sel.selected == (1,), name
+
+
+class TestDifferentialSweep:
+    def test_random_instances_match_brute_force(self):
+        rng = np.random.default_rng(23)
+        report = None
+        for k in range(6):
+            inst = random_instance(rng, n=rng.integers(1, 6),
+                                   m=rng.integers(1, 6))
+            report = check_instance(inst, report, label=f"rand{k}")
+        assert report.ok, report.summary()
+        assert report.instances == 6
+
+    def test_budget_sweep_covers_degenerate_budgets(self):
+        rng = np.random.default_rng(5)
+        inst = random_instance(rng, n=4, m=4)
+        report = check_budget_sweep(inst, label="sweep/")
+        assert report.ok, report.summary()
+        # zero, half-smallest, smallest, 40% and full-total budgets
+        assert report.instances == 5
+
+    def test_check_instance_flags_a_wrong_solver(self):
+        """The checker itself must not be vacuous: feed it a fake solver
+        that claims optimality while returning a bad selection."""
+        inst = instance([[1.0, 10.0]], [2.0, 2.0], budget=4.0)
+        bad = dict(SOLVERS)
+        from repro.core.problem import Selection
+
+        def worst(instance):
+            return Selection(selected=(1,), cost=10.0, storage=2.0,
+                             optimal=True, solver="worst")
+
+        bad["worst"] = (worst, True)
+        import repro.verify.solvers as solvers_mod
+        original = solvers_mod.SOLVERS
+        solvers_mod.SOLVERS = bad
+        try:
+            report = check_instance(inst)
+        finally:
+            solvers_mod.SOLVERS = original
+        assert not report.ok
+        assert any("claims exactness" in issue for issue in report.issues)
