@@ -1,0 +1,180 @@
+"""Machine-readable perf history: the benchmark trajectory file.
+
+Every perf benchmark appends its headline numbers to
+``benchmarks/results/BENCH_trajectory.json``, keyed by the git SHA that
+produced them.  The committed file is the regression baseline: CI
+re-runs the benchmarks, appends the fresh numbers, and
+``python benchmarks/_trajectory.py --check`` fails when a metric
+regresses more than its tolerance against the last *committed* entry
+(a different SHA — re-runs on the same SHA replace their own entry
+instead of comparing against themselves).
+
+Per-metric ``directions`` say which way is good (``"higher"`` for
+speedups and hit rates, ``"lower"`` for seconds and bytes);
+``tolerances`` override the default regression band per metric —
+wall-clock ratios get a wide band (CI runners vary), deterministic
+byte counts stay strict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+try:
+    from benchmarks._report import RESULTS_DIR
+except ImportError:  # run as a script, where sys.path[0] is benchmarks/
+    from _report import RESULTS_DIR
+
+TRAJECTORY_PATH = os.path.join(RESULTS_DIR, "BENCH_trajectory.json")
+
+#: Default regression band: a metric may drift this fraction in the bad
+#: direction before --check fails.
+DEFAULT_TOLERANCE = 0.2
+
+
+def git_sha() -> str:
+    """The current commit SHA, ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def load_trajectory(path: str = TRAJECTORY_PATH) -> dict:
+    if not os.path.exists(path):
+        return {"version": 1, "entries": []}
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path} is not a trajectory file")
+    return data
+
+
+def record(
+    benchmark: str,
+    metrics: dict[str, float],
+    directions: dict[str, str],
+    tolerances: dict[str, float] | None = None,
+    sha: str | None = None,
+    path: str = TRAJECTORY_PATH,
+) -> dict:
+    """Append one benchmark's headline numbers for the current SHA.
+
+    A re-run on the same ``(benchmark, sha)`` replaces its previous
+    entry (the latest numbers win), so local iteration does not grow
+    the file; distinct SHAs accumulate — that growth *is* the
+    trajectory.
+    """
+    unknown = {k: v for k, v in directions.items() if v not in
+               ("higher", "lower")}
+    if unknown:
+        raise ValueError(f"directions must be 'higher' or 'lower': {unknown}")
+    missing = [k for k in directions if k not in metrics]
+    if missing:
+        raise ValueError(f"directions name unknown metrics: {missing}")
+    sha = sha or git_sha()
+    entry = {
+        "benchmark": str(benchmark),
+        "sha": sha,
+        "recorded_unix": time.time(),
+        "metrics": {k: float(v) for k, v in metrics.items()},
+        "directions": dict(directions),
+        "tolerances": {k: float(v) for k, v in (tolerances or {}).items()},
+    }
+    data = load_trajectory(path)
+    data["entries"] = [
+        e for e in data["entries"]
+        if not (e["benchmark"] == entry["benchmark"] and e["sha"] == sha)
+    ] + [entry]
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return entry
+
+
+def _baseline_for(entries: list[dict], latest: dict) -> dict | None:
+    """The most recent earlier entry of the same benchmark from a
+    *different* SHA — the committed number the fresh run is judged
+    against."""
+    for entry in reversed(entries[:entries.index(latest)]):
+        if (entry["benchmark"] == latest["benchmark"]
+                and entry["sha"] != latest["sha"]):
+            return entry
+    return None
+
+
+def check_regression(threshold: float = DEFAULT_TOLERANCE,
+                     path: str = TRAJECTORY_PATH) -> list[str]:
+    """Compare each benchmark's newest entry against its last
+    different-SHA baseline; returns human-readable problem strings
+    (empty = no regression).  Benchmarks without a baseline entry pass
+    (the first recorded SHA *creates* the baseline)."""
+    data = load_trajectory(path)
+    entries = data["entries"]
+    problems: list[str] = []
+    for name in sorted({e["benchmark"] for e in entries}):
+        latest = [e for e in entries if e["benchmark"] == name][-1]
+        baseline = _baseline_for(entries, latest)
+        if baseline is None:
+            continue
+        for metric, direction in latest.get("directions", {}).items():
+            if metric not in baseline["metrics"]:
+                continue
+            old = baseline["metrics"][metric]
+            new = latest["metrics"][metric]
+            tol = latest.get("tolerances", {}).get(metric, threshold)
+            if direction == "higher":
+                regressed = new < old * (1.0 - tol)
+            else:
+                regressed = new > old * (1.0 + tol)
+            if regressed:
+                problems.append(
+                    f"{name}.{metric}: {old:.6g} -> {new:.6g} "
+                    f"({direction} is better, tolerance {tol:.0%}; "
+                    f"baseline sha {baseline['sha'][:12]})")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="inspect or gate the benchmark trajectory file")
+    parser.add_argument("--path", default=TRAJECTORY_PATH)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if any benchmark regressed past its "
+                             "tolerance vs the last committed entry")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_TOLERANCE,
+                        help="default regression band for metrics without "
+                             "a per-metric tolerance")
+    args = parser.parse_args(argv)
+
+    data = load_trajectory(args.path)
+    if not args.check:
+        for entry in data["entries"]:
+            metrics = ", ".join(f"{k}={v:.6g}" for k, v in
+                                sorted(entry["metrics"].items()))
+            print(f"{entry['benchmark']} @ {entry['sha'][:12]}: {metrics}")
+        print(f"{len(data['entries'])} entries")
+        return 0
+    problems = check_regression(threshold=args.threshold, path=args.path)
+    if problems:
+        print("benchmark regression(s) vs committed trajectory:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"trajectory check OK ({len(data['entries'])} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,11 +79,15 @@ from repro.encoding import (
 )
 from repro.geometry import Box3, Point3
 from repro.obs import (
+    Checkpointer,
     DriftMonitor,
     DriftStatus,
     MetricsRegistry,
     Observability,
+    Recalibrator,
+    TimeseriesStore,
     TraceRecorder,
+    build_report,
 )
 from repro.partition import (
     CompositeScheme,
@@ -126,6 +130,7 @@ __all__ = [
     "AdvisorConfig",
     "BlotStore",
     "Box3",
+    "Checkpointer",
     "CompositeScheme",
     "CostModel",
     "Dataset",
@@ -155,6 +160,7 @@ __all__ = [
     "Point3",
     "QuadtreePartitioner",
     "Query",
+    "Recalibrator",
     "ReplicaAdvisor",
     "ReplicaProfile",
     "RoutingPlan",
@@ -164,6 +170,7 @@ __all__ = [
     "SimulatedCluster",
     "TaxiFleetGenerator",
     "TemporalSlicer",
+    "TimeseriesStore",
     "TraceRecorder",
     "Workload",
     "WorkloadResult",
@@ -174,6 +181,7 @@ __all__ = [
     "brute_force_select",
     "build_mip",
     "build_replica",
+    "build_report",
     "calibrate_encoding",
     "calibrate_environment",
     "cost_model_for",

@@ -375,6 +375,96 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Run a seeded workload under full telemetry and render the
+    operational report — optionally persisting history to an on-disk
+    timeseries store (``--timeseries``), deliberately staling the
+    routing model (``--stale-factor``), and letting the closed loop
+    heal it (``--recalibrate``)."""
+    import json
+
+    from repro.obs import Observability, TimeseriesStore, build_report
+    from repro.obs.report import render_report_text
+    from repro.storage import DegradedReadError
+    from repro.workload import positioned_random_workload
+
+    if args.repeat < 1:
+        print("--repeat must be >= 1", file=sys.stderr)
+        return 2
+    if args.dry_run and not args.recalibrate:
+        print("--dry-run requires --recalibrate", file=sys.stderr)
+        return 2
+    obs = Observability.create(drift_threshold=args.drift_threshold)
+    store, err = _build_workload_store(args, observability=obs,
+                                       quiet=args.json)
+    if store is None:
+        return err
+    if args.inject_faults:
+        injector, err = _make_injector(args, store)
+        if injector is None:
+            return err
+        store.set_fault_injector(injector)
+
+    model = store.cost_model
+    if (args.stale_factor != 1.0 or args.recalibrate) and model is None:
+        print("--stale-factor/--recalibrate need a routing cost model; "
+              "use --replicas >= 2", file=sys.stderr)
+        store.close()
+        return 2
+    if args.stale_factor != 1.0:
+        # Deliberately mis-calibrate the live model in place (the
+        # drift-detection / self-healing demonstration).
+        from repro.costmodel import EncodingCostParams
+
+        if args.stale_factor <= 0:
+            print("--stale-factor must be positive", file=sys.stderr)
+            store.close()
+            return 2
+        for enc in model.encoding_names:
+            p = model.params_for(enc)
+            model.update_params(enc, EncodingCostParams(
+                scan_rate=p.scan_rate * args.stale_factor,
+                extra_time=p.extra_time))
+
+    ts = None
+    if args.timeseries:
+        ts = TimeseriesStore(args.timeseries, retention=args.retention,
+                             rollup_every=args.rollup_every)
+        obs.attach_checkpointer(ts, interval_seconds=5.0)
+        obs.maybe_checkpoint(force=True)  # the "before" point of trends
+    rec = None
+    if args.recalibrate:
+        # The CLI routes on simulated-cluster constants but measures
+        # local in-process scans, so the honest correction can be
+        # orders of magnitude: no step clamp here.
+        rec = obs.attach_recalibrator(
+            model, min_samples=args.min_samples, max_step_factor=None,
+            dry_run=args.dry_run, timeseries=ts)
+
+    rng = np.random.default_rng(args.seed)
+    workload = positioned_random_workload(
+        store.dataset.bounding_box(), args.queries, rng,
+        max_fraction=args.max_frac)
+    opts = _exec_options(args, trace=True)
+    try:
+        for _ in range(args.repeat):
+            store.execute_workload(workload, options=opts)
+    except DegradedReadError as exc:
+        print(f"degraded beyond recovery: {exc}", file=sys.stderr)
+        store.close()
+        return 1
+    store.close()
+    if ts is not None:
+        obs.maybe_checkpoint(force=True)  # the "after" point
+
+    report = build_report(obs, timeseries=ts, recalibrator=rec)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report_text(report))
+    return 0
+
+
 def _cmd_drill(args: argparse.Namespace) -> int:
     """Failure drill: run a workload healthy, impose a failure schedule,
     run it again, and report the degradation (failovers, retries,
@@ -751,6 +841,45 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.add_argument("--prom", action="store_true",
                      help="emit the metrics in Prometheus text format")
     p.set_defaults(handler=_cmd_stats)
+
+    p = sub.add_parser(
+        "report",
+        help="run a seeded workload and render the operational report "
+             "(cache, degradation, drift, recalibration audit, trends)",
+        parents=[data, seed, workload_shape, faults],
+    )
+    p.add_argument("--repeat", type=int, default=2,
+                   help="workload passes to accumulate telemetry over")
+    p.add_argument("--inject-faults", action="store_true",
+                   help="apply the fault schedule before the passes")
+    p.add_argument("--drift-threshold", type=float, default=0.5,
+                   help="mean relative error above which a replica's "
+                        "cost model is flagged as drifting")
+    p.add_argument("--stale-factor", type=float, default=1.0,
+                   help="scale every ScanRate by this factor before "
+                        "serving (deliberate mis-calibration; 4 = the "
+                        "paper's drift scenario)")
+    p.add_argument("--recalibrate", action="store_true",
+                   help="attach the auto-recalibrator: flagged replicas "
+                        "re-fit Section V-B from measured scan spans and "
+                        "hot-swap the routing constants")
+    p.add_argument("--dry-run", action="store_true",
+                   help="with --recalibrate, audit proposed updates "
+                        "without applying them")
+    p.add_argument("--min-samples", type=int, default=8,
+                   help="scan measurements required before an update")
+    p.add_argument("--timeseries", default=None, metavar="PATH",
+                   help="persist snapshots + calibration audit to this "
+                        "JSONL history file (survives restarts)")
+    p.add_argument("--retention", type=int, default=512,
+                   help="max history entries kept before rollup "
+                        "compaction")
+    p.add_argument("--rollup-every", type=int, default=8,
+                   help="raw entries folded into one rollup when "
+                        "compacting")
+    p.add_argument("--json", action="store_true",
+                   help="emit the schema-versioned report as JSON")
+    p.set_defaults(handler=_cmd_report)
 
     p = sub.add_parser(
         "drill",

@@ -16,6 +16,7 @@ estimator is included for validating the analytic formula.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -350,19 +351,49 @@ class CostModel:
         if not encoding_params:
             raise ValueError("need parameters for at least one encoding scheme")
         self._params = dict(encoding_params)
+        self._params_lock = threading.Lock()
 
     @property
     def encoding_names(self) -> list[str]:
-        return sorted(self._params)
+        with self._params_lock:
+            return sorted(self._params)
 
     def params_for(self, encoding_name: str) -> EncodingCostParams:
-        try:
-            return self._params[encoding_name]
-        except KeyError:
-            raise KeyError(
-                f"no cost parameters calibrated for encoding {encoding_name!r}; "
-                f"have {sorted(self._params)}"
-            ) from None
+        with self._params_lock:
+            try:
+                return self._params[encoding_name]
+            except KeyError:
+                raise KeyError(
+                    f"no cost parameters calibrated for encoding "
+                    f"{encoding_name!r}; have {sorted(self._params)}"
+                ) from None
+
+    def update_params(self, encoding_name: str,
+                      params: EncodingCostParams) -> EncodingCostParams:
+        """Hot-swap one encoding's calibrated constants; returns the
+        previous value.
+
+        The recalibration loop (Section V-B re-fit, see
+        :mod:`repro.obs.recalibrate`) replaces ``ScanRate`` *and*
+        ``ExtraTime`` together: :class:`EncodingCostParams` is a frozen
+        pair swapped in one assignment under the model's lock, so a
+        concurrent :meth:`query_cost` sees either the old calibration or
+        the new one, never a mix.  Unknown encodings raise ``KeyError``
+        rather than growing the model — recalibration corrects existing
+        constants, it does not invent coverage.
+        """
+        if not isinstance(params, EncodingCostParams):
+            raise TypeError(
+                f"params must be EncodingCostParams, got {type(params).__name__}")
+        with self._params_lock:
+            if encoding_name not in self._params:
+                raise KeyError(
+                    f"no cost parameters calibrated for encoding "
+                    f"{encoding_name!r}; have {sorted(self._params)}"
+                )
+            old = self._params[encoding_name]
+            self._params[encoding_name] = params
+            return old
 
     def scaled_rates(self, factor: float) -> "CostModel":
         """A model with every encoding's ``scan_rate`` scaled by
@@ -372,10 +403,12 @@ class CostModel:
         one calibrated against)."""
         if factor <= 0:
             raise ValueError("factor must be positive")
+        with self._params_lock:
+            params = dict(self._params)
         return CostModel({
             name: EncodingCostParams(scan_rate=p.scan_rate * factor,
                                      extra_time=p.extra_time)
-            for name, p in self._params.items()
+            for name, p in params.items()
         })
 
     def query_cost(self, query: AnyQuery, profile: ReplicaProfile) -> float:

@@ -13,17 +13,31 @@ loop:
   ``failover`` / ``repair``) with parent/child structure, retained in a
   ring buffer and dumpable as JSON lines;
 - :class:`DriftMonitor` — rolling (predicted Eq. 7, measured seconds)
-  comparison per replica that flags when recalibration is due.
+  comparison per replica that flags when recalibration is due;
+- :class:`TimeseriesStore` / :class:`Checkpointer` — append-only
+  on-disk JSONL history of registry + drift snapshots, so telemetry
+  survives restarts (see :mod:`repro.obs.timeseries`);
+- :class:`Recalibrator` — acts on a drift flag: harvests measured scan
+  spans, re-runs the Section V-B regression, and hot-swaps the
+  replica's ``ScanRate``/``ExtraTime`` behind guards, with a full
+  audit trail (see :mod:`repro.obs.recalibrate`);
+- :func:`build_report` / :func:`render_report_text` /
+  :func:`validate_report` — the ``repro report`` operational summary
+  (see :mod:`repro.obs.report`).
 
-:class:`Observability` bundles the three; pass one to
+:class:`Observability` bundles them; pass one to
 :class:`~repro.storage.BlotStore` (or ``open_store``) and enable span
 collection per call with ``ExecOptions(trace=True)``.  With no bundle
 attached, the engine holds the no-op :data:`NULL_RECORDER` and skips
 every publication — the disabled path stays on the PR 1 benchmark
 budget.
 
-This package deliberately imports nothing from the rest of ``repro``:
-any layer (storage, solvers, CLI) can depend on it without cycles.
+Dependency discipline: the metrics/trace/drift/timeseries core imports
+nothing from the rest of ``repro``, so any layer can depend on it
+without cycles.  The one exception is :mod:`repro.obs.recalibrate`,
+which closes the loop *into* :mod:`repro.costmodel` — safe because
+``costmodel`` never imports ``obs`` (or ``storage``), keeping the
+graph acyclic.
 """
 
 from __future__ import annotations
@@ -38,6 +52,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.recalibrate import CalibrationUpdate, Recalibrator
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    build_report,
+    render_report_text,
+    validate_report,
+)
+from repro.obs.timeseries import Checkpointer, TimeseriesStore
 from repro.obs.trace import (
     NULL_RECORDER,
     NullTraceRecorder,
@@ -57,6 +79,11 @@ class Observability:
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     tracer: TraceRecorder = field(default_factory=TraceRecorder)
     drift: DriftMonitor = field(default_factory=DriftMonitor)
+    #: Optional closed-loop pieces, attached after construction (the
+    #: recalibrator needs the engine's :class:`CostModel`, which does
+    #: not exist yet when the bundle is built).
+    recalibrator: Recalibrator | None = None
+    checkpointer: Checkpointer | None = None
 
     @classmethod
     def create(
@@ -74,6 +101,40 @@ class Observability:
                                min_samples=drift_min_samples),
         )
 
+    def attach_recalibrator(self, cost_model, **guards) -> Recalibrator:
+        """Build and attach a :class:`Recalibrator` wired to this
+        bundle's drift monitor, tracer and registry.  ``guards`` are
+        forwarded (``min_samples``, ``max_step_factor``, ``dry_run``,
+        ``timeseries``)."""
+        self.recalibrator = Recalibrator(
+            cost_model, self.drift, self.tracer,
+            metrics=self.metrics, **guards)
+        return self.recalibrator
+
+    def attach_checkpointer(self, store: TimeseriesStore,
+                            interval_seconds: float = 60.0,
+                            **kwargs) -> Checkpointer:
+        """Build and attach a :class:`Checkpointer` persisting this
+        bundle's snapshots into ``store``."""
+        self.checkpointer = Checkpointer(
+            self, store, interval_seconds=interval_seconds, **kwargs)
+        return self.checkpointer
+
+    def maybe_recalibrate(self, replica_name: str,
+                          encoding_name: str) -> "CalibrationUpdate | None":
+        """Engine hook: give the recalibrator (when attached) a chance
+        to act on ``replica_name``'s drift flag.  No-op without one."""
+        if self.recalibrator is None:
+            return None
+        return self.recalibrator.maybe_recalibrate(replica_name,
+                                                   encoding_name)
+
+    def maybe_checkpoint(self, force: bool = False) -> int | None:
+        """Engine hook: persist a snapshot if the schedule says so."""
+        if self.checkpointer is None:
+            return None
+        return self.checkpointer.maybe_checkpoint(force=force)
+
     def snapshot(self) -> dict:
         """The full telemetry picture as JSON-safe data."""
         return {
@@ -89,6 +150,8 @@ class Observability:
 
 
 __all__ = [
+    "CalibrationUpdate",
+    "Checkpointer",
     "Counter",
     "DEFAULT_SECONDS_BUCKETS",
     "DriftMonitor",
@@ -99,7 +162,13 @@ __all__ = [
     "NULL_RECORDER",
     "NullTraceRecorder",
     "Observability",
+    "REPORT_SCHEMA_VERSION",
+    "Recalibrator",
     "Span",
+    "TimeseriesStore",
     "TraceRecorder",
+    "build_report",
     "relative_error",
+    "render_report_text",
+    "validate_report",
 ]

@@ -145,6 +145,17 @@ class DriftMonitor:
         with self._lock:
             self._pairs.clear()
 
+    def clear_replica(self, replica_name: str) -> None:
+        """Drop one replica's window — the hysteresis half of the
+        recalibration loop.  The stale-model samples that raised the
+        flag predate the correction; keeping them would leave the
+        replica flagged until ``window`` fresh pairs dilute them, so the
+        :class:`~repro.obs.recalibrate.Recalibrator` clears the window
+        on every applied update and the flag drops immediately (a
+        zero-sample status is never flagged)."""
+        with self._lock:
+            self._pairs.pop(replica_name, None)
+
     def snapshot(self) -> list[dict]:
         """JSON-safe per-replica statuses."""
         return [

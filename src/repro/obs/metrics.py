@@ -36,6 +36,42 @@ DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
 #: ``(key, value)`` pairs, hashable and order-independent.
 LabelSet = tuple[tuple[str, str], ...]
 
+#: ``# HELP`` text for the metric names the engine publishes.  Unknown
+#: names fall back to a generic line (the exposition format requires
+#: HELP to parse cleanly, not to be insightful).
+METRIC_HELP: dict[str, str] = {
+    "repro_queries_total": "Queries served, by execution path.",
+    "repro_queries_by_replica_total": "Queries served, by serving replica.",
+    "repro_workloads_total": "Batch workload executions.",
+    "repro_bytes_read_total": "Encoded bytes fetched from unit stores.",
+    "repro_records_scanned_total": "Records decoded and scanned.",
+    "repro_partitions_involved_total": "Partitions intersecting queries.",
+    "repro_query_seconds": "Wall-clock seconds per single query.",
+    "repro_workload_seconds": "Wall-clock seconds per workload run.",
+    "repro_retries_total": "Partition reads retried after a fault.",
+    "repro_failovers_total": "Queries moved to a fallback replica.",
+    "repro_repairs_total": "Partitions rebuilt from sibling replicas.",
+    "repro_cache_hits_total": "Decoded-partition cache hits.",
+    "repro_cache_misses_total": "Decoded-partition cache misses.",
+    "repro_cache_evictions_total": "Decoded-partition cache evictions.",
+    "repro_cache_inserts_total": "Decoded-partition cache inserts.",
+    "repro_cache_invalidations_total": "Decoded-partition cache invalidations.",
+    "repro_cache_resident_bytes": "Decoded bytes resident in the cache.",
+    "repro_fault_reads_checked_total": "Unit reads checked by the injector.",
+    "repro_faults_injected_total": "Faults injected into unit reads.",
+    "repro_fault_reads_slowed_total": "Unit reads slowed by the injector.",
+    "repro_recalib_applied_total":
+        "Cost-model recalibrations applied to the routing model.",
+    "repro_recalib_rejected_total":
+        "Cost-model recalibrations rejected by the guard.",
+    "repro_solver_runs_total": "Replica-selection solver invocations.",
+    "repro_solver_replicas_selected_total": "Replicas chosen by solvers.",
+    "repro_solver_nodes_explored_total": "Branch-and-bound nodes explored.",
+    "repro_verify_checks_total": "Differential verification checks run.",
+    "repro_verify_mismatches_total": "Differential verification mismatches.",
+    "repro_verify_ok": "1 when the last store verification passed.",
+}
+
 
 def _labelset(labels: dict[str, str] | None) -> LabelSet:
     if not labels:
@@ -43,10 +79,19 @@ def _labelset(labels: dict[str, str] | None) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote and newline (in that order — escaping the
+    escapes first keeps the mapping bijective)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
 def _render_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + body + "}"
 
 
@@ -145,16 +190,26 @@ class Histogram:
         with self._lock:
             return self._sum
 
-    def cumulative_counts(self) -> list[tuple[float, int]]:
-        """``(upper_bound, cumulative_count)`` per bucket, +Inf last."""
+    def state(self) -> tuple[list[tuple[float, int]], float, int]:
+        """``(cumulative_buckets, sum, count)`` captured under one lock
+        acquisition, so the +Inf bucket always equals ``count`` and
+        ``sum`` belongs to the same set of observations — the
+        ``_sum``/``_count`` consistency the exposition format promises
+        scrapers."""
         with self._lock:
             counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
         out: list[tuple[float, int]] = []
         running = 0
         for bound, n in zip(self.buckets + (float("inf"),), counts):
             running += n
             out.append((bound, running))
-        return out
+        return out, total_sum, total_count
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` per bucket, +Inf last."""
+        return self.state()[0]
 
 
 class MetricsRegistry:
@@ -239,40 +294,50 @@ class MetricsRegistry:
                     {"name": metric.name, "labels": labels,
                      "value": metric.value})
             elif isinstance(metric, Histogram):
+                buckets, total_sum, total_count = metric.state()
                 out["histograms"].append({
                     "name": metric.name, "labels": labels,
-                    "count": metric.count, "sum": metric.sum,
+                    "count": total_count, "sum": total_sum,
                     "buckets": [
                         {"le": bound, "count": n}
-                        for bound, n in metric.cumulative_counts()
+                        for bound, n in buckets
                     ],
                 })
         return out
 
+    @staticmethod
+    def _header(lines: list[str], seen: set[str], name: str,
+                kind: str) -> None:
+        if name in seen:
+            return
+        seen.add(name)
+        help_text = METRIC_HELP.get(name, f"repro metric {name}.")
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
     def render_prometheus(self) -> str:
-        """The standard Prometheus text exposition format."""
+        """The standard Prometheus text exposition format: ``# HELP`` +
+        ``# TYPE`` per metric name, escaped label values, cumulative
+        histogram buckets ending in ``+Inf`` (always equal to
+        ``_count``, captured in the same lock acquisition as
+        ``_sum``)."""
         lines: list[str] = []
-        seen_types: set[str] = set()
+        seen: set[str] = set()
         for metric in self._sorted_metrics():
             if isinstance(metric, Counter):
-                if metric.name not in seen_types:
-                    lines.append(f"# TYPE {metric.name} counter")
-                    seen_types.add(metric.name)
+                self._header(lines, seen, metric.name, "counter")
                 lines.append(
                     f"{metric.name}{_render_labels(metric.labels)} "
                     f"{_fmt(metric.value)}")
             elif isinstance(metric, Gauge):
-                if metric.name not in seen_types:
-                    lines.append(f"# TYPE {metric.name} gauge")
-                    seen_types.add(metric.name)
+                self._header(lines, seen, metric.name, "gauge")
                 lines.append(
                     f"{metric.name}{_render_labels(metric.labels)} "
                     f"{_fmt(metric.value)}")
             elif isinstance(metric, Histogram):
-                if metric.name not in seen_types:
-                    lines.append(f"# TYPE {metric.name} histogram")
-                    seen_types.add(metric.name)
-                for bound, n in metric.cumulative_counts():
+                self._header(lines, seen, metric.name, "histogram")
+                buckets, total_sum, total_count = metric.state()
+                for bound, n in buckets:
                     le = "+Inf" if bound == float("inf") else _fmt(bound)
                     bucket_labels = metric.labels + (("le", le),)
                     lines.append(
@@ -280,10 +345,10 @@ class MetricsRegistry:
                         f" {n}")
                 lines.append(
                     f"{metric.name}_sum{_render_labels(metric.labels)} "
-                    f"{_fmt(metric.sum)}")
+                    f"{_fmt(total_sum)}")
                 lines.append(
                     f"{metric.name}_count{_render_labels(metric.labels)} "
-                    f"{metric.count}")
+                    f"{total_count}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,0 +1,298 @@
+"""The operational report: one JSON/text picture of engine health.
+
+``repro report`` (and any embedding application) renders the closed
+telemetry loop in one document:
+
+- **queries / cache / degradation** — live counter roll-ups from the
+  :class:`~repro.obs.MetricsRegistry` (what the engine actually did);
+- **drift** — per-replica predicted-vs-measured status from the
+  :class:`~repro.obs.DriftMonitor` (is Section V-B recalibration due);
+- **recalibration** — the :class:`~repro.obs.recalibrate.Recalibrator`
+  audit trail, read from the on-disk
+  :class:`~repro.obs.timeseries.TimeseriesStore` when one is attached
+  (so the trail survives restarts) and from the live audit log
+  otherwise;
+- **trends** — first/last/delta per counter across the persisted
+  snapshot history, the "what changed since yesterday" view the live
+  registry cannot answer.
+
+:func:`validate_report` is the schema gate CI runs against
+``repro report --json``; it is hand-rolled (the toolchain carries no
+jsonschema dependency) and intentionally strict about section presence
+and types, loose about additive extension.
+"""
+
+from __future__ import annotations
+
+__all__ = ["REPORT_SCHEMA_VERSION", "build_report", "render_report_text",
+           "validate_report"]
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def _counter_total(metrics_snapshot: dict, name: str) -> float:
+    """Sum one counter across all its label sets."""
+    return sum(c["value"] for c in metrics_snapshot["counters"]
+               if c["name"] == name)
+
+
+def _counter_by_label(metrics_snapshot: dict, name: str,
+                      label: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for c in metrics_snapshot["counters"]:
+        if c["name"] != name:
+            continue
+        key = c["labels"].get(label, "")
+        out[key] = out.get(key, 0.0) + c["value"]
+    return out
+
+
+def _trends(snapshots: list[dict]) -> dict:
+    """Per-counter first/last/delta across persisted snapshot entries.
+
+    Counters are summed across label sets per snapshot, so a trend line
+    answers "how much of X happened over the retained history" without
+    exploding into label combinations.
+    """
+    if len(snapshots) < 2:
+        return {"snapshots": len(snapshots), "counters": {}}
+    first, last = snapshots[0], snapshots[-1]
+    names = sorted(
+        {c["name"] for snap in (first, last)
+         for c in snap["data"]["metrics"]["counters"]})
+    counters = {}
+    for name in names:
+        a = _counter_total(first["data"]["metrics"], name)
+        b = _counter_total(last["data"]["metrics"], name)
+        counters[name] = {"first": a, "last": b, "delta": b - a}
+    return {
+        "snapshots": len(snapshots),
+        "first_seq": first["seq"],
+        "last_seq": last["seq"],
+        "counters": counters,
+    }
+
+
+def build_report(obs, timeseries=None, recalibrator=None) -> dict:
+    """Assemble the operational report from whatever is attached.
+
+    ``obs`` is an :class:`~repro.obs.Observability` bundle; the
+    timeseries store and recalibrator are optional — absent layers
+    produce empty-but-present sections, so the schema is stable.
+    """
+    metrics = obs.metrics.snapshot()
+
+    hits = _counter_total(metrics, "repro_cache_hits_total")
+    misses = _counter_total(metrics, "repro_cache_misses_total")
+    lookups = hits + misses
+
+    drift_snapshot = obs.drift.snapshot()
+
+    if timeseries is not None:
+        audit = [dict(e["data"], seq=e["seq"])
+                 for e in timeseries.entries("calibration")]
+        snapshots = timeseries.entries("snapshot")
+        history = {
+            "attached": True,
+            "path": timeseries.path,
+            "entries": len(timeseries),
+            "last_seq": timeseries.last_seq,
+        }
+    else:
+        audit = recalibrator.audit_dicts() if recalibrator is not None else []
+        snapshots = []
+        history = {"attached": False, "path": None, "entries": 0,
+                   "last_seq": 0}
+
+    return {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "queries": {
+            "workloads": _counter_total(metrics, "repro_workloads_total"),
+            "by_path": _counter_by_label(metrics, "repro_queries_total",
+                                         "path"),
+            "by_replica": _counter_by_label(
+                metrics, "repro_queries_by_replica_total", "replica"),
+            "bytes_read": _counter_total(metrics, "repro_bytes_read_total"),
+            "records_scanned": _counter_total(
+                metrics, "repro_records_scanned_total"),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else None,
+            "evictions": _counter_total(metrics,
+                                        "repro_cache_evictions_total"),
+            "invalidations": _counter_total(
+                metrics, "repro_cache_invalidations_total"),
+        },
+        "degradation": {
+            "retries": _counter_total(metrics, "repro_retries_total"),
+            "failovers": _counter_total(metrics, "repro_failovers_total"),
+            "repairs": _counter_total(metrics, "repro_repairs_total"),
+            "faults_injected": _counter_total(
+                metrics, "repro_faults_injected_total"),
+        },
+        "drift": {
+            "replicas": drift_snapshot,
+            "flagged": [d["replica"] for d in drift_snapshot if d["flagged"]],
+        },
+        "recalibration": {
+            "applied": _counter_total(metrics,
+                                      "repro_recalib_applied_total"),
+            "rejected": _counter_total(metrics,
+                                       "repro_recalib_rejected_total"),
+            "audit": audit,
+        },
+        "trends": _trends(snapshots),
+        "history": history,
+    }
+
+
+def render_report_text(report: dict) -> str:
+    """The human-readable rendering of :func:`build_report`'s output."""
+    lines: list[str] = []
+    q = report["queries"]
+    lines.append("operational report")
+    lines.append(f"  queries: {sum(q['by_path'].values()):.0f} "
+                 f"(workloads: {q['workloads']:.0f})")
+    for path, n in sorted(q["by_path"].items()):
+        lines.append(f"    path {path or '-'}: {n:.0f}")
+    for replica, n in sorted(q["by_replica"].items()):
+        lines.append(f"    replica {replica}: {n:.0f}")
+    lines.append(f"  bytes read: {q['bytes_read']:,.0f}   "
+                 f"records scanned: {q['records_scanned']:,.0f}")
+
+    c = report["cache"]
+    rate = "n/a" if c["hit_rate"] is None else f"{c['hit_rate']:.1%}"
+    lines.append(f"  cache: {c['hits']:.0f} hits / {c['misses']:.0f} misses "
+                 f"(hit rate {rate}, evictions {c['evictions']:.0f})")
+
+    d = report["degradation"]
+    lines.append(f"  degradation: retries {d['retries']:.0f}, "
+                 f"failovers {d['failovers']:.0f}, "
+                 f"repairs {d['repairs']:.0f}, "
+                 f"faults injected {d['faults_injected']:.0f}")
+
+    drift = report["drift"]
+    if drift["replicas"]:
+        for s in drift["replicas"]:
+            flag = " FLAGGED" if s["flagged"] else ""
+            scale = s["scale_factor"]
+            scale_txt = "inf" if scale is None else f"{scale:.3g}"
+            lines.append(
+                f"  drift[{s['replica']}]: n={s['samples']} "
+                f"err={s['mean_relative_error']:.3f} "
+                f"scale={scale_txt}{flag}")
+    else:
+        lines.append("  drift: no samples")
+
+    r = report["recalibration"]
+    lines.append(f"  recalibration: {r['applied']:.0f} applied, "
+                 f"{r['rejected']:.0f} rejected")
+    for entry in r["audit"]:
+        if entry["action"] == "rejected":
+            lines.append(
+                f"    [{entry['action']}] {entry['replica']}"
+                f"/{entry['encoding']}: {entry['reason']}")
+        else:
+            clamp = " (clamped)" if entry["clamped"] else ""
+            lines.append(
+                f"    [{entry['action']}] {entry['replica']}"
+                f"/{entry['encoding']} ({entry['mode']}): "
+                f"ScanRate {entry['old_scan_rate']:.4g} -> "
+                f"{entry['new_scan_rate']:.4g}, "
+                f"ExtraTime {entry['old_extra_time']:.4g} -> "
+                f"{entry['new_extra_time']:.4g}, "
+                f"n={entry['n_samples']}{clamp}")
+
+    t = report["trends"]
+    if t["counters"]:
+        lines.append(f"  trends over {t['snapshots']} snapshots "
+                     f"(seq {t['first_seq']}..{t['last_seq']}):")
+        for name, tr in sorted(t["counters"].items()):
+            if tr["delta"]:
+                lines.append(f"    {name}: {tr['first']:.0f} -> "
+                             f"{tr['last']:.0f} (+{tr['delta']:.0f})")
+    h = report["history"]
+    if h["attached"]:
+        lines.append(f"  history: {h['entries']} entries "
+                     f"(seq <= {h['last_seq']}) at {h['path']}")
+    else:
+        lines.append("  history: no timeseries store attached")
+    return "\n".join(lines)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid report: {message}")
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless ``report`` matches the operational
+    report schema (version, section presence, field types).  Additive
+    extra keys are allowed; missing or mistyped required ones are not.
+    """
+    _require(isinstance(report, dict), "not a mapping")
+    _require(report.get("schema_version") == REPORT_SCHEMA_VERSION,
+             f"schema_version != {REPORT_SCHEMA_VERSION}")
+    for section in ("queries", "cache", "degradation", "drift",
+                    "recalibration", "trends", "history"):
+        _require(isinstance(report.get(section), dict),
+                 f"missing section {section!r}")
+
+    q = report["queries"]
+    for field in ("workloads", "bytes_read", "records_scanned"):
+        _require(isinstance(q.get(field), (int, float)),
+                 f"queries.{field} must be numeric")
+    _require(isinstance(q.get("by_path"), dict), "queries.by_path")
+    _require(isinstance(q.get("by_replica"), dict), "queries.by_replica")
+
+    c = report["cache"]
+    for field in ("hits", "misses", "evictions", "invalidations"):
+        _require(isinstance(c.get(field), (int, float)),
+                 f"cache.{field} must be numeric")
+    _require(c.get("hit_rate") is None
+             or isinstance(c["hit_rate"], (int, float)), "cache.hit_rate")
+
+    d = report["degradation"]
+    for field in ("retries", "failovers", "repairs", "faults_injected"):
+        _require(isinstance(d.get(field), (int, float)),
+                 f"degradation.{field} must be numeric")
+
+    drift = report["drift"]
+    _require(isinstance(drift.get("replicas"), list), "drift.replicas")
+    _require(isinstance(drift.get("flagged"), list), "drift.flagged")
+    for s in drift["replicas"]:
+        for field in ("replica", "samples", "mean_relative_error",
+                      "flagged"):
+            _require(field in s, f"drift entry missing {field!r}")
+
+    r = report["recalibration"]
+    for field in ("applied", "rejected"):
+        _require(isinstance(r.get(field), (int, float)),
+                 f"recalibration.{field} must be numeric")
+    _require(isinstance(r.get("audit"), list), "recalibration.audit")
+    for entry in r["audit"]:
+        _require(entry.get("action") in ("applied", "rejected", "dry-run"),
+                 f"audit action {entry.get('action')!r}")
+        for field in ("replica", "encoding", "old_scan_rate",
+                      "old_extra_time", "n_samples"):
+            _require(field in entry, f"audit entry missing {field!r}")
+        if entry["action"] != "rejected":
+            _require(isinstance(entry.get("new_scan_rate"), (int, float)),
+                     "applied/dry-run audit entry needs new_scan_rate")
+            _require(isinstance(entry.get("new_extra_time"), (int, float)),
+                     "applied/dry-run audit entry needs new_extra_time")
+
+    t = report["trends"]
+    _require(isinstance(t.get("snapshots"), int), "trends.snapshots")
+    _require(isinstance(t.get("counters"), dict), "trends.counters")
+    for name, tr in t["counters"].items():
+        for field in ("first", "last", "delta"):
+            _require(isinstance(tr.get(field), (int, float)),
+                     f"trends.counters[{name!r}].{field}")
+
+    h = report["history"]
+    _require(isinstance(h.get("attached"), bool), "history.attached")
+    _require(isinstance(h.get("entries"), int), "history.entries")
+    _require(isinstance(h.get("last_seq"), int), "history.last_seq")

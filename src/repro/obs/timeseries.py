@@ -1,0 +1,244 @@
+"""Persistent metric history: an append-only JSONL snapshot store.
+
+The live :class:`~repro.obs.MetricsRegistry` dies with the process; the
+serving loop the paper describes (predict → route → scan → calibrate)
+runs for weeks.  :class:`TimeseriesStore` is the durable half of the
+telemetry subsystem: every checkpoint is one JSON line with a
+monotonically increasing sequence number, so history survives restarts
+and ``repro report`` can show deltas across process lifetimes.
+
+Design constraints:
+
+- **Append-only**: one ``write + flush`` per entry; a crash can lose at
+  most the entry being written, never corrupt history (a torn final
+  line is detected and ignored on reopen).
+- **Monotonic sequence numbers**: recovered from the last intact line
+  on reopen, so numbering continues across restarts — the restart
+  itself is visible as a seq gap-free stream with a new process start
+  entry.
+- **Bounded size**: when the file exceeds ``retention`` entries, the
+  oldest are compacted into *rollup* entries (one per ``rollup_every``
+  raw entries, keeping first/last/count), written atomically via a
+  temp file + ``os.replace``.  Earlier rollups fold into later ones on
+  subsequent compactions, so the file length stays O(``retention``).
+  Raw recent history stays exact; ancient history degrades to
+  summaries, the standard monitoring-system downsampling model.
+
+:class:`Checkpointer` drives the schedule: it snapshots a bundle's
+registry and drift monitor into the store on a deterministic clock
+(injectable, like :class:`~repro.obs.TraceRecorder`'s), so tests can
+force checkpoints without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+__all__ = ["TimeseriesStore", "Checkpointer"]
+
+
+class TimeseriesStore:
+    """Append-only on-disk history of telemetry entries.
+
+    Each entry is one JSON line ``{"seq", "t", "kind", "data"}``.
+    ``kind`` namespaces the stream — ``"snapshot"`` for registry/drift
+    checkpoints, ``"calibration"`` for recalibration audit records,
+    ``"rollup"`` for downsampled summaries — and readers filter on it.
+
+    ``retention`` bounds the number of lines kept on disk; when an
+    append pushes past it, the oldest non-rollup entries are folded
+    into rollups of ``rollup_every`` entries each.  ``retention=None``
+    disables compaction (tests, short-lived runs).
+    """
+
+    def __init__(self, path: str, retention: int | None = 512,
+                 rollup_every: int = 8):
+        if retention is not None and retention < 4:
+            raise ValueError("retention must be >= 4 (or None to disable)")
+        if rollup_every < 2:
+            raise ValueError("rollup_every must be >= 2")
+        self.path = str(path)
+        self.retention = retention
+        self.rollup_every = int(rollup_every)
+        self._lock = threading.Lock()
+        self._seq, self._count = self._recover()
+
+    # -- recovery ------------------------------------------------------------
+
+    def _recover(self) -> tuple[int, int]:
+        """Scan the existing file (if any) for the last intact line's
+        sequence number and the total intact line count.  A file that
+        ends mid-line (crash during a write) is sealed with a newline so
+        the next append starts a fresh line instead of concatenating
+        onto the torn fragment."""
+        last_seq, count = 0, 0
+        try:
+            with open(self.path, "rb") as f:
+                f.seek(0, os.SEEK_END)
+                if f.tell() > 0:
+                    f.seek(-1, os.SEEK_END)
+                    if f.read(1) != b"\n":
+                        with open(self.path, "a", encoding="utf-8") as out:
+                            out.write("\n")
+        except FileNotFoundError:
+            pass
+        try:
+            with open(self.path, "r", encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                        last_seq = max(last_seq, int(entry["seq"]))
+                        count += 1
+                    except (ValueError, KeyError, TypeError):
+                        continue  # torn/corrupt line: skip, keep history
+        except FileNotFoundError:
+            pass
+        return last_seq, count
+
+    # -- writing -------------------------------------------------------------
+
+    def append(self, kind: str, data: dict, t: float | None = None) -> int:
+        """Append one entry; returns its sequence number."""
+        if t is None:
+            t = time.time()
+        with self._lock:
+            self._seq += 1
+            entry = {"seq": self._seq, "t": float(t), "kind": str(kind),
+                     "data": data}
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as f:
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
+                f.flush()
+            self._count += 1
+            if self.retention is not None and self._count > self.retention:
+                self._compact_locked()
+            return entry["seq"]
+
+    def _compact_locked(self) -> None:
+        """Fold the oldest raw entries into rollup summaries until the
+        file is back under ``retention`` lines.  Caller holds the lock."""
+        entries = self._read_all()
+        keep_raw = max(self.retention // 2, 1) if self.retention else 1
+        old, recent = entries[:-keep_raw], entries[-keep_raw:]
+        # Existing rollups fold in like raw entries (a rollup of
+        # rollups) — carrying them through untouched would let them
+        # accumulate one per compaction, unbounded.
+        rollups = [self._rollup(old[i:i + self.rollup_every])
+                   for i in range(0, len(old), self.rollup_every)]
+        merged = rollups + recent
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as f:
+            for entry in merged:
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
+            f.flush()
+        os.replace(tmp, self.path)
+        self._count = len(merged)
+
+    @staticmethod
+    def _rollup(batch: list[dict]) -> dict:
+        """Summarize a batch of raw entries: span, count, kinds, and the
+        first/last payloads (enough to compute deltas over the span)."""
+        kinds = sorted({e["kind"] for e in batch})
+        return {
+            "seq": batch[-1]["seq"],
+            "t": batch[-1]["t"],
+            "kind": "rollup",
+            "data": {
+                "first_seq": batch[0]["seq"],
+                "last_seq": batch[-1]["seq"],
+                "first_t": batch[0]["t"],
+                "last_t": batch[-1]["t"],
+                "count": len(batch),
+                "kinds": kinds,
+                "first": batch[0]["data"],
+                "last": batch[-1]["data"],
+            },
+        }
+
+    # -- reading -------------------------------------------------------------
+
+    def _read_all(self) -> list[dict]:
+        entries: list[dict] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue
+                    if not isinstance(entry, dict) or "seq" not in entry:
+                        continue
+                    entries.append(entry)
+        except FileNotFoundError:
+            pass
+        entries.sort(key=lambda e: e["seq"])
+        return entries
+
+    def entries(self, kind: str | None = None) -> list[dict]:
+        """All intact entries in sequence order, optionally filtered by
+        ``kind`` (rollup entries only match ``kind="rollup"``)."""
+        with self._lock:
+            all_entries = self._read_all()
+        if kind is None:
+            return all_entries
+        return [e for e in all_entries if e["kind"] == kind]
+
+    @property
+    def last_seq(self) -> int:
+        with self._lock:
+            return self._seq
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
+
+class Checkpointer:
+    """Periodically persists an :class:`~repro.obs.Observability`
+    bundle's registry + drift snapshots into a :class:`TimeseriesStore`.
+
+    The schedule is driven by an injectable monotonic ``clock`` (default
+    :func:`time.monotonic`), mirroring :class:`~repro.obs.TraceRecorder`:
+    deterministic tests pass a manual clock and never sleep.  Call
+    :meth:`maybe_checkpoint` from any convenient point in the serving
+    loop (the engine calls it after each workload); it writes a
+    ``"snapshot"`` entry when ``interval_seconds`` have elapsed since
+    the last one, or always with ``force=True``.
+    """
+
+    def __init__(self, obs, store: TimeseriesStore,
+                 interval_seconds: float = 60.0, clock=time.monotonic):
+        if interval_seconds < 0:
+            raise ValueError("interval_seconds must be >= 0")
+        self.obs = obs
+        self.store = store
+        self.interval_seconds = float(interval_seconds)
+        self._clock = clock
+        self._last: float | None = None
+        self._lock = threading.Lock()
+
+    def maybe_checkpoint(self, force: bool = False) -> int | None:
+        """Write a snapshot entry if due; returns its seq, else None."""
+        now = self._clock()
+        with self._lock:
+            due = (force or self._last is None
+                   or now - self._last >= self.interval_seconds)
+            if not due:
+                return None
+            self._last = now
+        payload = {
+            "metrics": self.obs.metrics.snapshot(),
+            "drift": self.obs.drift.snapshot(),
+        }
+        return self.store.append("snapshot", payload)

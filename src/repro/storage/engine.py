@@ -264,6 +264,14 @@ class BlotStore:
         store runs un-instrumented)."""
         return self._obs
 
+    @property
+    def cost_model(self) -> CostModel | None:
+        """The routing cost model — exposed so the closed telemetry
+        loop (``Observability.attach_recalibrator``) can hot-swap
+        calibrated constants on the model the engine actually routes
+        with."""
+        return self._cost_model
+
     def set_fault_injector(self, injector: FaultInjector | None) -> None:
         """Attach (or detach, with None) a fault injector to the store
         and every registered replica."""
@@ -595,7 +603,19 @@ class BlotStore:
             self._publish_query(obs, result.stats, path, acct)
             self._record_drift(obs, q, result.stats.replica_name,
                                result.stats.seconds)
+            self._after_telemetry(obs, result.stats.replica_name)
         return result
+
+    def _after_telemetry(self, obs: Observability,
+                         replica_name: str) -> None:
+        """Closed-loop tail of every served call: offer the attached
+        recalibrator a shot at the serving replica's drift flag (both
+        no-ops on a bundle without the optional layers), then let the
+        checkpointer persist a snapshot if its schedule says so."""
+        stored = self._replicas.get(replica_name)
+        if stored is not None:
+            obs.maybe_recalibrate(replica_name, stored.encoding.name)
+        obs.maybe_checkpoint()
 
     def _publish_query(self, obs: Observability, stats: QueryStats,
                        path: str, acct: _Accounting | None) -> None:
@@ -813,6 +833,7 @@ class BlotStore:
                 if obs is not None:
                     self._publish_query(obs, stats, "count", acct)
                     self._record_drift(obs, q, name, stats.seconds)
+                    self._after_telemetry(obs, name)
                 return total, stats
             raise DegradedReadError(
                 "count query could not be served by any replica",
@@ -1158,6 +1179,8 @@ class BlotStore:
                                  measured)
             else:
                 self._record_drift(obs, q, serving[i], measured)
+        for name in sorted(stats.per_replica_queries):
+            self._after_telemetry(obs, name)
 
     def _next_fallback(
         self, plan: RoutingPlan, i: int, tried: set[str], opts: ExecOptions

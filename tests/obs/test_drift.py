@@ -93,6 +93,70 @@ class TestDriftMonitor:
             DriftMonitor(min_samples=0)
 
 
+class TestScaleFactor:
+    def test_estimates_the_staleness_factor(self):
+        mon = DriftMonitor(min_samples=2)
+        for seconds in (0.5, 1.0, 2.0):
+            mon.record("r", seconds, seconds * 4.0)
+        # measured/predicted = 4: the model is 4x optimistic, which is
+        # exactly what a 4x-inflated ScanRate produces.
+        assert mon.status("r").scale_factor == pytest.approx(4.0)
+
+    def test_pessimistic_model_scales_below_one(self):
+        mon = DriftMonitor(min_samples=2)
+        for _ in range(3):
+            mon.record("r", 4.0, 1.0)
+        assert mon.status("r").scale_factor == pytest.approx(0.25)
+
+    def test_zero_prediction_edge_cases(self):
+        mon = DriftMonitor(min_samples=1)
+        mon.record("all-zero", 0.0, 0.0)
+        assert mon.status("all-zero").scale_factor == 1.0
+        mon.record("surprise", 0.0, 1.0)
+        assert mon.status("surprise").scale_factor == float("inf")
+
+
+class TestHysteresis:
+    """The un-flag half of the recalibration loop (clear_replica)."""
+
+    def flagged_monitor(self):
+        mon = DriftMonitor(threshold=0.5, min_samples=5)
+        for _ in range(8):
+            mon.record("stale", 1.0, 4.0)
+            mon.record("healthy", 1.0, 1.0)
+        assert mon.flagged() == ["stale"]
+        return mon
+
+    def test_clear_replica_drops_the_flag_immediately(self):
+        mon = self.flagged_monitor()
+        mon.clear_replica("stale")
+        # Not "after window fresh pairs dilute the mean" — immediately.
+        assert mon.status("stale").flagged is False
+        assert mon.status("stale").samples == 0
+        # Other replicas' windows are untouched.
+        assert mon.status("healthy").samples == 8
+        assert mon.recorded == 16  # lifetime count survives
+
+    def test_fresh_window_judges_the_corrected_model(self):
+        mon = self.flagged_monitor()
+        mon.clear_replica("stale")
+        for _ in range(mon.min_samples):
+            mon.record("stale", 1.0, 1.05)  # post-fix: accurate again
+        assert mon.status("stale").flagged is False
+
+    def test_monitor_still_alarms_after_a_clear(self):
+        mon = self.flagged_monitor()
+        mon.clear_replica("stale")
+        for _ in range(mon.min_samples):
+            mon.record("stale", 1.0, 4.0)  # drifts again later
+        assert mon.status("stale").flagged is True
+
+    def test_clearing_an_unknown_replica_is_a_noop(self):
+        mon = DriftMonitor()
+        mon.clear_replica("never-seen")
+        assert mon.replica_names() == []
+
+
 def grid_profile(encoding_name="ROW-PLAIN", n=4):
     """A synthetic n x n x 1 grid profile over the unit universe."""
     boxes = []

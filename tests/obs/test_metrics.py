@@ -134,6 +134,127 @@ class TestExport:
         assert MetricsRegistry().render_prometheus() == ""
 
 
+def parse_exposition(text):
+    """A deliberately independent mini-parser of the Prometheus text
+    exposition format: ``{(name, sorted_label_items): value}``.  Escape
+    handling mirrors the spec, not the renderer's implementation, so a
+    roundtrip failure means the renderer broke the format."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            label_part, value_part = rest.rsplit("} ", 1)
+            labels = _parse_labels(label_part)
+        else:
+            name, value_part = line.rsplit(" ", 1)
+            labels = {}
+        key = (name, tuple(sorted(labels.items())))
+        assert key not in samples, f"duplicate sample {key}"
+        samples[key] = float(value_part)
+    return samples
+
+
+def _parse_labels(body):
+    labels = {}
+    i = 0
+    while i < len(body):
+        eq = body.index("=", i)
+        key = body[i:eq]
+        assert body[eq + 1] == '"'
+        j = eq + 2
+        out = []
+        while body[j] != '"':
+            if body[j] == "\\":
+                out.append({"\\": "\\", '"': '"', "n": "\n"}[body[j + 1]])
+                j += 2
+            else:
+                out.append(body[j])
+                j += 1
+        labels[key] = "".join(out)
+        i = j + 1
+        if i < len(body) and body[i] == ",":
+            i += 1
+    return labels
+
+
+NASTY_LABEL = 'C:\\units\n"kd8",x=y}'
+
+
+class TestPrometheusExposition:
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_queries_total",
+                    labels={"path": 'a\\b"c\nd'}).inc()
+        text = reg.render_prometheus()
+        assert '{path="a\\\\b\\"c\\nd"}' in text
+        # A raw newline inside a label value would split the sample line.
+        (sample,) = [ln for ln in text.splitlines()
+                     if not ln.startswith("#")]
+        assert sample.endswith(" 1")
+
+    def test_help_lines_precede_type(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_queries_total").inc()
+        reg.counter("custom_widget_total").inc()
+        lines = reg.render_prometheus().splitlines()
+        idx = lines.index(
+            "# HELP repro_queries_total Queries served, by execution path.")
+        assert lines[idx + 1] == "# TYPE repro_queries_total counter"
+        # Unknown names still get a parseable generic HELP line.
+        assert ("# HELP custom_widget_total repro metric custom_widget_total."
+                in lines)
+
+    def test_help_and_type_once_per_name(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_queries_total", labels={"path": "a"}).inc()
+        reg.counter("repro_queries_total", labels={"path": "b"}).inc()
+        text = reg.render_prometheus()
+        assert text.count("# HELP repro_queries_total") == 1
+        assert text.count("# TYPE repro_queries_total") == 1
+
+    def test_histogram_inf_bucket_and_sum_count_consistency(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_query_seconds", buckets=(0.01, 0.1))
+        for v in (0.005, 0.05, 0.5, 5.0):
+            h.observe(v)
+        parsed = parse_exposition(reg.render_prometheus())
+        buckets = {k[1][0][1]: v for k, v in parsed.items()
+                   if k[0] == "repro_query_seconds_bucket"}
+        assert buckets == {"0.01": 1, "0.1": 2, "+Inf": 4}
+        # The exposition contract: +Inf bucket == _count, and _sum is
+        # from the same observation set.
+        assert parsed[("repro_query_seconds_count", ())] == buckets["+Inf"]
+        assert parsed[("repro_query_seconds_sum", ())] == pytest.approx(5.555)
+
+    def test_parser_roundtrip_matches_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_queries_total",
+                    labels={"path": NASTY_LABEL}).inc(2)
+        reg.counter("repro_queries_total", labels={"path": "query"}).inc(5)
+        reg.gauge("repro_cache_resident_bytes").set(-1.5)
+        h = reg.histogram("repro_query_seconds",
+                          labels={"replica": NASTY_LABEL},
+                          buckets=(0.01, 0.1))
+        h.observe(0.05)
+        h.observe(5.0)
+        parsed = parse_exposition(reg.render_prometheus())
+        snap = reg.snapshot()
+        for c in snap["counters"] + snap["gauges"]:
+            key = (c["name"], tuple(sorted(c["labels"].items())))
+            assert parsed[key] == c["value"]
+        for hist in snap["histograms"]:
+            base = sorted(hist["labels"].items())
+            assert parsed[(hist["name"] + "_sum",
+                           tuple(base))] == pytest.approx(hist["sum"])
+            assert parsed[(hist["name"] + "_count",
+                           tuple(base))] == hist["count"]
+            inf_key = (hist["name"] + "_bucket",
+                       tuple(sorted(base + [("le", "+Inf")])))
+            assert parsed[inf_key] == hist["count"]
+
+
 class TestThreadSafety:
     def test_concurrent_increments_do_not_lose_updates(self):
         reg = MetricsRegistry()

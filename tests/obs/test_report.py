@@ -1,0 +1,140 @@
+"""Tests for the operational report (build, render, validate)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import (
+    DriftMonitor,
+    MetricsRegistry,
+    Observability,
+    build_report,
+    render_report_text,
+    validate_report,
+)
+from repro.obs.timeseries import TimeseriesStore
+
+
+def make_obs():
+    obs = Observability(metrics=MetricsRegistry(),
+                        drift=DriftMonitor(min_samples=2))
+    m = obs.metrics
+    m.counter("repro_workloads_total").inc()
+    m.counter("repro_queries_total", labels={"path": "workload"}).inc(10)
+    m.counter("repro_queries_by_replica_total", labels={"replica": "a"}).inc(6)
+    m.counter("repro_queries_by_replica_total", labels={"replica": "b"}).inc(4)
+    m.counter("repro_bytes_read_total").inc(12_345)
+    m.counter("repro_records_scanned_total").inc(999)
+    m.counter("repro_cache_hits_total").inc(3)
+    m.counter("repro_cache_misses_total").inc(1)
+    m.counter("repro_failovers_total").inc(2)
+    for _ in range(3):
+        obs.drift.record("a", 1.0, 4.0)  # err 0.75: flagged
+        obs.drift.record("b", 1.0, 1.0)  # err 0: healthy
+    return obs
+
+
+class TestBuildReport:
+    def test_sections_and_rollups(self):
+        report = build_report(make_obs())
+        validate_report(report)
+        assert report["queries"]["workloads"] == 1
+        assert report["queries"]["by_path"] == {"workload": 10}
+        assert report["queries"]["by_replica"] == {"a": 6, "b": 4}
+        assert report["cache"]["hit_rate"] == pytest.approx(0.75)
+        assert report["degradation"]["failovers"] == 2
+        assert report["drift"]["flagged"] == ["a"]
+        assert report["recalibration"]["audit"] == []
+        assert report["history"]["attached"] is False
+        assert report["trends"]["counters"] == {}
+
+    def test_empty_bundle_still_validates(self):
+        report = build_report(Observability())
+        validate_report(report)
+        assert report["cache"]["hit_rate"] is None  # no lookups: not 0/0
+        assert report["drift"]["replicas"] == []
+
+    def test_report_is_json_serializable(self):
+        report = build_report(make_obs())
+        assert json.loads(json.dumps(report)) == report
+
+    def test_trends_need_two_snapshots(self, tmp_path):
+        obs = make_obs()
+        ts = TimeseriesStore(str(tmp_path / "h.jsonl"), retention=None)
+        obs.attach_checkpointer(ts, interval_seconds=0.0)
+        obs.maybe_checkpoint(force=True)
+        report = build_report(obs, timeseries=ts)
+        assert report["trends"]["counters"] == {}
+
+        obs.metrics.counter("repro_workloads_total").inc(4)
+        obs.maybe_checkpoint(force=True)
+        report = build_report(obs, timeseries=ts)
+        validate_report(report)
+        trend = report["trends"]["counters"]["repro_workloads_total"]
+        assert trend == {"first": 1, "last": 5, "delta": 4}
+        assert report["trends"]["first_seq"] < report["trends"]["last_seq"]
+        assert report["history"] == {
+            "attached": True, "path": ts.path, "entries": 2, "last_seq": 2}
+
+
+class TestRenderText:
+    def test_text_covers_every_section(self):
+        obs = make_obs()
+        text = render_report_text(build_report(obs))
+        assert "operational report" in text
+        assert "queries: 10 (workloads: 1)" in text
+        assert "replica a: 6" in text
+        assert "hit rate 75.0%" in text
+        assert "failovers 2" in text
+        assert "drift[a]" in text and "FLAGGED" in text
+        assert "drift[b]" in text
+        assert "recalibration: 0 applied, 0 rejected" in text
+        assert "no timeseries store attached" in text
+
+    def test_text_renders_audit_entries(self):
+        obs = make_obs()
+        report = build_report(obs)
+        report["recalibration"]["audit"] = [
+            {"action": "applied", "replica": "a", "encoding": "ROW-PLAIN",
+             "mode": "fit", "reason": None,
+             "old_scan_rate": 1e4, "old_extra_time": 0.01,
+             "new_scan_rate": 4e4, "new_extra_time": 0.02,
+             "n_samples": 12, "r_squared": 0.99, "clamped": True},
+            {"action": "rejected", "replica": "b", "encoding": "COL-GZIP",
+             "mode": None, "reason": "insufficient scan measurements",
+             "old_scan_rate": 1e4, "old_extra_time": 0.01,
+             "new_scan_rate": None, "new_extra_time": None,
+             "n_samples": 1, "r_squared": None, "clamped": False},
+        ]
+        text = render_report_text(report)
+        assert "[applied] a/ROW-PLAIN (fit)" in text
+        assert "ScanRate 1e+04 -> 4e+04" in text and "(clamped)" in text
+        assert "[rejected] b/COL-GZIP: insufficient scan measurements" in text
+
+
+class TestValidateReport:
+    def test_accepts_a_real_report(self):
+        validate_report(build_report(make_obs()))
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda r: r.__setitem__("schema_version", 99), "schema_version"),
+        (lambda r: r.pop("cache"), "cache"),
+        (lambda r: r["queries"].pop("workloads"), "workloads"),
+        (lambda r: r["cache"].__setitem__("hit_rate", "high"), "hit_rate"),
+        (lambda r: r["drift"].__setitem__("flagged", "a"), "flagged"),
+        (lambda r: r["recalibration"]["audit"].append({"action": "maybe"}),
+         "action"),
+        (lambda r: r["history"].__setitem__("attached", 1), "attached"),
+    ])
+    def test_rejects_shape_violations(self, mutate, message):
+        report = copy.deepcopy(build_report(make_obs()))
+        mutate(report)
+        with pytest.raises(ValueError, match=message):
+            validate_report(report)
+
+    def test_allows_additive_extension(self):
+        report = build_report(make_obs())
+        report["extra_section"] = {"anything": True}
+        report["cache"]["new_field"] = 42
+        validate_report(report)

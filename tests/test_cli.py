@@ -293,3 +293,78 @@ class TestStats:
 
     def test_repeat_must_be_positive(self, capsys):
         assert main(["stats", *WORKLOAD_ARGS[:-2], "--repeat", "0"]) == 2
+
+
+class TestReport:
+    def test_text_report(self, capsys):
+        assert main(["report", *WORKLOAD_ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "operational report" in out
+        assert "drift[" in out
+        assert "recalibration: 0 applied, 0 rejected" in out
+        assert "no timeseries store attached" in out
+
+    def test_json_report_is_schema_valid(self, capsys):
+        import json
+
+        from repro.obs import validate_report
+
+        assert main(["report", *WORKLOAD_ARGS, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        validate_report(report)
+        assert report["queries"]["by_path"] == {"workload": 15}
+        assert report["history"]["attached"] is False
+
+    def test_timeseries_persists_across_runs(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "history.jsonl")
+        assert main(["report", *WORKLOAD_ARGS, "--timeseries", path,
+                     "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        # Forced before/after checkpoints give trends its two points.
+        assert first["trends"]["snapshots"] >= 2
+        assert first["history"]["attached"] is True
+        delta = first["trends"]["counters"]["repro_workloads_total"]["delta"]
+        assert delta == 1
+
+        # A second process over the same file: numbering continues.
+        assert main(["report", *WORKLOAD_ARGS, "--timeseries", path,
+                     "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["history"]["last_seq"] > first["history"]["last_seq"]
+
+    def test_stale_model_heals_itself(self, capsys):
+        import json
+
+        from repro.obs import validate_report
+
+        assert main(["report", *WORKLOAD_ARGS, "--stale-factor", "4",
+                     "--recalibrate", "--min-samples", "4", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        validate_report(report)
+        assert report["recalibration"]["applied"] >= 1
+        applied = [e for e in report["recalibration"]["audit"]
+                   if e["action"] == "applied"]
+        assert applied and applied[0]["new_scan_rate"] > 0
+        assert report["drift"]["flagged"] == []
+
+    def test_dry_run_audits_without_applying(self, capsys):
+        import json
+
+        assert main(["report", *WORKLOAD_ARGS, "--stale-factor", "4",
+                     "--recalibrate", "--dry-run", "--min-samples", "4",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["recalibration"]["applied"] == 0
+        actions = {e["action"] for e in report["recalibration"]["audit"]}
+        assert actions <= {"dry-run", "rejected"} and actions
+
+    def test_error_exits(self, capsys):
+        assert main(["report", *WORKLOAD_ARGS[:-2], "--repeat", "0"]) == 2
+        assert main(["report", *WORKLOAD_ARGS, "--dry-run"]) == 2
+        # One replica: no routing model to stale or recalibrate.
+        assert main(["report", "--records", "3000", "--queries", "5",
+                     "--replicas", "1", "--recalibrate"]) == 2
+        assert main(["report", *WORKLOAD_ARGS,
+                     "--stale-factor", "-2"]) == 2
