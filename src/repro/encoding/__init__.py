@@ -8,23 +8,28 @@ candidate schemes come from :func:`paper_encoding_schemes`.
 
 from repro.encoding.base import (
     Compressor,
+    EagerPartitionReader,
     EncodingScheme,
     GzipCompression,
     Lzma2Compression,
     NoCompression,
+    PartitionReader,
     SnappyCompression,
     all_encoding_schemes,
     encoding_scheme_by_name,
     measure_compression_ratio,
     paper_encoding_schemes,
 )
-from repro.encoding.columnar import decode_columns, encode_columns
+from repro.encoding.columnar import ColumnarBlob, decode_columns, encode_columns
 from repro.encoding.rowbin import ROW_BYTES, decode_rows, encode_rows
 from repro.encoding.snappy import snappy_compress, snappy_decompress
 
 __all__ = [
+    "ColumnarBlob",
     "Compressor",
+    "EagerPartitionReader",
     "EncodingScheme",
+    "PartitionReader",
     "GzipCompression",
     "Lzma2Compression",
     "NoCompression",

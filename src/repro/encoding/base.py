@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from repro.data.dataset import Dataset
-from repro.encoding.columnar import decode_columns, encode_columns
+from repro.encoding.columnar import ColumnarBlob, decode_columns, encode_columns
 from repro.encoding.rowbin import decode_rows, encode_rows
 from repro.encoding.snappy import snappy_compress, snappy_decompress
 
@@ -101,6 +101,63 @@ _LAYOUTS: dict[str, tuple[Callable[[Dataset], bytes], Callable[[bytes], Dataset]
 }
 
 
+class PartitionReader(Protocol):
+    """Uniform read interface over one encoded partition.
+
+    Columnar v2 blobs implement it lazily (zone maps, per-column decode);
+    row blobs and columnar v1 decode everything on first access.  The
+    engine programs against this duck type and uses ``lazy`` to decide
+    whether partial decode is worth attempting.
+    """
+
+    @property
+    def n_records(self) -> int: ...
+
+    @property
+    def lazy(self) -> bool: ...
+
+    def zone(self, name: str) -> tuple[float, float] | None: ...
+
+    def disjoint_from(self, lo: tuple, hi: tuple) -> bool: ...
+
+    def decode_column(self, name: str): ...
+
+    def dataset(self) -> Dataset: ...
+
+
+class EagerPartitionReader:
+    """PartitionReader over formats without a column directory: the whole
+    blob decodes once, on first access (no zone maps, no partial decode)."""
+
+    __slots__ = ("_thunk", "_dataset")
+
+    def __init__(self, thunk: Callable[[], Dataset]):
+        self._thunk = thunk
+        self._dataset: Dataset | None = None
+
+    @property
+    def n_records(self) -> int:
+        return len(self.dataset())
+
+    @property
+    def lazy(self) -> bool:
+        return False
+
+    def zone(self, name: str) -> tuple[float, float] | None:
+        return None
+
+    def disjoint_from(self, lo: tuple, hi: tuple) -> bool:
+        return False
+
+    def decode_column(self, name: str):
+        return self.dataset().column(name)
+
+    def dataset(self) -> Dataset:
+        if self._dataset is None:
+            self._dataset = self._thunk()
+        return self._dataset
+
+
 @dataclass(frozen=True, slots=True)
 class EncodingScheme:
     """A concrete encoding scheme ``E = layout ∘ compressor``.
@@ -133,6 +190,21 @@ class EncodingScheme:
         """Recover the partition's records from its physical bytes."""
         _, decode = _LAYOUTS[self.layout]
         return decode(self.compressor.decompress(blob))
+
+    def open(self, blob, telemetry=None) -> "PartitionReader":
+        """A :class:`PartitionReader` over the blob.
+
+        ``blob`` may be any buffer (``bytes`` or a ``memoryview`` from
+        ``UnitStore.get_view``); with ``NoCompression`` the payload is
+        read in place, never copied.  Columnar blobs open lazily (v2) or
+        defer one full decode (v1); row blobs decode on first access.
+        ``telemetry`` is forwarded to the columnar reader's per-block
+        decode hook.
+        """
+        payload = self.compressor.decompress(blob)
+        if self.layout == "COL":
+            return ColumnarBlob(payload, telemetry)
+        return EagerPartitionReader(lambda: decode_rows(payload))
 
     def __str__(self) -> str:
         return self.name

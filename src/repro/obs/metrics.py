@@ -70,6 +70,14 @@ METRIC_HELP: dict[str, str] = {
     "repro_verify_checks_total": "Differential verification checks run.",
     "repro_verify_mismatches_total": "Differential verification mismatches.",
     "repro_verify_ok": "1 when the last store verification passed.",
+    "repro_columns_decoded_total": "Column blocks decoded, by column kind.",
+    "repro_decode_seconds": "Seconds decoding column blocks, by kind.",
+    "repro_partitions_pruned_total":
+        "Partitions skipped entirely by zone maps.",
+    "repro_columns_skipped_total":
+        "Column decodes avoided by the lazy x/y/t-first scan.",
+    "repro_count_metadata_partitions_total":
+        "Fully-contained partitions counted from metadata alone.",
 }
 
 

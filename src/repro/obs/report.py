@@ -116,6 +116,16 @@ def build_report(obs, timeseries=None, recalibrator=None) -> dict:
             "records_scanned": _counter_total(
                 metrics, "repro_records_scanned_total"),
         },
+        "scan": {
+            "partitions_pruned": _counter_total(
+                metrics, "repro_partitions_pruned_total"),
+            "columns_skipped": _counter_total(
+                metrics, "repro_columns_skipped_total"),
+            "count_metadata_partitions": _counter_total(
+                metrics, "repro_count_metadata_partitions_total"),
+            "columns_decoded_by_kind": _counter_by_label(
+                metrics, "repro_columns_decoded_total", "kind"),
+        },
         "cache": {
             "hits": hits,
             "misses": misses,
@@ -161,6 +171,19 @@ def render_report_text(report: dict) -> str:
         lines.append(f"    replica {replica}: {n:.0f}")
     lines.append(f"  bytes read: {q['bytes_read']:,.0f}   "
                  f"records scanned: {q['records_scanned']:,.0f}")
+
+    sc = report.get("scan")
+    if sc is not None:
+        lines.append(
+            f"  scan fast paths: {sc['partitions_pruned']:.0f} partitions "
+            f"zone-pruned, {sc['columns_skipped']:.0f} column decodes "
+            f"skipped, {sc['count_metadata_partitions']:.0f} partitions "
+            f"counted from metadata")
+        decoded = sc["columns_decoded_by_kind"]
+        if decoded:
+            by_kind = ", ".join(f"{kind} {n:.0f}"
+                                for kind, n in sorted(decoded.items()))
+            lines.append(f"    column blocks decoded: {by_kind}")
 
     c = report["cache"]
     rate = "n/a" if c["hit_rate"] is None else f"{c['hit_rate']:.1%}"
@@ -235,7 +258,7 @@ def validate_report(report: dict) -> None:
     _require(isinstance(report, dict), "not a mapping")
     _require(report.get("schema_version") == REPORT_SCHEMA_VERSION,
              f"schema_version != {REPORT_SCHEMA_VERSION}")
-    for section in ("queries", "cache", "degradation", "drift",
+    for section in ("queries", "scan", "cache", "degradation", "drift",
                     "recalibration", "trends", "history"):
         _require(isinstance(report.get(section), dict),
                  f"missing section {section!r}")
@@ -246,6 +269,14 @@ def validate_report(report: dict) -> None:
                  f"queries.{field} must be numeric")
     _require(isinstance(q.get("by_path"), dict), "queries.by_path")
     _require(isinstance(q.get("by_replica"), dict), "queries.by_replica")
+
+    sc = report["scan"]
+    for field in ("partitions_pruned", "columns_skipped",
+                  "count_metadata_partitions"):
+        _require(isinstance(sc.get(field), (int, float)),
+                 f"scan.{field} must be numeric")
+    _require(isinstance(sc.get("columns_decoded_by_kind"), dict),
+             "scan.columns_decoded_by_kind")
 
     c = report["cache"]
     for field in ("hits", "misses", "evictions", "invalidations"):

@@ -51,6 +51,7 @@ from dataclasses import dataclass, replace
 
 from repro.costmodel.model import CostModel, RoutingPlan
 from repro.data.dataset import Dataset
+from repro.data.record import FIELDS
 from repro.encoding.base import EncodingScheme
 from repro.geometry import Box3
 from repro.obs import Observability
@@ -74,6 +75,10 @@ from repro.storage.unit import UnitStore
 from repro.workload.query import Query, Workload
 
 import numpy as np
+
+#: Columns beyond the (x, y, t) filter set — what the lazy scan avoids
+#: decoding when no row of a partition survives the range mask.
+_N_OTHER_COLUMNS = len(FIELDS) - 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -205,6 +210,24 @@ class _Accounting:
             self.repairs += 1
 
 
+class _DecodeTelemetry:
+    """Per-column-block decode hook the engine hands to
+    :meth:`EncodingScheme.open`: one counter bump and one histogram
+    observation per column block actually decoded (metric objects are
+    internally locked, so pool threads may call this concurrently)."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics) -> None:
+        self._metrics = metrics
+
+    def column_decoded(self, kind: str, seconds: float) -> None:
+        self._metrics.counter(
+            "repro_columns_decoded_total", labels={"kind": kind}).inc()
+        self._metrics.histogram(
+            "repro_decode_seconds", labels={"kind": kind}).observe(seconds)
+
+
 class BlotStore:
     """A single-node BLOT system instance over one logical dataset.
 
@@ -237,6 +260,14 @@ class BlotStore:
         self._faults = fault_injector
         if fault_injector is not None and metrics is not None:
             fault_injector.bind_metrics(metrics)
+        self._decode_tel = (_DecodeTelemetry(metrics)
+                            if metrics is not None else None)
+        # Zone-map memo: (replica, pid) -> ((x, y, t) zones, or None for
+        # formats without zone maps), recorded whenever a blob is opened.
+        # Zones describe the partition's logical content, which is
+        # immutable (repair restores identical records), so entries never
+        # invalidate.  Single-key dict ops are atomic under the GIL.
+        self._zone_info: dict[tuple[str, int], tuple | None] = {}
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
 
@@ -346,53 +377,48 @@ class BlotStore:
             self._pool_workers = parallelism
         return self._pool
 
-    def _fetch_decoded(
-        self,
-        stored: StoredReplica,
-        pid: int,
-        options: ExecOptions = DEFAULT_EXEC_OPTIONS,
-        acct: _Accounting | None = None,
-        rec=NULL_RECORDER,
-        parent=None,
-    ) -> tuple[Dataset, int] | None:
-        """Decode one partition, through the cache when configured.
+    @staticmethod
+    def _get_blob(store: UnitStore, key: str):
+        """Fetch one unit's bytes, zero-copy when the backend supports
+        views (all built-in stores do; third-party stores fall back to
+        ``get``)."""
+        get_view = getattr(store, "get_view", None)
+        return get_view(key) if get_view is not None else store.get(key)
 
-        Returns ``(records, bytes_read)`` where ``bytes_read`` is 0 on a
-        cache hit, or None for empty partitions (no storage unit).
-        Transiently failed reads are retried per ``options``, sleeping
-        through ``options.sleep`` (``time.sleep`` unless a test/drill
-        injects a no-op sleeper); a read that stays failed raises
-        :class:`~repro.storage.faults.PartitionReadError`.  A
-        whole-replica outage fails before the cache is consulted (the
-        node's memory is as gone as its disks) and is never retried.
-        ``rec``/``parent`` attach ``cache``/``decode``/``retry`` spans
-        under the caller's scan span when tracing.
-        """
-        key = stored.unit_keys[pid]
-        if key is None:
-            return None
+    def _check_replica_up(self, stored: StoredReplica, pid: int | None) -> None:
+        """Fail fast on a whole-replica outage — before the cache is
+        consulted (the node's memory is as gone as its disks) and without
+        retries."""
         faults = self._faults
         if faults is not None and faults.replica_failed(stored.name):
             fault = InjectedFault(stored.name, pid, scope="replica")
             raise PartitionReadError(stored.name, pid, fault) from fault
-        use_cache = self._cache is not None and options.use_cache
-        if use_cache:
-            hit = self._cache.get((stored.name, pid))
-            rec.event("cache", parent=parent,
-                      outcome="hit" if hit is not None else "miss")
-            if hit is not None:
-                return hit, 0
+
+    def _read_unit(
+        self,
+        stored: StoredReplica,
+        pid: int,
+        options: ExecOptions,
+        acct: _Accounting | None,
+        rec,
+        parent,
+        work,
+    ):
+        """Run ``work(decode_span)`` — one unit's fetch+decode — under the
+        engine's fault contract: injected faults fire first, transient
+        failures are retried per ``options`` (sleeping through
+        ``options.sleep``), and a read that stays failed raises
+        :class:`~repro.storage.faults.PartitionReadError`.  Replica-scope
+        faults are never retried.
+        """
+        faults = self._faults
         failures = 0
         while True:
             try:
                 with rec.start("decode", parent=parent) as decode_span:
                     if faults is not None:
                         faults.on_read(stored.name, pid)
-                    blob = stored.store.get(key)
-                    records = stored.encoding_for(pid).decode(blob)
-                    decode_span.annotate(bytes=len(blob),
-                                         records=len(records))
-                break
+                    return work(decode_span)
             except Exception as exc:
                 if isinstance(exc, InjectedFault) and exc.scope == "replica":
                     raise PartitionReadError(
@@ -408,9 +434,51 @@ class BlotStore:
                     if options.backoff_seconds > 0:
                         sleep = options.sleep or time.sleep
                         sleep(options.backoff_seconds * 2 ** (failures - 1))
+
+    def _fetch_decoded(
+        self,
+        stored: StoredReplica,
+        pid: int,
+        options: ExecOptions = DEFAULT_EXEC_OPTIONS,
+        acct: _Accounting | None = None,
+        rec=NULL_RECORDER,
+        parent=None,
+    ) -> tuple[Dataset, int] | None:
+        """Decode one partition fully, through the cache when configured.
+
+        Returns ``(records, bytes_read)`` where ``bytes_read`` is 0 on a
+        cache hit, or None for empty partitions (no storage unit).
+        Transiently failed reads are retried per ``options``
+        (:meth:`_read_unit`); a whole-replica outage fails before the
+        cache is consulted.  ``rec``/``parent`` attach
+        ``cache``/``decode``/``retry`` spans under the caller's scan span
+        when tracing.
+        """
+        key = stored.unit_keys[pid]
+        if key is None:
+            return None
+        self._check_replica_up(stored, pid)
+        use_cache = self._cache is not None and options.use_cache
+        if use_cache:
+            hit = self._cache.get((stored.name, pid))
+            rec.event("cache", parent=parent,
+                      outcome="hit" if hit is not None else "miss")
+            if hit is not None:
+                return hit, 0
+
+        def work(decode_span):
+            blob = self._get_blob(stored.store, key)
+            reader = stored.encoding_for(pid).open(blob, self._decode_tel)
+            self._remember_zones(stored, pid, reader)
+            records = reader.dataset()
+            decode_span.annotate(bytes=len(blob), records=len(records))
+            return records, len(blob)
+
+        records, nbytes = self._read_unit(stored, pid, options, acct,
+                                          rec, parent, work)
         if use_cache:
             self._cache.put((stored.name, pid), records)
-        return records, len(blob)
+        return records, nbytes
 
     def _map_partitions(self, fn, pids, parallelism: int) -> list:
         """Apply ``fn`` over partition ids, on the persistent pool when
@@ -726,6 +794,133 @@ class BlotStore:
                     self._cache.invalidate((target.name, err.partition_id))
         return None
 
+    def _bump(self, name: str, amount: int = 1) -> None:
+        """Increment a fast-path counter (no-op without telemetry;
+        metric objects are internally locked, safe from pool threads)."""
+        if self._obs is not None and amount:
+            self._obs.metrics.counter(name).inc(amount)
+
+    def _remember_zones(self, stored: StoredReplica, pid: int, reader):
+        """Memoize a freshly opened reader's (x, y, t) zone bounds so
+        later queries can prune this partition without re-fetching it."""
+        zones = ((reader.zone("x"), reader.zone("y"), reader.zone("t"))
+                 if reader.lazy else None)
+        self._zone_info[(stored.name, pid)] = zones
+        return zones
+
+    @staticmethod
+    def _zones_disjoint(zones, box: Box3) -> bool:
+        """True when memoized zone bounds prove no record of the
+        partition can fall inside the closed query box."""
+        zx, zy, zt = zones
+        return (
+            (zx is not None and (zx[1] < box.x_min or zx[0] > box.x_max))
+            or (zy is not None and (zy[1] < box.y_min or zy[0] > box.y_max))
+            or (zt is not None and (zt[1] < box.t_min or zt[0] > box.t_max))
+        )
+
+    def _scan_partition(
+        self,
+        stored: StoredReplica,
+        pid: int,
+        box: Box3,
+        opts: ExecOptions,
+        acct: _Accounting,
+        rec=NULL_RECORDER,
+        parent=None,
+    ) -> tuple[int, int, Dataset] | None:
+        """Scan one partition for a range query, decoding as little as
+        possible; returns ``(bytes_read, records_scanned, matched)`` or
+        None for empty partitions.
+
+        Fast paths, in order:
+
+        - **zone-pruned** — the partition's zone map (read from the blob,
+          or memoized from an earlier open) proves no record can fall in
+          the box: zero column decodes, zero records scanned.
+        - **contained** — the query box contains the partition box, so
+          canonical placement guarantees every record matches: decode all
+          columns, skip the mask entirely.
+        - **lazy filter** (columnar v2, uncached) — decode only
+          ``x``/``y``/``t``, evaluate the mask; when nothing survives the
+          remaining columns are never decoded.  With a partition cache
+          configured the full decode happens instead — the cache stores
+          full partitions only, and its contract is that repeat queries
+          read zero bytes.
+
+        Row and columnar-v1 blobs take the eager decode+filter path.  The
+        mask is the exact :meth:`Dataset.mask_box` expression and row
+        order is preserved, so results are bit-identical to the eager
+        path on every branch.
+        """
+        key = stored.unit_keys[pid]
+        if key is None:
+            return None
+        self._check_replica_up(stored, pid)
+        part_box = Box3(*stored.partitioning.box_array[pid])
+        contained = box.contains_box(part_box)
+        use_cache = self._cache is not None and opts.use_cache
+        # The zone memo extends the cache's contract (repeat reads are
+        # free) to partitions the cache never stores because the zone map
+        # pruned them.  Without a cache every query pays its reads, so the
+        # memo only short-circuits when caching is on.
+        if use_cache and not contained:
+            known = self._zone_info.get((stored.name, pid))
+            if known is not None and self._zones_disjoint(known, box):
+                self._bump("repro_partitions_pruned_total")
+                rec.event("prune", parent=parent, source="zone-memo")
+                return 0, 0, Dataset.empty()
+        if use_cache:
+            hit = self._cache.get((stored.name, pid))
+            rec.event("cache", parent=parent,
+                      outcome="hit" if hit is not None else "miss")
+            if hit is not None:
+                if contained:
+                    return 0, len(hit), hit
+                return 0, len(hit), hit.filter_box(box)
+
+        def work(decode_span):
+            blob = self._get_blob(stored.store, key)
+            nbytes = len(blob)
+            reader = stored.encoding_for(pid).open(blob, self._decode_tel)
+            zones = self._remember_zones(stored, pid, reader)
+            if contained:
+                records = reader.dataset()
+                decode_span.annotate(bytes=nbytes, records=len(records),
+                                     mask_skipped=True)
+                return records, (nbytes, len(records), records)
+            if zones is not None and self._zones_disjoint(zones, box):
+                self._bump("repro_partitions_pruned_total")
+                decode_span.annotate(bytes=nbytes, records=0, pruned=True)
+                return None, (nbytes, 0, Dataset.empty())
+            if reader.lazy and not use_cache:
+                x = reader.decode_column("x")
+                y = reader.decode_column("y")
+                t = reader.decode_column("t")
+                mask = (
+                    (x >= box.x_min) & (x <= box.x_max)
+                    & (y >= box.y_min) & (y <= box.y_max)
+                    & (t >= box.t_min) & (t <= box.t_max)
+                )
+                n = reader.n_records
+                if not mask.any():
+                    self._bump("repro_columns_skipped_total", _N_OTHER_COLUMNS)
+                    decode_span.annotate(bytes=nbytes, records=n,
+                                         columns_skipped=_N_OTHER_COLUMNS)
+                    return None, (nbytes, n, Dataset.empty())
+                records = reader.dataset()
+                decode_span.annotate(bytes=nbytes, records=n)
+                return records, (nbytes, n, records.take(mask))
+            records = reader.dataset()
+            decode_span.annotate(bytes=nbytes, records=len(records))
+            return records, (nbytes, len(records), records.filter_box(box))
+
+        full, outcome = self._read_unit(stored, pid, opts, acct,
+                                        rec, parent, work)
+        if use_cache and full is not None:
+            self._cache.put((stored.name, pid), full)
+        return outcome
+
     def _scan_query(
         self,
         stored: StoredReplica,
@@ -749,13 +944,11 @@ class BlotStore:
         def scan_one(pid: int) -> tuple[int, int, Dataset] | None:
             with rec.start("scan", parent=root, replica=stored.name,
                            partition=pid) as scan_span:
-                fetched = self._fetch_decoded(stored, pid, opts, acct,
-                                              rec=rec, parent=scan_span)
-                if fetched is None:
-                    return None
-                records, nbytes = fetched
-                scan_span.annotate(records=len(records), bytes=nbytes)
-                return nbytes, len(records), records.filter_box(box)
+                outcome = self._scan_partition(stored, pid, box, opts, acct,
+                                               rec=rec, parent=scan_span)
+                if outcome is not None:
+                    scan_span.annotate(records=outcome[1], bytes=outcome[0])
+                return outcome
 
         outcomes = self._map_partitions(scan_one, involved, opts.parallelism)
 
@@ -839,6 +1032,77 @@ class BlotStore:
                 "count query could not be served by any replica",
                 tuple(attempts))
 
+    def _count_partition(
+        self,
+        stored: StoredReplica,
+        pid: int,
+        box: Box3,
+        opts: ExecOptions,
+        acct: _Accounting,
+        rec=NULL_RECORDER,
+        parent=None,
+    ) -> tuple[int, int, int] | None:
+        """Count one boundary partition's records inside ``box``; returns
+        ``(bytes_read, records_scanned, count)`` or None.
+
+        Columnar v2 blobs never decode beyond ``x``/``y``/``t`` here — a
+        count needs no payload columns — and zone-disjoint partitions
+        decode nothing at all.  Partial decodes are not cached (the cache
+        stores full partitions only); cached full partitions are counted
+        in memory.
+        """
+        key = stored.unit_keys[pid]
+        if key is None:
+            return None
+        self._check_replica_up(stored, pid)
+        use_cache = self._cache is not None and opts.use_cache
+        # Same cache-gated zone-memo short cut as _scan_partition.
+        if use_cache:
+            known = self._zone_info.get((stored.name, pid))
+            if known is not None and self._zones_disjoint(known, box):
+                self._bump("repro_partitions_pruned_total")
+                rec.event("prune", parent=parent, source="zone-memo")
+                return 0, 0, 0
+        if use_cache:
+            hit = self._cache.get((stored.name, pid))
+            rec.event("cache", parent=parent,
+                      outcome="hit" if hit is not None else "miss")
+            if hit is not None:
+                return 0, len(hit), hit.count_in_box(box)
+
+        def work(decode_span):
+            blob = self._get_blob(stored.store, key)
+            nbytes = len(blob)
+            reader = stored.encoding_for(pid).open(blob, self._decode_tel)
+            zones = self._remember_zones(stored, pid, reader)
+            if zones is not None and self._zones_disjoint(zones, box):
+                self._bump("repro_partitions_pruned_total")
+                decode_span.annotate(bytes=nbytes, records=0, pruned=True)
+                return None, (nbytes, 0, 0)
+            if reader.lazy and not use_cache:
+                x = reader.decode_column("x")
+                y = reader.decode_column("y")
+                t = reader.decode_column("t")
+                mask = (
+                    (x >= box.x_min) & (x <= box.x_max)
+                    & (y >= box.y_min) & (y <= box.y_max)
+                    & (t >= box.t_min) & (t <= box.t_max)
+                )
+                n = reader.n_records
+                self._bump("repro_columns_skipped_total", _N_OTHER_COLUMNS)
+                decode_span.annotate(bytes=nbytes, records=n,
+                                     columns_skipped=_N_OTHER_COLUMNS)
+                return None, (nbytes, n, int(mask.sum()))
+            records = reader.dataset()
+            decode_span.annotate(bytes=nbytes, records=len(records))
+            return records, (nbytes, len(records), records.count_in_box(box))
+
+        full, outcome = self._read_unit(stored, pid, opts, acct,
+                                        rec, parent, work)
+        if use_cache and full is not None:
+            self._cache.put((stored.name, pid), full)
+        return outcome
+
     def _scan_count(
         self,
         stored: StoredReplica,
@@ -861,6 +1125,7 @@ class BlotStore:
         involved = stored.involved_partitions(box)
 
         contained_total = 0
+        metadata_partitions = 0
         boundary: list[int] = []
         for pid in involved:
             pid = int(pid)
@@ -869,19 +1134,20 @@ class BlotStore:
             part_box = Box3(*stored.partitioning.box_array[pid])
             if box.contains_box(part_box):
                 contained_total += int(stored.partitioning.counts[pid])
+                metadata_partitions += 1
             else:
                 boundary.append(pid)
+        self._bump("repro_count_metadata_partitions_total",
+                   metadata_partitions)
 
         def count_one(pid: int) -> tuple[int, int, int] | None:
             with rec.start("scan", parent=root, replica=stored.name,
                            partition=pid) as scan_span:
-                fetched = self._fetch_decoded(stored, pid, opts, acct,
-                                              rec=rec, parent=scan_span)
-                if fetched is None:
-                    return None
-                records, nbytes = fetched
-                scan_span.annotate(records=len(records), bytes=nbytes)
-                return nbytes, len(records), records.count_in_box(box)
+                outcome = self._count_partition(stored, pid, box, opts, acct,
+                                                rec=rec, parent=scan_span)
+                if outcome is not None:
+                    scan_span.annotate(records=outcome[1], bytes=outcome[0])
+                return outcome
 
         outcomes = self._map_partitions(count_one, boundary, opts.parallelism)
 
@@ -1083,10 +1349,18 @@ class BlotStore:
                         records = decoded.get(pid)
                         if records is None:
                             continue
-                        scanned += len(records)
                         if pid not in charged:
                             charged.add(pid)
                             q_bytes += read_bytes[pid]
+                        zones = self._zone_info.get((name, pid))
+                        if zones is not None and self._zones_disjoint(zones, box):
+                            # Scan parity with the sequential path, which
+                            # zone-prunes this partition without scanning
+                            # it.  The union read still happened, so the
+                            # bytes stay charged.
+                            self._bump("repro_partitions_pruned_total")
+                            continue
+                        scanned += len(records)
                         parts.append(records.filter_box(box))
                     result = Dataset.concat(parts) if parts else Dataset.empty()
                     stats = QueryStats(

@@ -10,11 +10,19 @@ key-value store abstraction and three backends mirroring those options:
   (the "file on HDFS" shape);
 - :class:`SegmentFileStore`— all units appended to one large file with an
   offset table (the "segment of a file" shape).
+
+Every backend also serves **zero-copy reads**: :meth:`UnitStore.get_view`
+returns a ``memoryview`` over the stored bytes — a view of the in-memory
+blob, or an ``mmap`` of the backing file — so the decode pipeline never
+copies a blob just to read it.  Views are read-only; callers must not
+hold them across a ``delete`` of the same key (repair flows re-fetch).
 """
 
 from __future__ import annotations
 
+import mmap
 import os
+import threading
 from typing import Iterator, Protocol
 
 
@@ -28,6 +36,8 @@ class UnitStore(Protocol):
     def put(self, key: str, blob: bytes) -> None: ...
 
     def get(self, key: str) -> bytes: ...
+
+    def get_view(self, key: str) -> memoryview: ...
 
     def size(self, key: str) -> int: ...
 
@@ -51,11 +61,14 @@ class InMemoryStore:
 
     def __init__(self) -> None:
         self._blobs: dict[str, bytes] = {}
+        self._total = 0
 
     def put(self, key: str, blob: bytes) -> None:
         if key in self._blobs:
             raise DuplicateUnit(f"unit {key!r} already stored")
-        self._blobs[key] = bytes(blob)
+        data = bytes(blob)
+        self._blobs[key] = data
+        self._total += len(data)
 
     def get(self, key: str) -> bytes:
         try:
@@ -63,19 +76,25 @@ class InMemoryStore:
         except KeyError:
             raise UnitNotFound(key) from None
 
+    def get_view(self, key: str) -> memoryview:
+        return memoryview(self.get(key))
+
     def size(self, key: str) -> int:
         return len(self.get(key))
 
     def delete(self, key: str) -> None:
         if key not in self._blobs:
             raise UnitNotFound(key)
-        del self._blobs[key]
+        self._total -= len(self._blobs.pop(key))
 
     def keys(self) -> Iterator[str]:
         return iter(self._blobs)
 
     def total_bytes(self) -> int:
-        return sum(len(b) for b in self._blobs.values())
+        # Maintained incrementally: this sits on the storage-budget check
+        # path, which runs per replica-selection round over stores with
+        # many thousands of units.
+        return self._total
 
 
 class DirectoryStore:
@@ -88,6 +107,8 @@ class DirectoryStore:
     def __init__(self, root: str):
         self.root = root
         os.makedirs(root, exist_ok=True)
+        self._maps: dict[str, mmap.mmap] = {}
+        self._lock = threading.Lock()
 
     def _path(self, key: str) -> str:
         path = os.path.normpath(os.path.join(self.root, key))
@@ -111,6 +132,25 @@ class DirectoryStore:
         except FileNotFoundError:
             raise UnitNotFound(key) from None
 
+    def get_view(self, key: str) -> memoryview:
+        """Zero-copy read: a ``memoryview`` over a cached read-only mmap
+        of the unit's file (empty units fall back to an empty view —
+        mmap cannot map zero bytes)."""
+        with self._lock:
+            m = self._maps.get(key)
+            if m is not None:
+                return memoryview(m)
+            path = self._path(key)
+            try:
+                with open(path, "rb") as f:
+                    if os.fstat(f.fileno()).st_size == 0:
+                        return memoryview(b"")
+                    m = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+            except FileNotFoundError:
+                raise UnitNotFound(key) from None
+            self._maps[key] = m
+            return memoryview(m)
+
     def size(self, key: str) -> int:
         try:
             return os.path.getsize(self._path(key))
@@ -118,6 +158,16 @@ class DirectoryStore:
             raise UnitNotFound(key) from None
 
     def delete(self, key: str) -> None:
+        with self._lock:
+            m = self._maps.pop(key, None)
+            if m is not None:
+                try:
+                    m.close()
+                except BufferError:
+                    # A caller still holds a view; the map stays alive
+                    # until that view is released, the file is unlinked
+                    # regardless.
+                    pass
         try:
             os.remove(self._path(key))
         except FileNotFoundError:
@@ -149,6 +199,9 @@ class SegmentFileStore:
             pass
         self._end = 0
         self._live_bytes = 0
+        self._map: mmap.mmap | None = None
+        self._map_size = 0
+        self._lock = threading.Lock()
 
     def put(self, key: str, blob: bytes) -> None:
         if key in self._segments:
@@ -167,6 +220,29 @@ class SegmentFileStore:
         with open(self.path, "rb") as f:
             f.seek(offset)
             return f.read(length)
+
+    def get_view(self, key: str) -> memoryview:
+        """Zero-copy read: a slice of a whole-file read-only mmap.
+
+        The map is remapped lazily when appends have grown the file past
+        the mapped size; the superseded map object is simply dropped —
+        any outstanding views keep it alive until released.
+        """
+        try:
+            offset, length = self._segments[key]
+        except KeyError:
+            raise UnitNotFound(key) from None
+        if length == 0:
+            return memoryview(b"")
+        with self._lock:
+            if self._map is None or offset + length > self._map_size:
+                with open(self.path, "rb") as f:
+                    size = os.fstat(f.fileno()).st_size
+                    if offset + length > size:
+                        raise UnitNotFound(key)
+                    self._map = mmap.mmap(f.fileno(), 0, access=mmap.ACCESS_READ)
+                    self._map_size = size
+            return memoryview(self._map)[offset:offset + length]
 
     def size(self, key: str) -> int:
         try:

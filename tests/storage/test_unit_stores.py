@@ -86,3 +86,72 @@ class TestSegmentFileStoreSpecifics:
         assert os.path.getsize(path) == 7
         assert store.get("a") == b"aaa"
         assert store.get("b") == b"bbbb"
+
+
+class TestGetView:
+    """Zero-copy reads: get_view must return a read-only memoryview with
+    the same bytes as get(), on every backend and edge case."""
+
+    def test_view_matches_get(self, store):
+        store.put("a", b"hello world")
+        view = store.get_view("a")
+        assert isinstance(view, memoryview)
+        assert bytes(view) == store.get("a")
+
+    def test_view_of_empty_blob(self, store):
+        store.put("empty", b"")
+        assert bytes(store.get_view("empty")) == b""
+
+    def test_missing_key(self, store):
+        with pytest.raises(UnitNotFound):
+            store.get_view("nope")
+
+    def test_views_after_growth(self, store):
+        """Views taken before later puts stay valid, and new keys are
+        readable (the segment store remaps lazily as the file grows)."""
+        store.put("first", b"0123456789")
+        early = store.get_view("first")
+        for i in range(5):
+            store.put(f"k{i}", bytes([i]) * 1000)
+        assert bytes(early) == b"0123456789"
+        for i in range(5):
+            assert bytes(store.get_view(f"k{i}")) == bytes([i]) * 1000
+
+    def test_view_survives_release_cycle(self, store):
+        store.put("a", b"x" * 100)
+        v1 = store.get_view("a")
+        del v1
+        v2 = store.get_view("a")
+        assert bytes(v2) == b"x" * 100
+
+    def test_delete_with_outstanding_view(self, store):
+        """delete() must succeed even while a caller still holds a view
+        (the mmap stays alive until the view is released)."""
+        store.put("a", b"abcdef")
+        view = store.get_view("a")
+        store.delete("a")
+        assert bytes(view) == b"abcdef"
+        with pytest.raises(UnitNotFound):
+            store.get("a")
+
+
+class TestRunningTotals:
+    def test_in_memory_total_tracks_puts_and_deletes(self):
+        store = InMemoryStore()
+        assert store.total_bytes() == 0
+        store.put("a", b"x" * 10)
+        store.put("b", b"y" * 7)
+        assert store.total_bytes() == 17
+        store.delete("a")
+        assert store.total_bytes() == 7
+        store.delete("b")
+        assert store.total_bytes() == 0
+
+    def test_segment_total_excludes_deleted(self, tmp_path):
+        store = SegmentFileStore(str(tmp_path / "seg.bin"))
+        store.put("a", b"x" * 10)
+        store.put("b", b"y" * 5)
+        assert store.total_bytes() == 15
+        store.delete("a")
+        # Log-structured: bytes stay in the file but leave the total.
+        assert store.total_bytes() == 5
