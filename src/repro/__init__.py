@@ -70,6 +70,12 @@ from repro.costmodel import (
     measure_encoding_ratios,
 )
 from repro.data import Dataset, FleetConfig, TaxiFleetGenerator, synthetic_shanghai_taxis
+from repro.errors import (
+    InjectedFault,
+    OverloadError,
+    QuotaExceededError,
+    ReplicaExists,
+)
 from repro.encoding import (
     EncodingScheme,
     all_encoding_schemes,
@@ -99,20 +105,32 @@ from repro.partition import (
     paper_partitioning_schemes,
     small_partitioning_schemes,
 )
+from repro.serve import (
+    FleetReport,
+    FleetSpec,
+    QuotaConfig,
+    ShardServer,
+    TenantQuotas,
+    run_fleet,
+)
 from repro.storage import (
     BlotStore,
     DegradedReadError,
     DirectoryStore,
     ExecOptions,
     FaultInjector,
+    FaultSpec,
     InMemoryStore,
     PartitionCache,
     PartitionReadError,
     QueryResult,
     QueryStats,
+    ReplicaRef,
+    StoreConfig,
     WorkloadResult,
     WorkloadStats,
     build_replica,
+    materialize_store,
     open_store,
 )
 from repro.workload import (
@@ -144,14 +162,21 @@ __all__ = [
     "EncodingScheme",
     "ExecOptions",
     "FaultInjector",
+    "FaultSpec",
     "FleetConfig",
+    "FleetReport",
+    "FleetSpec",
     "GridPartitioner",
     "GroupedQuery",
     "InMemoryStore",
+    "InjectedFault",
+    "OverloadError",
     "PartitionCache",
     "PartitionReadError",
     "QueryResult",
     "QueryStats",
+    "QuotaConfig",
+    "QuotaExceededError",
     "KdTreePartitioner",
     "LOCAL_HADOOP",
     "MetricsRegistry",
@@ -161,14 +186,19 @@ __all__ = [
     "QuadtreePartitioner",
     "Query",
     "Recalibrator",
+    "ReplicaExists",
+    "ReplicaRef",
     "ReplicaAdvisor",
     "ReplicaProfile",
     "RoutingPlan",
     "Selection",
     "SelectionInstance",
     "SelectionReport",
+    "ShardServer",
     "SimulatedCluster",
+    "StoreConfig",
     "TaxiFleetGenerator",
+    "TenantQuotas",
     "TemporalSlicer",
     "TimeseriesStore",
     "TraceRecorder",
@@ -192,9 +222,11 @@ __all__ = [
     "local_search_select",
     "grouped_random_workload",
     "make_cluster",
+    "materialize_store",
     "measure_compression_ratio",
     "measure_encoding_ratios",
     "open_store",
+    "run_fleet",
     "paper_encoding_schemes",
     "paper_partitioning_schemes",
     "paper_workload",

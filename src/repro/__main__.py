@@ -1,7 +1,14 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+The ``__name__`` guard is load-bearing: ``repro serve`` starts
+``spawn`` worker processes, and the spawn bootstrap re-imports the
+parent's main module — without the guard every worker would recursively
+re-run the CLI instead of entering its worker loop.
+"""
 
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

@@ -665,6 +665,193 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if not remaining else 1
 
 
+def _serve_replica_specs(n_replicas: int):
+    """The ``(scheme, encoding, name)`` triples ``serve`` and ``fleet``
+    materialize — the same diversity ladder as ``run-workload``."""
+    from repro.encoding import encoding_scheme_by_name
+    from repro.partition import CompositeScheme, KdTreePartitioner
+
+    return [
+        (CompositeScheme(KdTreePartitioner(leaves), slices),
+         encoding_scheme_by_name(enc),
+         f"kd{leaves}t{slices}-{enc.lower()}")
+        for leaves, slices, enc in _WORKLOAD_REPLICA_SPECS[:n_replicas]
+    ]
+
+
+def _materialize_serve_store(args: argparse.Namespace):
+    """Materialize the on-disk store ``serve``/``fleet`` run against and
+    return its :class:`~repro.storage.StoreConfig` (or ``(None, code)``
+    on bad arguments)."""
+    import tempfile
+
+    from repro.storage import FaultSpec, materialize_store
+
+    if not 1 <= args.replicas <= len(_WORKLOAD_REPLICA_SPECS):
+        print(f"--replicas must be 1..{len(_WORKLOAD_REPLICA_SPECS)}",
+              file=sys.stderr)
+        return None, 2
+    data = _load_or_generate(args)
+    specs = _serve_replica_specs(args.replicas)
+    faults = None
+    if (getattr(args, "fail_replica", None)
+            or getattr(args, "fault_rate", 0.0)):
+        known = {name for _, _, name in specs}
+        unknown = [n for n in (args.fail_replica or []) if n not in known]
+        if unknown:
+            print(f"--fail-replica: no replica named {unknown[0]!r}; have "
+                  + ", ".join(sorted(known)), file=sys.stderr)
+            return None, 2
+        faults = FaultSpec(
+            seed=args.fault_seed,
+            partition_fail_rate=args.fault_rate,
+            slow_seconds=args.slow_ms / 1e3,
+            fail_replicas=tuple(args.fail_replica or ()),
+        )
+    root = args.store_root or tempfile.mkdtemp(prefix="repro-serve-")
+    config = materialize_store(data, specs, root, faults=faults,
+                               observability=True)
+    print(f"materialized {len(data):,} records x {args.replicas} replicas "
+          f"under {root}")
+    return config, 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the sharded serving tier against a materialized store, drive
+    a simulated fleet through it, and optionally verify every answer
+    bit-equal against a single-process engine (exit 1 on mismatch)."""
+    import asyncio
+    import dataclasses
+    import json
+
+    from repro.errors import DegradedReadError
+    from repro.serve import (
+        FleetSpec,
+        QuotaConfig,
+        ShardServer,
+        TenantQuotas,
+        fleet_queries,
+        run_fleet,
+    )
+    from repro.storage import hydrate_store
+    from repro.verify.oracle import canonical, datasets_identical
+
+    config, err = _materialize_serve_store(args)
+    if config is None:
+        return err
+    spec = FleetSpec(
+        n_queries=args.queries,
+        tenants=tuple(f"tenant-{i}" for i in range(args.tenants)),
+        concurrency=args.concurrency,
+        seed=args.seed,
+    )
+    quotas = None
+    if args.quota_rate > 0:
+        quotas = TenantQuotas(QuotaConfig(rate=args.quota_rate,
+                                          burst=args.quota_burst))
+
+    # The bit-equality referee answers from a fault-free hydration: the
+    # true result of a query does not depend on the fault schedule.
+    baselines = None
+    queries = None
+    if args.verify:
+        referee = hydrate_store(dataclasses.replace(config, faults=None))
+        try:
+            queries = fleet_queries(referee.universe, spec)
+            baselines = [canonical(referee.query(q).records)
+                         for q in queries]
+        finally:
+            referee.close()
+
+    async def go():
+        async with ShardServer(
+            config,
+            n_shards=args.shards,
+            sharding=args.sharding,
+            worker_mode=args.worker_mode,
+            max_inflight=args.max_inflight,
+            quotas=quotas,
+        ) as server:
+            report = await run_fleet(server, spec)
+            verified = mismatched = degraded = 0
+            if args.verify:
+                server.quotas = None  # the referee pass is not traffic
+                for q, want in zip(queries, baselines):
+                    try:
+                        got = await server.query(q, tenant="verify")
+                    except DegradedReadError:
+                        degraded += 1
+                        continue
+                    if datasets_identical(canonical(got), want):
+                        verified += 1
+                    else:
+                        mismatched += 1
+            stats = server.server_stats()
+            snapshot = await server.metrics_snapshot()
+        return report, stats, snapshot, (verified, mismatched, degraded)
+
+    report, stats, snapshot, (verified, mismatched, degraded) = \
+        asyncio.run(go())
+
+    print(f"[fleet] {report.n_queries} queries over {args.tenants} tenants: "
+          f"{report.served} served ({report.records_returned:,} records), "
+          f"{report.shed} shed, {report.quota_rejected} quota-rejected, "
+          f"{report.degraded} degraded")
+    print(f"[server] {args.shards} {args.worker_mode} shards "
+          f"({args.sharding} sharding): {stats['batches_flushed']} batches "
+          f"for {stats['queries_batched']} queries, "
+          f"{stats['failovers']} failovers")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as f:
+            json.dump(snapshot, f, indent=2, sort_keys=True)
+        print(f"wrote shard metrics to {args.metrics_out}")
+    if args.verify:
+        print(f"[verify] {verified} bit-equal, {mismatched} MISMATCHED, "
+              f"{degraded} degraded (skipped)")
+        if mismatched or not verified:
+            print("verification FAILED: sharded answers are not bit-equal "
+                  "to the single-process engine", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """The single-process baseline for ``serve``: the identical fleet
+    traffic batch-executed through one engine, no sharding, no front
+    door — the number the serving tier's throughput is judged against."""
+    import time
+
+    from repro.serve import FleetSpec, fleet_queries
+    from repro.storage import hydrate_store
+    from repro.workload import Workload
+
+    config, err = _materialize_serve_store(args)
+    if config is None:
+        return err
+    store = hydrate_store(config)
+    try:
+        spec = FleetSpec(
+            n_queries=args.queries,
+            tenants=tuple(f"tenant-{i}" for i in range(args.tenants)),
+            concurrency=args.concurrency,
+            seed=args.seed,
+        )
+        queries = fleet_queries(store.universe, spec)
+        start = time.perf_counter()
+        result = store.execute_workload(Workload.unweighted(queries))
+        seconds = time.perf_counter() - start
+    finally:
+        store.close()
+    s = result.stats
+    print(f"[baseline] {s.n_queries} queries in {seconds * 1e3:.1f} ms "
+          f"({s.n_queries / seconds:,.0f} q/s), "
+          f"{s.records_returned:,} records returned")
+    routed = ", ".join(f"{name}={count}" for name, count in
+                       sorted(s.per_replica_queries.items()))
+    print(f"  routing: {routed}")
+    return 0
+
+
 def _seed_parent(default: int = 7) -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(add_help=False)
     p.add_argument("--seed", type=int, default=default)
@@ -888,6 +1075,56 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[data, seed, workload_shape, faults],
     )
     p.set_defaults(handler=_cmd_drill)
+
+    serving_shape = argparse.ArgumentParser(add_help=False)
+    serving_shape.add_argument("--replicas", type=int, default=2,
+                               help="diverse replicas to materialize (1..6)")
+    serving_shape.add_argument("--store-root", default=None, metavar="DIR",
+                               help="materialize the store here "
+                                    "(default: a fresh temp dir)")
+    serving_shape.add_argument("--queries", type=int, default=100,
+                               help="fleet queries to issue")
+    serving_shape.add_argument("--tenants", type=int, default=2,
+                               help="simulated tenants issuing traffic")
+    serving_shape.add_argument("--concurrency", type=int, default=16,
+                               help="concurrent in-flight client queries")
+
+    p = sub.add_parser(
+        "serve",
+        help="boot the sharded multi-worker serving tier and drive a "
+             "simulated fleet through it",
+        parents=[data, seed, serving_shape, faults],
+    )
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard workers to start")
+    p.add_argument("--sharding", default="hash",
+                   choices=["hash", "spatial"],
+                   help="unit-to-shard assignment mode")
+    p.add_argument("--worker-mode", default="process",
+                   choices=["process", "thread"],
+                   help="spawn real worker processes or in-process threads")
+    p.add_argument("--max-inflight", type=int, default=256,
+                   help="admission limit before queries are shed")
+    p.add_argument("--quota-rate", type=float, default=0.0,
+                   help="per-tenant sustained queries/second "
+                        "(0 disables quotas)")
+    p.add_argument("--quota-burst", type=float, default=20.0,
+                   help="per-tenant burst allowance")
+    p.add_argument("--verify", action="store_true",
+                   help="re-answer every fleet query on a single-process "
+                        "engine and exit 1 unless all answers are bit-equal")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write the per-shard + merged metrics snapshot "
+                        "as JSON")
+    p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="single-process baseline: the identical fleet traffic "
+             "through one engine (compare against `serve`)",
+        parents=[data, seed, serving_shape],
+    )
+    p.set_defaults(handler=_cmd_fleet)
 
     p = sub.add_parser("query", help="run one range query through the engine",
                        parents=[data, seed])

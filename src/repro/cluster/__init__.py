@@ -28,6 +28,9 @@ from repro.cluster.placement import (
     PLACEMENT_POLICIES,
     RecoveryPlan,
     RecoveryStep,
+    SHARDING_MODES,
+    ShardAssignment,
+    assign_shards,
 )
 from repro.cluster.jobs import (
     RoutedQueryResult,
@@ -61,6 +64,9 @@ __all__ = [
     "PLACEMENT_POLICIES",
     "RecoveryPlan",
     "RecoveryStep",
+    "SHARDING_MODES",
+    "ShardAssignment",
+    "assign_shards",
     "PAPER_TABLE1_RATIOS",
     "RoutedQueryResult",
     "SimulatedCluster",

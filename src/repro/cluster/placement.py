@@ -17,12 +17,18 @@ This module provides:
 - :meth:`ClusterPlacement.plan_recovery` — for each lost unit, pick a
   surviving diverse replica able to answer the unit's box;
 - :meth:`ClusterPlacement.execute_recovery` — run the plan through
-  :func:`repro.storage.recovery.repair_partition`.
+  :func:`repro.storage.recovery.repair_partition`;
+- :class:`ShardAssignment` / :func:`assign_shards` — the serving tier's
+  static unit-to-shard map: every ``(replica, partition)`` unit is owned
+  by exactly one shard worker, by stable hash (load spreading) or by
+  spatial runs balanced on record counts (query co-location, after
+  Kumar et al.'s affinity-aware placement).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import zlib
+from dataclasses import dataclass, field, replace as dataclasses_replace
 
 import numpy as np
 
@@ -31,6 +37,8 @@ from repro.storage.recovery import repair_partition
 from repro.storage.replica import StoredReplica
 
 PLACEMENT_POLICIES = ("spread", "random", "anti-affinity")
+
+SHARDING_MODES = ("hash", "spatial")
 
 
 @dataclass(frozen=True)
@@ -290,3 +298,138 @@ class ClusterPlacement:
             if plan.is_complete:
                 return restored, plan
             pending = FailureReport(pending.node_id, plan.unrecoverable)
+
+
+# -- serving-tier sharding ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """A static map of every ``(replica, partition)`` unit to one shard.
+
+    Plain picklable data: the serving tier ships one assignment to every
+    ``spawn``-started worker, and each worker masks the unit keys it
+    does not own (:meth:`mask_replica`) so the engine's scan simply never
+    touches another shard's partitions.  Because the owners cover each
+    replica exactly once, the per-shard partial results of one query —
+    all served from the *same* replica — union to precisely the
+    single-process result.
+
+    ``owners[replica_name][pid]`` is the owning shard id.
+    """
+
+    n_shards: int
+    mode: str
+    owners: dict[str, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if self.mode not in SHARDING_MODES:
+            raise ValueError(
+                f"unknown sharding mode {self.mode!r}; have {SHARDING_MODES}")
+        for name, shards in self.owners.items():
+            bad = [s for s in shards if not 0 <= s < self.n_shards]
+            if bad:
+                raise ValueError(
+                    f"replica {name!r} assigns partitions to shards {bad} "
+                    f"outside [0, {self.n_shards})"
+                )
+
+    @property
+    def replica_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.owners))
+
+    def shard_of(self, replica_name: str, partition_id: int) -> int:
+        return self.owners[replica_name][partition_id]
+
+    def partitions_for(self, shard_id: int, replica_name: str) -> tuple[int, ...]:
+        """The partition ids of one replica owned by ``shard_id``."""
+        return tuple(
+            pid for pid, s in enumerate(self.owners[replica_name])
+            if s == shard_id
+        )
+
+    def unit_counts(self) -> list[int]:
+        """Owned units per shard, over all replicas (balance check)."""
+        counts = [0] * self.n_shards
+        for shards in self.owners.values():
+            for s in shards:
+                counts[s] += 1
+        return counts
+
+    def mask_replica(self, replica: StoredReplica, shard_id: int) -> StoredReplica:
+        """``replica`` as seen by one shard: unit keys this shard does
+        not own are masked to ``None``, which the engine's scan paths
+        treat as partitions that simply contribute no records."""
+        owners = self.owners[replica.name]
+        masked = tuple(
+            key if owners[pid] == shard_id else None
+            for pid, key in enumerate(replica.unit_keys)
+        )
+        return dataclasses_replace(replica, unit_keys=masked)
+
+
+def _hash_shard(replica_name: str, partition_id: int, n_shards: int) -> int:
+    # crc32, not hash(): stable across processes regardless of
+    # PYTHONHASHSEED, so parent and spawned workers agree on ownership.
+    token = f"{replica_name}:{partition_id}".encode()
+    return zlib.crc32(token) % n_shards
+
+
+def _spatial_shards(replica: StoredReplica, n_shards: int) -> tuple[int, ...]:
+    """Contiguous centroid-ordered runs of partitions, balanced so each
+    shard owns roughly equal record counts — spatially close partitions
+    co-locate, so a tight query's work lands on few shards."""
+    boxes = replica.partitioning.box_array
+    counts = np.asarray(replica.partitioning.counts, dtype=np.float64)
+    centroids = np.stack([
+        (boxes[:, 0] + boxes[:, 1]) / 2,
+        (boxes[:, 2] + boxes[:, 3]) / 2,
+        (boxes[:, 4] + boxes[:, 5]) / 2,
+    ], axis=1)
+    order = np.lexsort((centroids[:, 2], centroids[:, 1], centroids[:, 0]))
+    total = counts.sum()
+    shards = [0] * len(order)
+    if total <= 0:
+        for i, pid in enumerate(order):
+            shards[pid] = i * n_shards // max(len(order), 1)
+        return tuple(shards)
+    per_shard = total / n_shards
+    cum = 0.0
+    for pid in order:
+        # Assign by the run's record midpoint so one oversized partition
+        # does not push every later run into the last shard.
+        shard = min(int((cum + counts[pid] / 2) / per_shard), n_shards - 1)
+        shards[pid] = shard
+        cum += counts[pid]
+    return tuple(shards)
+
+
+def assign_shards(
+    replicas, n_shards: int, mode: str = "hash"
+) -> ShardAssignment:
+    """Build the unit-to-shard map for a replica set.
+
+    ``mode="hash"`` spreads units by a stable crc32 of
+    ``replica:partition`` (uniform load, no locality); ``"spatial"``
+    gives each shard contiguous centroid-ordered runs balanced by record
+    counts (query co-location at the cost of hot-region skew).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if mode not in SHARDING_MODES:
+        raise ValueError(
+            f"unknown sharding mode {mode!r}; have {SHARDING_MODES}")
+    owners: dict[str, tuple[int, ...]] = {}
+    for replica in replicas:
+        if replica.name in owners:
+            raise ValueError(f"duplicate replica {replica.name!r}")
+        if mode == "hash":
+            owners[replica.name] = tuple(
+                _hash_shard(replica.name, pid, n_shards)
+                for pid in range(replica.partitioning.n_partitions)
+            )
+        else:
+            owners[replica.name] = _spatial_shards(replica, n_shards)
+    return ShardAssignment(n_shards=n_shards, mode=mode, owners=owners)

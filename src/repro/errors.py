@@ -1,0 +1,134 @@
+"""The consolidated exception surface of the repro package.
+
+Every structured failure the engine and the serving tier can raise
+lives here, dependency-free, so any layer (storage, cluster, serve,
+CLI) can catch them without import cycles:
+
+- :class:`InjectedFault` — a fault fired by a
+  :class:`~repro.storage.faults.FaultInjector` on a storage read;
+- :class:`PartitionReadError` — one partition read stayed failed after
+  the configured retries (injected or real damage);
+- :class:`DegradedReadError` — a query exhausted every replica and
+  repair could not restore a readable copy;
+- :class:`ReplicaExists` — registering a replica under a taken name;
+- :class:`OverloadError` — the serving tier shed a query at admission
+  (load shedding is explicit, never silent truncation);
+- :class:`QuotaExceededError` — a tenant ran out of request budget.
+
+The historical homes (``repro.storage.faults``, ``repro.storage.engine``)
+re-export their classes from here, so existing ``except`` clauses keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+
+class InjectedFault(RuntimeError):
+    """A fault fired by a :class:`~repro.storage.faults.FaultInjector`
+    on a storage read.
+
+    ``scope`` is ``"replica"`` when the whole replica is down (retry and
+    repair are pointless — the node is gone) or ``"partition"`` when a
+    single storage unit is unreadable (repair from a diverse replica can
+    restore it).
+    """
+
+    def __init__(self, replica_name: str, partition_id: int | None = None,
+                 scope: str = "partition"):
+        self.replica_name = replica_name
+        self.partition_id = partition_id
+        self.scope = scope
+        where = (f"replica {replica_name!r}" if scope == "replica"
+                 else f"partition {partition_id} of replica {replica_name!r}")
+        super().__init__(f"injected fault: {where} is failed")
+
+
+class PartitionReadError(RuntimeError):
+    """A partition read that stayed failed after the configured retries.
+
+    Wraps the last underlying error (an :class:`InjectedFault`, a
+    :class:`~repro.storage.unit.UnitNotFound`, a decoder error on
+    corrupt bytes, ...) so callers can tell injected faults from real
+    damage, and whole-replica outages from single-unit ones.
+    """
+
+    def __init__(self, replica_name: str, partition_id: int | None,
+                 cause: BaseException, attempts: int = 1):
+        self.replica_name = replica_name
+        self.partition_id = partition_id
+        self.cause = cause
+        self.attempts = attempts
+        super().__init__(
+            f"replica {replica_name!r} partition {partition_id}: read failed "
+            f"after {attempts} attempt(s): {cause}"
+        )
+
+    @property
+    def replica_failed(self) -> bool:
+        """True when the failure is a whole-replica outage."""
+        return (isinstance(self.cause, InjectedFault)
+                and self.cause.scope == "replica")
+
+
+class DegradedReadError(RuntimeError):
+    """Every replica able to serve a query failed, and repair could not
+    restore a readable copy.
+
+    ``attempts`` records ``(replica_name, error)`` per replica tried, in
+    fallback-ranking order, so operators see exactly which copies were
+    consulted and why each one failed.
+    """
+
+    def __init__(self, message: str,
+                 attempts: tuple[tuple[str, Exception], ...] = ()):
+        self.attempts = tuple(attempts)
+        detail = "; ".join(f"{name}: {err}" for name, err in self.attempts)
+        super().__init__(message + (f" [{detail}]" if detail else ""))
+
+
+class ReplicaExists(ValueError):
+    """Raised when adding a replica under a name already in use."""
+
+
+class OverloadError(RuntimeError):
+    """The serving tier refused a query at admission: the in-flight
+    limit was reached and the query was shed rather than queued without
+    bound.  Shedding is always this structured signal — a shed query
+    never silently returns a truncated result.
+
+    ``inflight``/``limit`` report the pressure at rejection time so
+    clients can back off proportionally.
+    """
+
+    def __init__(self, inflight: int, limit: int):
+        self.inflight = inflight
+        self.limit = limit
+        super().__init__(
+            f"serving tier overloaded: {inflight} queries in flight "
+            f"(admission limit {limit})"
+        )
+
+
+class QuotaExceededError(RuntimeError):
+    """A tenant exhausted its request budget and the query was rejected
+    before admission.  ``retry_after_seconds`` is the token-bucket
+    refill horizon — the earliest time a retry can succeed."""
+
+    def __init__(self, tenant: str, retry_after_seconds: float = 0.0):
+        self.tenant = tenant
+        self.retry_after_seconds = float(retry_after_seconds)
+        super().__init__(
+            f"tenant {tenant!r} exceeded its query quota"
+            + (f" (retry in {retry_after_seconds:.2f}s)"
+               if retry_after_seconds > 0 else "")
+        )
+
+
+__all__ = [
+    "DegradedReadError",
+    "InjectedFault",
+    "OverloadError",
+    "PartitionReadError",
+    "QuotaExceededError",
+    "ReplicaExists",
+]

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.aggregate import merge_metric_snapshots
 from repro.obs.drift import DriftMonitor, DriftStatus, relative_error
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
@@ -168,6 +169,7 @@ __all__ = [
     "TimeseriesStore",
     "TraceRecorder",
     "build_report",
+    "merge_metric_snapshots",
     "relative_error",
     "render_report_text",
     "validate_report",

@@ -1,0 +1,70 @@
+"""Cross-process metrics aggregation for the serving tier.
+
+Each shard worker owns a private
+:class:`~repro.obs.MetricsRegistry`; the front door collects their
+:meth:`~repro.obs.MetricsRegistry.snapshot` dicts and merges them here
+into one fleet-wide view: counters and gauges sum per ``(name,
+labels)``, histograms merge bucket-wise (the boundaries are fixed
+per metric name, so buckets align across processes).
+"""
+
+from __future__ import annotations
+
+
+def _key(entry: dict) -> tuple:
+    return (entry["name"], tuple(sorted(entry["labels"].items())))
+
+
+def _merge_scalars(all_entries) -> list[dict]:
+    merged: dict[tuple, dict] = {}
+    for entry in all_entries:
+        key = _key(entry)
+        slot = merged.get(key)
+        if slot is None:
+            merged[key] = {"name": entry["name"],
+                           "labels": dict(entry["labels"]),
+                           "value": entry["value"]}
+        else:
+            slot["value"] += entry["value"]
+    return [merged[key] for key in sorted(merged)]
+
+
+def _merge_histograms(all_entries) -> list[dict]:
+    merged: dict[tuple, dict] = {}
+    for entry in all_entries:
+        key = _key(entry)
+        slot = merged.get(key)
+        if slot is None:
+            merged[key] = {
+                "name": entry["name"],
+                "labels": dict(entry["labels"]),
+                "count": entry["count"],
+                "sum": entry["sum"],
+                "buckets": [dict(b) for b in entry["buckets"]],
+            }
+            continue
+        slot["count"] += entry["count"]
+        slot["sum"] += entry["sum"]
+        theirs = {b["le"]: b["count"] for b in entry["buckets"]}
+        if set(theirs) != {b["le"] for b in slot["buckets"]}:
+            raise ValueError(
+                f"histogram {entry['name']!r} has mismatched bucket "
+                "boundaries across snapshots"
+            )
+        for bucket in slot["buckets"]:
+            bucket["count"] += theirs[bucket["le"]]
+    return [merged[key] for key in sorted(merged)]
+
+
+def merge_metric_snapshots(snapshots) -> dict:
+    """Merge :meth:`MetricsRegistry.snapshot` dicts from many processes
+    into one, deterministically ordered by ``(name, labels)``."""
+    snapshots = list(snapshots)
+    return {
+        "counters": _merge_scalars(
+            e for s in snapshots for e in s.get("counters", ())),
+        "gauges": _merge_scalars(
+            e for s in snapshots for e in s.get("gauges", ())),
+        "histograms": _merge_histograms(
+            e for s in snapshots for e in s.get("histograms", ())),
+    }

@@ -1,0 +1,62 @@
+"""The sharded multi-worker serving tier (ROADMAP: production-scale BLOT).
+
+``repro.serve`` turns the single-process engine into a deployment shape:
+the replica set is sharded across worker processes
+(:class:`~repro.cluster.ShardAssignment`), an asyncio front door
+(:class:`ShardServer`) coalesces concurrent range queries into batched
+``execute_workload`` calls per shard (:class:`Batcher`), admission
+control and per-tenant quotas shed load with structured errors
+(:class:`AdmissionController`, :class:`TenantQuotas`), and a simulated
+fleet (:func:`run_fleet`) provides the mixed read traffic.
+
+The enabling API is :class:`~repro.storage.StoreConfig`: a picklable
+store recipe every ``spawn``-started worker rehydrates with
+``open_store(config)`` — no mmap view, thread pool or recorder ever
+crosses a process boundary.  See ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionController, QuotaConfig, TenantQuotas
+from repro.serve.batcher import Batcher
+from repro.serve.fleet import FleetReport, FleetSpec, fleet_queries, run_fleet
+from repro.serve.protocol import (
+    MetricsRequest,
+    MetricsResponse,
+    QueryTask,
+    ShardRequest,
+    ShardResponse,
+    concat_payloads,
+    dataset_to_payload,
+    payload_to_dataset,
+)
+from repro.serve.server import WORKER_MODES, ShardServer
+from repro.serve.worker import (
+    open_shard_store,
+    pinned_plan,
+    serve_request,
+    shard_worker_main,
+)
+
+__all__ = [
+    "AdmissionController",
+    "Batcher",
+    "FleetReport",
+    "FleetSpec",
+    "MetricsRequest",
+    "MetricsResponse",
+    "QueryTask",
+    "QuotaConfig",
+    "ShardRequest",
+    "ShardResponse",
+    "ShardServer",
+    "TenantQuotas",
+    "WORKER_MODES",
+    "concat_payloads",
+    "dataset_to_payload",
+    "fleet_queries",
+    "open_shard_store",
+    "payload_to_dataset",
+    "pinned_plan",
+    "run_fleet",
+    "serve_request",
+    "shard_worker_main",
+]

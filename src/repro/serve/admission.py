@@ -1,0 +1,129 @@
+"""Admission control and per-tenant quotas for the serving front door.
+
+Both mechanisms reject *before* any work is queued, with structured
+errors (:class:`~repro.errors.OverloadError`,
+:class:`~repro.errors.QuotaExceededError`) — a refused query is always
+an explicit signal, never a silently truncated result.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import OverloadError, QuotaExceededError
+
+
+class AdmissionController:
+    """A hard cap on queries in flight through the serving tier.
+
+    ``acquire()`` admits or raises :class:`OverloadError` — there is no
+    unbounded queue to hide behind.  Thread-safe so process workers'
+    reader threads and the asyncio loop can share it.
+    """
+
+    def __init__(self, max_inflight: int):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._limit = int(max_inflight)
+        self._inflight = 0
+        self._shed = 0
+        self._admitted = 0
+        self._lock = threading.Lock()
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def admitted(self) -> int:
+        return self._admitted
+
+    @property
+    def shed(self) -> int:
+        return self._shed
+
+    def acquire(self) -> None:
+        with self._lock:
+            if self._inflight >= self._limit:
+                self._shed += 1
+                raise OverloadError(self._inflight, self._limit)
+            self._inflight += 1
+            self._admitted += 1
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._inflight -= 1
+
+
+@dataclass(frozen=True, slots=True)
+class QuotaConfig:
+    """Token-bucket parameters: sustained ``rate`` queries/second with
+    bursts up to ``burst`` queries."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+
+
+class TenantQuotas:
+    """Per-tenant token buckets in front of admission.
+
+    Each tenant gets its own bucket (``overrides`` wins over the
+    default).  ``clock`` is injectable so tests drive refill
+    deterministically without sleeping.
+    """
+
+    def __init__(
+        self,
+        default: QuotaConfig,
+        overrides: dict[str, QuotaConfig] | None = None,
+        clock=time.monotonic,
+    ):
+        self._default = default
+        self._overrides = dict(overrides or {})
+        self._clock = clock
+        #: tenant -> [tokens, last_refill_time]
+        self._buckets: dict[str, list[float]] = {}
+        self._rejected = 0
+        self._lock = threading.Lock()
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected
+
+    def config_for(self, tenant: str) -> QuotaConfig:
+        return self._overrides.get(tenant, self._default)
+
+    def check(self, tenant: str) -> None:
+        """Spend one token or raise :class:`QuotaExceededError` with the
+        refill horizon."""
+        cfg = self.config_for(tenant)
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = [float(cfg.burst), now]
+                self._buckets[tenant] = bucket
+            tokens, last = bucket
+            tokens = min(cfg.burst, tokens + (now - last) * cfg.rate)
+            if tokens < 1.0:
+                bucket[0] = tokens
+                bucket[1] = now
+                self._rejected += 1
+                raise QuotaExceededError(
+                    tenant, retry_after_seconds=(1.0 - tokens) / cfg.rate)
+            bucket[0] = tokens - 1.0
+            bucket[1] = now

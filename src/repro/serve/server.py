@@ -1,0 +1,330 @@
+"""The serving front door: routing, batching, fan-out, coordinated failover.
+
+A :class:`ShardServer` owns
+
+- a *router* store — a full (unmasked) :class:`~repro.storage.BlotStore`
+  hydrated from the same :class:`~repro.storage.StoreConfig` the workers
+  get, used only for Eq. 6–7 cost routing, never for scanning;
+- ``n_shards`` workers, each holding the masked shard view of every
+  replica (see :mod:`repro.serve.worker`);
+- the admission / quota gate and the query :class:`~repro.serve.Batcher`.
+
+**Coordinated failover.** The server routes each batch once, pins the
+chosen replica, and dispatches the same assignment to every shard.  A
+shard that cannot serve a query from the pinned replica reports a
+structured failure; the server then re-dispatches that query — to *all*
+shards, pinned to the next replica in the plan's cost ranking —
+discarding any partials from the failed round.  Only this keeps the
+union bit-equal: ownership masks are per-replica, so shards must always
+agree on which replica a query reads.  A query that exhausts the
+ranking raises :class:`~repro.errors.DegradedReadError`, never a
+partial result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.cluster.placement import ShardAssignment, assign_shards
+from repro.data.dataset import Dataset
+from repro.errors import DegradedReadError
+from repro.obs.aggregate import merge_metric_snapshots
+from repro.serve.admission import AdmissionController, TenantQuotas
+from repro.serve.batcher import Batcher
+from repro.serve.protocol import (
+    MetricsRequest,
+    QueryTask,
+    ShardRequest,
+    concat_payloads,
+)
+from repro.serve.worker import shard_worker_main
+from repro.storage.config import StoreConfig, hydrate_store
+from repro.storage.options import ExecOptions
+from repro.workload.query import Query, Workload
+
+WORKER_MODES = ("process", "thread")
+
+
+class ShardServer:
+    """An asyncio serving tier over ``n_shards`` store workers.
+
+    ``worker_mode="process"`` starts real ``spawn`` processes (the
+    deployment shape; proves no live handle crosses the boundary);
+    ``"thread"`` runs the same worker loop on threads (deterministic
+    and cheap — the default for tests and benchmarks).
+    """
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        n_shards: int = 2,
+        sharding: str = "hash",
+        worker_mode: str = "thread",
+        window_seconds: float = 0.002,
+        max_batch: int = 64,
+        max_inflight: int = 256,
+        quotas: TenantQuotas | None = None,
+        options: ExecOptions | None = None,
+    ):
+        if worker_mode not in WORKER_MODES:
+            raise ValueError(
+                f"unknown worker_mode {worker_mode!r}; have {WORKER_MODES}")
+        self._config = config
+        self._n_shards = int(n_shards)
+        self._sharding = sharding
+        self._worker_mode = worker_mode
+        self._options = options
+        self.admission = AdmissionController(max_inflight)
+        self.quotas = quotas
+        self._batcher = Batcher(self._flush_batch,
+                                window_seconds=window_seconds,
+                                max_batch=max_batch)
+        self._router = None
+        self._assignment: ShardAssignment | None = None
+        self._workers: list = []
+        self._request_queues: list = []
+        self._response_queues: list = []
+        self._readers: list[asyncio.Task] = []
+        self._pending: dict[int, asyncio.Future] = {}
+        self._ids = itertools.count()
+        self._started = False
+        self.failovers = 0
+        self.degraded = 0
+        self.queries_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self._n_shards
+
+    @property
+    def assignment(self) -> ShardAssignment:
+        if self._assignment is None:
+            raise RuntimeError("server not started")
+        return self._assignment
+
+    @property
+    def router(self):
+        """The full (unmasked) store the front door routes with."""
+        if self._router is None:
+            raise RuntimeError("server not started")
+        return self._router
+
+    async def start(self) -> None:
+        if self._started:
+            raise RuntimeError("server already started")
+        self._router = hydrate_store(self._config)
+        names = sorted(self._router.replica_names())
+        self._assignment = assign_shards(
+            [self._router.replica(name) for name in names],
+            self._n_shards, self._sharding)
+        if self._worker_mode == "process":
+            import multiprocessing as mp
+
+            ctx = mp.get_context("spawn")
+            make_queue = ctx.Queue
+            def make_worker(args):
+                return ctx.Process(target=shard_worker_main, args=args,
+                                   daemon=True)
+        else:
+            import queue as queue_mod
+            import threading
+
+            make_queue = queue_mod.Queue
+            def make_worker(args):
+                return threading.Thread(target=shard_worker_main, args=args,
+                                        daemon=True)
+        loop = asyncio.get_running_loop()
+        for shard_id in range(self._n_shards):
+            request_q = make_queue()
+            response_q = make_queue()
+            worker = make_worker((self._config, self._assignment, shard_id,
+                                  request_q, response_q, self._options))
+            worker.start()
+            self._request_queues.append(request_q)
+            self._response_queues.append(response_q)
+            self._workers.append(worker)
+            self._readers.append(loop.create_task(
+                self._read_responses(response_q)))
+        self._started = True
+
+    async def stop(self) -> None:
+        if not self._started:
+            return
+        await self._batcher.drain()
+        for request_q in self._request_queues:
+            request_q.put(None)
+        if self._readers:
+            await asyncio.gather(*self._readers, return_exceptions=True)
+        loop = asyncio.get_running_loop()
+        for worker in self._workers:
+            await loop.run_in_executor(None, lambda w=worker: w.join(10))
+        self._router.close()
+        self._started = False
+
+    async def __aenter__(self) -> "ShardServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- the query surface -------------------------------------------------
+
+    async def query(self, query: Query, tenant: str = "default") -> Dataset:
+        """Admit, batch, shard and answer one range query.
+
+        Raises :class:`~repro.errors.QuotaExceededError` /
+        :class:`~repro.errors.OverloadError` at the gate and
+        :class:`~repro.errors.DegradedReadError` when every replica
+        failed for this query — never a partial result.
+        """
+        if not self._started:
+            raise RuntimeError("server not started")
+        if self.quotas is not None:
+            self.quotas.check(tenant)
+        self.admission.acquire()
+        try:
+            records = await self._batcher.submit(query)
+        finally:
+            self.admission.release()
+        self.queries_served += 1
+        return records
+
+    async def execute(self, queries, tenant: str = "default") -> list:
+        """Submit many queries concurrently; returns per-query results
+        in order, with the raised exception object in an errored
+        query's slot (shed/degraded queries never silently vanish)."""
+        return await asyncio.gather(
+            *(self.query(q, tenant=tenant) for q in queries),
+            return_exceptions=True,
+        )
+
+    # -- batched dispatch with coordinated failover ------------------------
+
+    async def _flush_batch(self, batch) -> None:
+        # Dedupe: concurrent clients may submit identical queries, and
+        # both Workload and the engine want unique query sets.
+        order: list[Query] = []
+        futures_by_query: dict[Query, list] = {}
+        for query, future in batch:
+            if query not in futures_by_query:
+                futures_by_query[query] = []
+                order.append(query)
+            futures_by_query[query].append(future)
+
+        plan = self._router.route_workload(Workload.unweighted(order))
+        rankings = [plan.ranking_for(i) for i in range(len(order))]
+        rank_pos = [0] * len(order)
+        attempts: list[list] = [[] for _ in order]
+        outcome: dict[int, object] = {}
+        pending = set(range(len(order)))
+
+        while pending:
+            groups: dict[str, list[int]] = {}
+            for i in sorted(pending):
+                groups.setdefault(rankings[i][rank_pos[i]], []).append(i)
+            dispatches = [
+                self._dispatch(replica,
+                               tuple(QueryTask(i, order[i]) for i in idxs))
+                for replica, idxs in groups.items()
+            ]
+            all_responses = await asyncio.gather(*dispatches)
+            for (replica, idxs), responses in zip(groups.items(),
+                                                  all_responses):
+                responses = sorted(responses, key=lambda r: r.shard_id)
+                for i in idxs:
+                    errors = [r.failures[i] for r in responses
+                              if i in r.failures]
+                    if not errors:
+                        if rank_pos[i] > 0:
+                            self.failovers += 1
+                        outcome[i] = concat_payloads(
+                            r.results[i] for r in responses)
+                        pending.discard(i)
+                        continue
+                    attempts[i].append((replica, RuntimeError(errors[0])))
+                    rank_pos[i] += 1
+                    if rank_pos[i] >= len(rankings[i]):
+                        self.degraded += 1
+                        outcome[i] = DegradedReadError(
+                            f"query {order[i]} could not be served by any "
+                            "replica", tuple(attempts[i]))
+                        pending.discard(i)
+
+        for i, query in enumerate(order):
+            result = outcome[i]
+            for future in futures_by_query[query]:
+                if future.done():
+                    continue
+                if isinstance(result, BaseException):
+                    future.set_exception(result)
+                else:
+                    future.set_result(result)
+
+    async def _dispatch(self, replica: str, tasks) -> list:
+        """Send one pinned-replica task group to every shard and gather
+        the per-shard responses."""
+        loop = asyncio.get_running_loop()
+        waits = []
+        for shard_id in range(self._n_shards):
+            request_id = next(self._ids)
+            future = loop.create_future()
+            self._pending[request_id] = future
+            self._request_queues[shard_id].put(
+                ShardRequest(request_id=request_id, replica=replica,
+                             tasks=tasks))
+            waits.append(future)
+        return await asyncio.gather(*waits)
+
+    async def _read_responses(self, response_q) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            message = await loop.run_in_executor(None, response_q.get)
+            if message is None:
+                return
+            future = self._pending.pop(message.request_id, None)
+            if future is not None and not future.done():
+                future.set_result(message)
+
+    # -- observability -----------------------------------------------------
+
+    def server_stats(self) -> dict:
+        """Front-door counters as plain data."""
+        return {
+            "queries_served": self.queries_served,
+            "admitted": self.admission.admitted,
+            "shed": self.admission.shed,
+            "quota_rejected": (self.quotas.rejected
+                               if self.quotas is not None else 0),
+            "failovers": self.failovers,
+            "degraded": self.degraded,
+            "batches_flushed": self._batcher.batches_flushed,
+            "queries_batched": self._batcher.queries_batched,
+        }
+
+    async def metrics_snapshot(self) -> dict:
+        """Per-shard telemetry plus the cross-shard aggregate.
+
+        ``shards`` holds each worker's
+        :meth:`~repro.obs.MetricsRegistry.snapshot`; ``merged`` is their
+        :func:`~repro.obs.aggregate.merge_metric_snapshots` union;
+        ``server`` the front-door counters."""
+        loop = asyncio.get_running_loop()
+        waits = []
+        for shard_id in range(self._n_shards):
+            request_id = next(self._ids)
+            future = loop.create_future()
+            self._pending[request_id] = future
+            self._request_queues[shard_id].put(MetricsRequest(request_id))
+            waits.append(future)
+        responses = await asyncio.gather(*waits)
+        shard_snapshots = {r.shard_id: r.snapshot for r in responses}
+        return {
+            "server": self.server_stats(),
+            "shards": shard_snapshots,
+            "merged": merge_metric_snapshots(
+                [shard_snapshots[s] for s in sorted(shard_snapshots)]),
+        }

@@ -1,6 +1,14 @@
 """The BLOT storage engine: storage units, replicas, query processing."""
 
 from repro.storage.cache import CacheStats, PartitionCache
+from repro.storage.config import (
+    DEFAULT_COST_PARAMS,
+    FaultSpec,
+    ReplicaRef,
+    StoreConfig,
+    hydrate_store,
+    materialize_store,
+)
 from repro.storage.engine import (
     BlotStore,
     QueryResult,
@@ -52,8 +60,14 @@ from repro.storage.unit import (
 __all__ = [
     "BlotStore",
     "CacheStats",
+    "DEFAULT_COST_PARAMS",
     "DEFAULT_EXEC_OPTIONS",
     "DegradedReadError",
+    "FaultSpec",
+    "ReplicaRef",
+    "StoreConfig",
+    "hydrate_store",
+    "materialize_store",
     "DirectoryStore",
     "DuplicateUnit",
     "ExecOptions",

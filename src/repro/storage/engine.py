@@ -58,17 +58,14 @@ from repro.obs import Observability
 from repro.obs.trace import NULL_RECORDER
 from repro.partition.base import PartitioningScheme
 from repro.storage.cache import CacheStats, PartitionCache
+from repro.errors import ReplicaExists
 from repro.storage.faults import (
     DegradedReadError,
     FaultInjector,
     InjectedFault,
     PartitionReadError,
 )
-from repro.storage.options import (
-    DEFAULT_EXEC_OPTIONS,
-    ExecOptions,
-    resolve_exec_options,
-)
+from repro.storage.options import DEFAULT_EXEC_OPTIONS, ExecOptions
 from repro.storage.recovery import RecoveryError, repair_partition_any
 from repro.storage.replica import StoredReplica, build_replica
 from repro.storage.unit import UnitStore
@@ -181,10 +178,6 @@ class WorkloadResult:
     stats: WorkloadStats
 
 
-class ReplicaExists(ValueError):
-    """Raised when adding a replica under a name already in use."""
-
-
 class _Accounting:
     """Thread-safe degradation counters shared by one execution call
     (partition scans run on the pool, so increments race)."""
@@ -270,6 +263,14 @@ class BlotStore:
         self._zone_info: dict[tuple[str, int], tuple | None] = {}
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
+
+    def __reduce__(self):
+        raise TypeError(
+            "BlotStore holds live handles (mmap views, a scan thread pool, "
+            "telemetry recorders) and cannot be pickled.  Ship a "
+            "repro.storage.StoreConfig across the process boundary and "
+            "rehydrate with open_store(config) in the worker instead."
+        )
 
     # -- replica management -------------------------------------------------
 
@@ -599,7 +600,6 @@ class BlotStore:
         self,
         query: Query | Box3,
         replica: str | None = None,
-        parallelism: int | None = None,
         options: ExecOptions | None = None,
     ) -> QueryResult:
         """Process a range query (Section II-D).
@@ -608,8 +608,7 @@ class BlotStore:
         ``replica`` is None the engine routes by estimated cost.
         Execution behavior — scan parallelism, cache policy, retries,
         failover, repair — comes from ``options``
-        (:class:`~repro.storage.options.ExecOptions`); the bare
-        ``parallelism=`` keyword is a deprecated shim.  When the serving
+        (:class:`~repro.storage.options.ExecOptions`).  When the serving
         replica fails mid-read the query transparently fails over down
         the cost ranking; on exhaustion the engine tries a diverse-
         replica repair, then raises
@@ -623,7 +622,7 @@ class BlotStore:
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
         box = query if isinstance(query, Box3) else query.box()
-        opts = resolve_exec_options(options, parallelism, "query")
+        opts = options if options is not None else DEFAULT_EXEC_OPTIONS
         acct = _Accounting()
         rec = self._recorder(opts)
         with rec.start("query", kind="query") as root:
@@ -979,7 +978,6 @@ class BlotStore:
         self,
         query: Query | Box3,
         replica: str | None = None,
-        parallelism: int | None = None,
         options: ExecOptions | None = None,
     ) -> tuple[int, QueryStats]:
         """Count records in a range without materializing them.
@@ -998,7 +996,7 @@ class BlotStore:
         """
         q = Query.from_box(query) if isinstance(query, Box3) else query
         box = query if isinstance(query, Box3) else query.box()
-        opts = resolve_exec_options(options, parallelism, "count")
+        opts = options if options is not None else DEFAULT_EXEC_OPTIONS
         acct = _Accounting()
         rec = self._recorder(opts)
         with rec.start("query", kind="count") as root:
@@ -1180,7 +1178,6 @@ class BlotStore:
     def execute_workload(
         self,
         workload: Workload,
-        parallelism: int | None = None,
         plan: RoutingPlan | None = None,
         options: ExecOptions | None = None,
     ) -> WorkloadResult:
@@ -1213,7 +1210,7 @@ class BlotStore:
         totals the unique fetches (including fetches whose queries later
         failed over, so the two can differ on a degraded run).
         """
-        opts = resolve_exec_options(options, parallelism, "execute_workload")
+        opts = options if options is not None else DEFAULT_EXEC_OPTIONS
         queries: list[Query] = []
         for i, (q, _) in enumerate(workload):
             if not isinstance(q, Query):
@@ -1491,7 +1488,7 @@ class BlotStore:
 
 
 def open_store(
-    dataset: Dataset,
+    dataset,
     replicas: tuple = (),
     *,
     cost_model: CostModel | None = None,
@@ -1502,11 +1499,29 @@ def open_store(
     """Build a :class:`BlotStore` and register replicas in one call —
     the stable entry point examples and applications should use.
 
-    Each item of ``replicas`` is either an already-built
+    ``dataset`` is either an in-memory :class:`~repro.data.Dataset` or a
+    :class:`~repro.storage.config.StoreConfig` — the picklable handle a
+    ``spawn``-started worker rehydrates a store from.  With a config, no
+    other argument may be passed (the config *is* the full recipe: it
+    carries the dataset path, replica manifests, cost constants, cache
+    budget, fault schedule and observability flag).
+
+    With a :class:`~repro.data.Dataset`, each item of ``replicas`` is
+    either an already-built
     :class:`~repro.storage.replica.StoredReplica` (e.g. reopened from a
     manifest) or a ``(scheme, encoding, store)`` /
     ``(scheme, encoding, store, name)`` tuple to build fresh.
     """
+    from repro.storage.config import StoreConfig, hydrate_store
+
+    if isinstance(dataset, StoreConfig):
+        if (replicas or cost_model is not None or cache_bytes is not None
+                or fault_injector is not None or observability is not None):
+            raise TypeError(
+                "open_store(StoreConfig) takes no other arguments — the "
+                "config already carries the full store recipe"
+            )
+        return hydrate_store(dataset)
     blot = BlotStore(dataset, cost_model=cost_model, cache_bytes=cache_bytes,
                      fault_injector=fault_injector, observability=observability)
     for spec in replicas:

@@ -19,12 +19,13 @@ Everything is deterministic given the seed and the explicit schedule:
 a partition that fails once keeps failing on every retry (unless the
 fault was registered as transient), so drills are reproducible.
 
-The exceptions raised here form the failure vocabulary of the engine:
+The exceptions forming the failure vocabulary of the engine —
 :class:`InjectedFault` for a fault fired by the injector,
 :class:`PartitionReadError` for any partition read that stayed failed
 after retries (injected or real — missing unit, corrupt bytes), and
 :class:`DegradedReadError` when a query exhausted every replica and
-repair could not restore a readable copy.
+repair could not restore a readable copy — are defined in
+:mod:`repro.errors` and re-exported here for back-compat.
 """
 
 from __future__ import annotations
@@ -34,67 +35,11 @@ import time
 import zlib
 from dataclasses import dataclass
 
-
-class InjectedFault(RuntimeError):
-    """A fault fired by a :class:`FaultInjector` on a storage read.
-
-    ``scope`` is ``"replica"`` when the whole replica is down (retry and
-    repair are pointless — the node is gone) or ``"partition"`` when a
-    single storage unit is unreadable (repair from a diverse replica can
-    restore it).
-    """
-
-    def __init__(self, replica_name: str, partition_id: int | None = None,
-                 scope: str = "partition"):
-        self.replica_name = replica_name
-        self.partition_id = partition_id
-        self.scope = scope
-        where = (f"replica {replica_name!r}" if scope == "replica"
-                 else f"partition {partition_id} of replica {replica_name!r}")
-        super().__init__(f"injected fault: {where} is failed")
-
-
-class PartitionReadError(RuntimeError):
-    """A partition read that stayed failed after the configured retries.
-
-    Wraps the last underlying error (an :class:`InjectedFault`, a
-    :class:`~repro.storage.unit.UnitNotFound`, a decoder error on
-    corrupt bytes, ...) so callers can tell injected faults from real
-    damage, and whole-replica outages from single-unit ones.
-    """
-
-    def __init__(self, replica_name: str, partition_id: int | None,
-                 cause: BaseException, attempts: int = 1):
-        self.replica_name = replica_name
-        self.partition_id = partition_id
-        self.cause = cause
-        self.attempts = attempts
-        super().__init__(
-            f"replica {replica_name!r} partition {partition_id}: read failed "
-            f"after {attempts} attempt(s): {cause}"
-        )
-
-    @property
-    def replica_failed(self) -> bool:
-        """True when the failure is a whole-replica outage."""
-        return (isinstance(self.cause, InjectedFault)
-                and self.cause.scope == "replica")
-
-
-class DegradedReadError(RuntimeError):
-    """Every replica able to serve a query failed, and repair could not
-    restore a readable copy.
-
-    ``attempts`` records ``(replica_name, error)`` per replica tried, in
-    fallback-ranking order, so operators see exactly which copies were
-    consulted and why each one failed.
-    """
-
-    def __init__(self, message: str,
-                 attempts: tuple[tuple[str, Exception], ...] = ()):
-        self.attempts = tuple(attempts)
-        detail = "; ".join(f"{name}: {err}" for name, err in self.attempts)
-        super().__init__(message + (f" [{detail}]" if detail else ""))
+from repro.errors import (  # noqa: F401  (re-exported: historical home)
+    DegradedReadError,
+    InjectedFault,
+    PartitionReadError,
+)
 
 
 @dataclass(frozen=True, slots=True)

@@ -3,15 +3,18 @@
 Every execution-facing entry point of :class:`~repro.storage.BlotStore`
 — ``query()``, ``count()``, ``route_workload()`` and
 ``execute_workload()`` — accepts one :class:`ExecOptions` value instead
-of a growing pile of ad-hoc keyword arguments.  The old ``parallelism=``
-keyword is kept as a deprecation shim for one release (it warns and is
-folded into an ``ExecOptions``).
+of a growing pile of ad-hoc keyword arguments.  The deprecated bare
+``parallelism=`` keyword shim has been removed; spell it
+``options=ExecOptions(parallelism=...)``.
+
+Default instances hold only plain data (``sleep`` is None unless a test
+injects a recorder), so an :class:`ExecOptions` pickles cleanly and can
+cross a ``spawn`` process boundary inside a serving-tier request.
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable
 
 
@@ -64,32 +67,3 @@ class ExecOptions:
 
 #: The default options every entry point starts from.
 DEFAULT_EXEC_OPTIONS = ExecOptions()
-
-
-def resolve_exec_options(
-    options: ExecOptions | None,
-    parallelism: int | None,
-    method: str,
-) -> ExecOptions:
-    """Merge the deprecated ``parallelism=`` keyword into an
-    :class:`ExecOptions`, warning on the legacy spelling.
-
-    Passing both ``options`` and ``parallelism`` is an error — the two
-    would silently disagree otherwise.
-    """
-    if options is not None and parallelism is not None:
-        raise TypeError(
-            f"{method}() takes options= or the deprecated parallelism=, "
-            "not both"
-        )
-    if options is None:
-        if parallelism is None:
-            return DEFAULT_EXEC_OPTIONS
-        warnings.warn(
-            f"{method}(parallelism=...) is deprecated; pass "
-            f"options=ExecOptions(parallelism=...) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return replace(DEFAULT_EXEC_OPTIONS, parallelism=parallelism)
-    return options

@@ -110,6 +110,16 @@ class DirectoryStore:
         self._maps: dict[str, mmap.mmap] = {}
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        # mmap views and locks cannot cross a process boundary; a worker
+        # that unpickles this store re-maps lazily on first get_view.
+        return {"root": self.root}
+
+    def __setstate__(self, state: dict) -> None:
+        self.root = state["root"]
+        self._maps = {}
+        self._lock = threading.Lock()
+
     def _path(self, key: str) -> str:
         path = os.path.normpath(os.path.join(self.root, key))
         if not path.startswith(os.path.normpath(self.root)):
@@ -200,6 +210,21 @@ class SegmentFileStore:
         self._end = 0
         self._live_bytes = 0
         self._map: mmap.mmap | None = None
+        self._map_size = 0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # The offset table is plain data; the mmap and its lock are live
+        # handles that the unpickling process rebuilds lazily.
+        return {"path": self.path, "segments": dict(self._segments),
+                "end": self._end, "live_bytes": self._live_bytes}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self._segments = dict(state["segments"])
+        self._end = state["end"]
+        self._live_bytes = state["live_bytes"]
+        self._map = None
         self._map_size = 0
         self._lock = threading.Lock()
 

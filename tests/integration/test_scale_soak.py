@@ -15,7 +15,7 @@ from repro.data import synthetic_shanghai_taxis
 from repro.encoding import encoding_scheme_by_name
 from repro.geometry import Box3
 from repro.partition import CompositeScheme, KdTreePartitioner
-from repro.storage import BlotStore, InMemoryStore, repair_partition
+from repro.storage import BlotStore, ExecOptions, InMemoryStore, repair_partition
 from repro.workload import Query
 
 
@@ -74,7 +74,7 @@ class TestScaleSoak:
         ds, store, _ = big_store
         q = random_queries(ds, 1, np.random.default_rng(2))[0]
         serial = store.query(q, replica="fine")
-        parallel = store.query(q, replica="fine", parallelism=4)
+        parallel = store.query(q, replica="fine", options=ExecOptions(parallelism=4))
         assert serial.stats.records_returned == parallel.stats.records_returned
 
     def test_repair_at_scale(self, big_store):

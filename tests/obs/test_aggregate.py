@@ -1,0 +1,86 @@
+"""Merging per-process MetricsRegistry snapshots into one fleet view."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_metric_snapshots
+from repro.obs.aggregate import merge_metric_snapshots as direct_import
+
+
+def snap(counters=(), gauges=(), histograms=()):
+    return {"counters": list(counters), "gauges": list(gauges),
+            "histograms": list(histograms)}
+
+
+def counter(name, value, **labels):
+    return {"name": name, "labels": labels, "value": value}
+
+
+class TestMergeScalars:
+    def test_same_series_sums(self):
+        merged = merge_metric_snapshots([
+            snap(counters=[counter("scans", 3, replica="grid")]),
+            snap(counters=[counter("scans", 4, replica="grid")]),
+        ])
+        assert merged["counters"] == [
+            {"name": "scans", "labels": {"replica": "grid"}, "value": 7}]
+
+    def test_distinct_labels_stay_separate(self):
+        merged = merge_metric_snapshots([
+            snap(counters=[counter("scans", 1, replica="grid")]),
+            snap(counters=[counter("scans", 1, replica="kd")]),
+        ])
+        assert len(merged["counters"]) == 2
+
+    def test_label_order_is_not_identity(self):
+        a = {"name": "x", "labels": {"a": "1", "b": "2"}, "value": 1}
+        b = {"name": "x", "labels": {"b": "2", "a": "1"}, "value": 2}
+        merged = merge_metric_snapshots([snap(counters=[a]),
+                                         snap(counters=[b])])
+        assert merged["counters"][0]["value"] == 3
+
+    def test_output_deterministically_ordered(self):
+        merged = merge_metric_snapshots([
+            snap(counters=[counter("zeta", 1), counter("alpha", 1)]),
+        ])
+        names = [c["name"] for c in merged["counters"]]
+        assert names == sorted(names)
+
+    def test_empty_input(self):
+        assert merge_metric_snapshots([]) == {
+            "counters": [], "gauges": [], "histograms": []}
+
+
+class TestMergeHistograms:
+    def test_bucketwise_merge_of_real_snapshots(self):
+        regs = [MetricsRegistry(), MetricsRegistry()]
+        for i, reg in enumerate(regs):
+            hist = reg.histogram("scan_seconds", labels={"replica": "grid"})
+            hist.observe(0.01 * (i + 1))
+            hist.observe(5.0)
+        merged = merge_metric_snapshots([r.snapshot() for r in regs])
+        [entry] = merged["histograms"]
+        assert entry["count"] == 4
+        assert entry["sum"] == pytest.approx(0.01 + 0.02 + 10.0)
+        total_in_top = max(b["count"] for b in entry["buckets"])
+        assert total_in_top == 4  # +Inf bucket holds everything
+
+    def test_mismatched_boundaries_rejected(self):
+        a = {"name": "h", "labels": {}, "count": 1, "sum": 1.0,
+             "buckets": [{"le": 1.0, "count": 1}]}
+        b = {"name": "h", "labels": {}, "count": 1, "sum": 1.0,
+             "buckets": [{"le": 2.0, "count": 1}]}
+        with pytest.raises(ValueError, match="mismatched bucket"):
+            merge_metric_snapshots([snap(histograms=[a]),
+                                    snap(histograms=[b])])
+
+    def test_inputs_not_mutated(self):
+        entry = {"name": "h", "labels": {}, "count": 1, "sum": 1.0,
+                 "buckets": [{"le": 1.0, "count": 1}]}
+        source = snap(histograms=[entry])
+        merge_metric_snapshots([source, source])
+        assert entry["count"] == 1
+        assert entry["buckets"][0]["count"] == 1
+
+
+def test_exported_from_obs_package():
+    assert merge_metric_snapshots is direct_import

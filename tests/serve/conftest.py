@@ -1,0 +1,57 @@
+"""Shared fixtures: one materialized two-replica store on disk.
+
+Everything in this package serves queries against the same durable
+store layout a deployment would use — ``materialize_store`` writes the
+dataset (lossless ``.npz``), the replica units and manifests under a
+session tmp dir, and the tests hydrate fresh engines / shard servers
+from the returned :class:`~repro.storage.StoreConfig`.
+"""
+
+import pytest
+
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import CompositeScheme, GridPartitioner, KdTreePartitioner
+from repro.serve import FleetSpec, fleet_queries
+from repro.storage import hydrate_store, materialize_store
+from repro.verify.oracle import canonical
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return synthetic_shanghai_taxis(3000, seed=13, num_taxis=24)
+
+
+@pytest.fixture(scope="session")
+def config(dataset, tmp_path_factory):
+    root = tmp_path_factory.mktemp("served-store")
+    return materialize_store(
+        dataset,
+        [
+            (GridPartitioner(4, 4),
+             encoding_scheme_by_name("ROW-PLAIN"), "grid-plain"),
+            (CompositeScheme(KdTreePartitioner(8), 4),
+             encoding_scheme_by_name("COL-GZIP"), "kd-gzip"),
+        ],
+        str(root),
+    )
+
+
+@pytest.fixture(scope="session")
+def queries(config):
+    store = hydrate_store(config)
+    try:
+        return fleet_queries(store.universe, FleetSpec(n_queries=24, seed=5))
+    finally:
+        store.close()
+
+
+@pytest.fixture(scope="session")
+def baseline(config, queries):
+    """Single-process canonical answer per query — the bit-equality
+    referee every sharded deployment must match."""
+    store = hydrate_store(config)
+    try:
+        return [canonical(store.query(q).records) for q in queries]
+    finally:
+        store.close()

@@ -1,0 +1,219 @@
+"""The serving-tier contract: every sharded deployment answers
+bit-identically to the single-process engine, and every refused or
+failed query surfaces as a structured error — never a silent partial.
+"""
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.errors import DegradedReadError, OverloadError, QuotaExceededError
+from repro.serve import (
+    FleetSpec,
+    QuotaConfig,
+    ShardServer,
+    TenantQuotas,
+    run_fleet,
+)
+from repro.storage import FaultSpec
+from repro.verify.oracle import canonical, datasets_identical
+
+
+def serve_all(config, queries, **kwargs):
+    """Boot a server, answer ``queries`` concurrently, tear down."""
+    async def go():
+        async with ShardServer(config, **kwargs) as server:
+            results = await server.execute(queries)
+            stats = server.server_stats()
+        return results, stats
+
+    return asyncio.run(go())
+
+
+def assert_bit_equal(results, baseline):
+    assert len(results) == len(baseline)
+    for got, want in zip(results, baseline):
+        assert not isinstance(got, BaseException), got
+        assert datasets_identical(canonical(got), want)
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("n_shards", [2, 3])
+    def test_hash_sharding_matches_single_process(
+            self, config, queries, baseline, n_shards):
+        results, stats = serve_all(config, queries, n_shards=n_shards,
+                                   sharding="hash")
+        assert_bit_equal(results, baseline)
+        assert stats["queries_served"] == len(queries)
+        assert stats["failovers"] == 0
+        assert stats["degraded"] == 0
+
+    def test_spatial_sharding_matches_single_process(
+            self, config, queries, baseline):
+        results, stats = serve_all(config, queries, n_shards=3,
+                                   sharding="spatial")
+        assert_bit_equal(results, baseline)
+        assert stats["degraded"] == 0
+
+    def test_single_shard_degenerate_case(self, config, queries, baseline):
+        results, _ = serve_all(config, queries, n_shards=1)
+        assert_bit_equal(results, baseline)
+
+    def test_batching_actually_coalesces(self, config, queries):
+        _, stats = serve_all(config, queries, n_shards=2,
+                             window_seconds=0.05, max_batch=len(queries))
+        assert stats["batches_flushed"] < stats["queries_batched"]
+
+
+class TestCoordinatedFailover:
+    def test_whole_replica_outage_is_bit_equal(self, config, queries,
+                                               baseline):
+        # The cheap replica is down everywhere: every query must fail
+        # over to the surviving replica on every shard, coordinated so
+        # the shard partials still union to the full answer.
+        faulty = dataclasses.replace(
+            config, faults=FaultSpec(fail_replicas=("grid-plain",)))
+        results, stats = serve_all(faulty, queries, n_shards=2)
+        assert_bit_equal(results, baseline)
+        assert stats["failovers"] > 0
+        assert stats["degraded"] == 0
+
+    def test_partition_faults_never_yield_partials(self, config, queries,
+                                                   baseline):
+        # Random persistent partition failures on both replicas: a query
+        # either comes back bit-equal or raises DegradedReadError with
+        # its attempt trail — a truncated result is the one forbidden
+        # outcome.
+        faulty = dataclasses.replace(
+            config, faults=FaultSpec(seed=3, partition_fail_rate=0.3))
+        results, stats = serve_all(faulty, queries, n_shards=2)
+        served = degraded = 0
+        for got, want in zip(results, baseline):
+            if isinstance(got, DegradedReadError):
+                degraded += 1
+                assert got.attempts
+            else:
+                served += 1
+                assert datasets_identical(canonical(got), want)
+        assert served + degraded == len(queries)
+        assert stats["degraded"] == degraded
+
+    def test_all_replicas_down_degrades_data_bearing_queries(
+            self, config, queries, baseline):
+        # A query touching no stored partition reads nothing, so no
+        # fault can fire: it is trivially (and correctly) served empty.
+        # Every query that needs actual data must degrade.
+        faulty = dataclasses.replace(
+            config,
+            faults=FaultSpec(fail_replicas=("grid-plain", "kd-gzip")))
+        results, stats = serve_all(faulty, queries, n_shards=2)
+        degraded = 0
+        for got, want in zip(results, baseline):
+            if isinstance(got, DegradedReadError):
+                degraded += 1
+            else:
+                assert len(got) == 0 == len(want)
+        # Empty-answer queries may still touch (and trip) partitions,
+        # so degraded can exceed the data-bearing count — never be less.
+        assert degraded >= sum(1 for want in baseline if len(want) > 0) > 0
+        assert stats["degraded"] == degraded
+
+
+class TestAdmissionAndQuotas:
+    def test_shedding_is_structured_and_accounted(self, config, queries,
+                                                  baseline):
+        # With one admission slot, concurrent submitters mostly shed.
+        # Every query must either raise OverloadError or answer
+        # bit-equal; the books must balance exactly.
+        results, stats = serve_all(config, queries, n_shards=2,
+                                   max_inflight=1)
+        served = shed = 0
+        for got, want in zip(results, baseline):
+            if isinstance(got, OverloadError):
+                shed += 1
+                assert got.limit == 1
+            else:
+                served += 1
+                assert datasets_identical(canonical(got), want)
+        assert served + shed == len(queries)
+        assert served >= 1
+        assert stats["shed"] == shed
+        assert stats["admitted"] == served
+
+    def test_quota_rejection_is_structured(self, config, queries):
+        # A frozen clock never refills the bucket: exactly `burst`
+        # queries pass the quota gate, the rest carry a retry horizon.
+        quotas = TenantQuotas(QuotaConfig(rate=1.0, burst=5),
+                              clock=lambda: 0.0)
+        results, stats = serve_all(config, queries, n_shards=2,
+                                   quotas=quotas)
+        rejected = [r for r in results
+                    if isinstance(r, QuotaExceededError)]
+        assert len(rejected) == len(queries) - 5
+        assert all(r.retry_after_seconds > 0 for r in rejected)
+        assert stats["quota_rejected"] == len(rejected)
+
+
+class TestFrontDoor:
+    def test_duplicate_queries_share_one_dispatch(self, config, queries,
+                                                  baseline):
+        async def go():
+            async with ShardServer(config, n_shards=2,
+                                   window_seconds=0.05,
+                                   max_batch=64) as server:
+                results = await asyncio.gather(
+                    *(server.query(queries[0]) for _ in range(6)))
+                stats = server.server_stats()
+            return results, stats
+
+        results, stats = asyncio.run(go())
+        for got in results:
+            assert datasets_identical(canonical(got), baseline[0])
+        assert stats["queries_served"] == 6
+
+    def test_query_before_start_rejected(self, config, queries):
+        async def go():
+            server = ShardServer(config, n_shards=2)
+            with pytest.raises(RuntimeError, match="not started"):
+                await server.query(queries[0])
+
+        asyncio.run(go())
+
+    def test_metrics_snapshot_merges_all_shards(self, config, queries):
+        async def go():
+            async with ShardServer(config, n_shards=3) as server:
+                await server.execute(queries[:6])
+                return await server.metrics_snapshot()
+
+        snap = asyncio.run(go())
+        assert sorted(snap["shards"]) == [0, 1, 2]
+        assert set(snap["merged"]) == {"counters", "gauges", "histograms"}
+        assert snap["server"]["queries_served"] == 6
+
+
+class TestFleet:
+    def test_fleet_accounts_every_outcome(self, config):
+        async def go():
+            quotas = TenantQuotas(QuotaConfig(rate=200.0, burst=10))
+            async with ShardServer(config, n_shards=2, max_inflight=8,
+                                   quotas=quotas) as server:
+                return await run_fleet(server, FleetSpec(
+                    n_queries=40, concurrency=12, seed=9))
+
+        report = asyncio.run(go())
+        assert report.n_queries == 40
+        assert (report.served + report.shed + report.quota_rejected
+                + report.degraded) == 40
+        assert report.served >= 1
+
+    def test_fleet_stream_is_deterministic(self, config, queries):
+        from repro.serve import fleet_queries
+        from repro.storage import hydrate_store
+
+        store = hydrate_store(config)
+        try:
+            spec = FleetSpec(n_queries=24, seed=5)
+            assert fleet_queries(store.universe, spec) == queries
+        finally:
+            store.close()

@@ -9,7 +9,7 @@ from repro.data import synthetic_shanghai_taxis
 from repro.encoding import encoding_scheme_by_name
 from repro.geometry import Box3
 from repro.partition import CompositeScheme, GridPartitioner, KdTreePartitioner
-from repro.storage import BlotStore, InMemoryStore
+from repro.storage import BlotStore, ExecOptions, InMemoryStore
 
 
 @pytest.fixture(scope="module")
@@ -76,6 +76,8 @@ class TestCountQueryConsistency:
         rng = np.random.default_rng(5)
         for frac in (0.2, 0.7):
             box = random_box(ds, rng, frac)
-            serial, _ = store.count(box, replica="kd", parallelism=1)
-            parallel, _ = store.count(box, replica="kd", parallelism=4)
+            serial, _ = store.count(box, replica="kd",
+                                    options=ExecOptions(parallelism=1))
+            parallel, _ = store.count(box, replica="kd",
+                                      options=ExecOptions(parallelism=4))
             assert serial == parallel == ds.count_in_box(box)

@@ -7,7 +7,7 @@ from repro.costmodel import CostModel, EncodingCostParams
 from repro.data import synthetic_shanghai_taxis
 from repro.encoding import encoding_scheme_by_name
 from repro.partition import CompositeScheme, KdTreePartitioner
-from repro.storage import BlotStore, InMemoryStore
+from repro.storage import BlotStore, ExecOptions, InMemoryStore
 from repro.workload import GroupedQuery, Workload, positioned_random_workload
 
 
@@ -41,7 +41,7 @@ class TestGoldenEquivalence:
     def test_results_identical_to_sequential_query(self, ds):
         store = make_store(ds)
         workload = make_workload(ds, 30)
-        result = store.execute_workload(workload, parallelism=4)
+        result = store.execute_workload(workload, options=ExecOptions(parallelism=4))
         assigned = result.plan.assigned_names()
         for i, (q, _) in enumerate(workload):
             seq = store.query(q, replica=assigned[i])
@@ -64,8 +64,8 @@ class TestGoldenEquivalence:
     def test_parallelism_does_not_change_results(self, ds):
         store = make_store(ds)
         workload = make_workload(ds, 20, seed=7)
-        serial = store.execute_workload(workload, parallelism=1)
-        parallel = store.execute_workload(workload, parallelism=6)
+        serial = store.execute_workload(workload, options=ExecOptions(parallelism=1))
+        parallel = store.execute_workload(workload, options=ExecOptions(parallelism=6))
         for a, b in zip(serial.results, parallel.results):
             assert np.array_equal(a.records.column("t"), b.records.column("t"))
         assert serial.stats.records_returned == parallel.stats.records_returned
@@ -111,8 +111,8 @@ class TestCachedExecution:
     def test_second_pass_reads_strictly_fewer_bytes(self, ds):
         store = make_store(ds, cache_bytes=128 << 20)
         workload = make_workload(ds, 25)
-        first = store.execute_workload(workload, parallelism=4)
-        second = store.execute_workload(workload, parallelism=4)
+        first = store.execute_workload(workload, options=ExecOptions(parallelism=4))
+        second = store.execute_workload(workload, options=ExecOptions(parallelism=4))
         assert second.stats.bytes_read < first.stats.bytes_read
         assert second.stats.cache_hit_rate > 0
         assert second.stats.records_returned == first.stats.records_returned
@@ -157,9 +157,11 @@ class TestValidation:
     def test_parallelism_validated(self, ds):
         store = make_store(ds)
         with pytest.raises(ValueError, match="parallelism"):
-            store.execute_workload(make_workload(ds, 3), parallelism=0)
+            store.execute_workload(make_workload(ds, 3),
+                                   options=ExecOptions(parallelism=0))
         with pytest.raises(ValueError, match="parallelism"):
-            store.count(make_workload(ds, 1).queries()[0], parallelism=0)
+            store.count(make_workload(ds, 1).queries()[0],
+                        options=ExecOptions(parallelism=0))
 
 
 class TestPersistentPool:
@@ -167,7 +169,7 @@ class TestPersistentPool:
         store = make_store(ds)
         workload = make_workload(ds, 6)
         for q in workload.queries():
-            store.query(q, parallelism=4)
+            store.query(q, options=ExecOptions(parallelism=4))
         pool = store._executor(4)
         assert store._executor(4) is pool  # not rebuilt per query
         assert store._executor(2) is pool  # never shrunk
@@ -180,11 +182,11 @@ class TestPersistentPool:
     def test_close_is_idempotent_and_recoverable(self, ds):
         store = make_store(ds)
         q = make_workload(ds, 1).queries()[0]
-        store.query(q, parallelism=2)
+        store.query(q, options=ExecOptions(parallelism=2))
         store.close()
         store.close()
         # The pool comes back lazily on the next parallel scan.
-        res = store.query(q, parallelism=2)
+        res = store.query(q, options=ExecOptions(parallelism=2))
         assert res.stats.records_returned >= 0
 
 

@@ -244,25 +244,18 @@ class TestWorkloadFailover:
 
 
 class TestExecOptionsSurface:
-    def test_parallelism_keyword_warns(self, ds):
+    def test_bare_parallelism_keyword_removed(self, ds):
         store = make_twin_store(ds)
-        with pytest.warns(DeprecationWarning, match="parallelism"):
+        with pytest.raises(TypeError):
             store.query(ds.bounding_box(), parallelism=2)
+        with pytest.raises(TypeError):
+            store.execute_workload(make_workload(ds, 3), parallelism=2)
 
     def test_options_do_not_warn(self, ds):
         store = make_twin_store(ds)
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             store.query(ds.bounding_box(), options=ExecOptions(parallelism=2))
-
-    def test_both_spellings_rejected(self, ds):
-        store = make_twin_store(ds)
-        with pytest.raises(TypeError, match="not both"):
-            store.query(ds.bounding_box(), parallelism=2,
-                        options=ExecOptions())
-        with pytest.raises(TypeError, match="not both"):
-            store.execute_workload(make_workload(ds, 3), parallelism=2,
-                                   options=ExecOptions())
 
     def test_invalid_options_rejected(self):
         with pytest.raises(ValueError, match="parallelism"):

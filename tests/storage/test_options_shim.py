@@ -1,68 +1,96 @@
-"""Focused tests for the deprecated ``parallelism=`` keyword shim.
+"""The post-migration ExecOptions surface.
 
-The suite runs with ``error::DeprecationWarning:repro`` (pyproject), so
-any *internal* caller still using the legacy spelling fails the build;
-these tests exercise the shim from outside, where it must warn — exactly
-once per call — and fold the value into an :class:`ExecOptions`.
+The deprecated bare ``parallelism=`` keyword shim is gone: the engine's
+entry points accept execution knobs only through ``options=ExecOptions``
+(and the old spelling fails like any unknown keyword).  These tests pin
+that down, plus the properties the serving tier now leans on —
+validation at construction and clean pickling across a process
+boundary.
 """
 
+import pickle
 import warnings
 
+import numpy as np
 import pytest
 
-from repro.storage import ExecOptions
-from repro.storage.options import (
-    DEFAULT_EXEC_OPTIONS,
-    resolve_exec_options,
-)
+from repro.data import synthetic_shanghai_taxis
+from repro.encoding import encoding_scheme_by_name
+from repro.partition import GridPartitioner
+from repro.storage import BlotStore, InMemoryStore, ExecOptions
+from repro.storage.options import DEFAULT_EXEC_OPTIONS
+from repro.workload import Workload
 
 
-class TestResolveExecOptions:
-    def test_no_arguments_yields_defaults(self):
+@pytest.fixture(scope="module")
+def store():
+    ds = synthetic_shanghai_taxis(800, seed=11)
+    s = BlotStore(ds)
+    s.add_replica(GridPartitioner(2, 2),
+                  encoding_scheme_by_name("ROW-PLAIN"),
+                  InMemoryStore(), name="grid")
+    return s
+
+
+class TestShimRemoved:
+    def test_query_rejects_bare_parallelism(self, store):
+        with pytest.raises(TypeError):
+            store.query(store.universe, parallelism=2)
+
+    def test_count_rejects_bare_parallelism(self, store):
+        with pytest.raises(TypeError):
+            store.count(store.universe, parallelism=2)
+
+    def test_execute_workload_rejects_bare_parallelism(self, store):
+        from repro.workload.query import Query
+
+        q = Query.from_box(store.universe)
+        with pytest.raises(TypeError):
+            store.execute_workload(Workload.unweighted([q]), parallelism=2)
+
+    def test_resolve_helper_is_gone(self):
+        import repro.storage.options as options
+
+        assert not hasattr(options, "resolve_exec_options")
+
+    def test_options_spelling_emits_no_warnings(self, store):
         with warnings.catch_warnings():
             warnings.simplefilter("error")
-            assert resolve_exec_options(None, None, "query") \
-                is DEFAULT_EXEC_OPTIONS
+            store.query(store.universe, options=ExecOptions(parallelism=2))
 
-    def test_options_pass_through_unchanged(self):
-        opts = ExecOptions(parallelism=3, retries=0)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert resolve_exec_options(opts, None, "query") is opts
 
-    def test_legacy_parallelism_warns_exactly_once(self):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            resolved = resolve_exec_options(None, 4, "query")
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "parallelism" in str(deprecations[0].message)
-        assert "query(" in str(deprecations[0].message)
+class TestExecOptionsSurface:
+    def test_defaults(self):
+        assert DEFAULT_EXEC_OPTIONS == ExecOptions()
+        assert DEFAULT_EXEC_OPTIONS.parallelism == 1
+        assert DEFAULT_EXEC_OPTIONS.failover is True
+        assert DEFAULT_EXEC_OPTIONS.repair is True
 
-    def test_legacy_value_maps_onto_exec_options(self):
-        with pytest.warns(DeprecationWarning):
-            resolved = resolve_exec_options(None, 4, "execute_workload")
-        assert resolved.parallelism == 4
-        # Every other knob keeps its default.
-        assert resolved.retries == DEFAULT_EXEC_OPTIONS.retries
-        assert resolved.use_cache == DEFAULT_EXEC_OPTIONS.use_cache
-        assert resolved.trace == DEFAULT_EXEC_OPTIONS.trace
+    def test_validation_at_construction(self):
+        with pytest.raises(ValueError, match="parallelism"):
+            ExecOptions(parallelism=0)
+        with pytest.raises(ValueError, match="retries"):
+            ExecOptions(retries=-1)
+        with pytest.raises(ValueError, match="backoff"):
+            ExecOptions(backoff_seconds=-0.1)
 
-    def test_both_spellings_is_a_type_error(self):
-        with pytest.raises(TypeError, match="count.*not both"):
-            resolve_exec_options(ExecOptions(), 2, "count")
+    def test_pickle_round_trip(self):
+        opts = ExecOptions(parallelism=3, retries=1, failover=False,
+                           repair=False, trace=True)
+        clone = pickle.loads(pickle.dumps(opts))
+        assert clone == opts
 
-    def test_warning_names_the_calling_method(self):
-        with pytest.warns(DeprecationWarning, match="count\\(parallelism"):
-            resolve_exec_options(None, 2, "count")
+    def test_default_options_hold_only_plain_data(self):
+        # `sleep` stays None unless a test injects a recorder, so the
+        # default instance crosses a spawn boundary as-is.
+        assert DEFAULT_EXEC_OPTIONS.sleep is None
+        assert pickle.loads(pickle.dumps(DEFAULT_EXEC_OPTIONS)) \
+            == DEFAULT_EXEC_OPTIONS
 
-    def test_warning_attributed_to_caller_not_repro(self):
-        # stacklevel points the warning at the *caller's* frame, so the
-        # error::DeprecationWarning:repro filter catches internal misuse
-        # without breaking external callers (like this test module).
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            resolve_exec_options(None, 2, "query")
-        (w,) = caught
-        assert "repro" not in w.filename.replace("tests", "")
+    def test_options_control_execution(self, store):
+        q = store.universe
+        serial = store.query(q, options=ExecOptions(parallelism=1))
+        parallel = store.query(q, options=ExecOptions(parallelism=4))
+        a = np.sort(serial.records.column("oid"))
+        b = np.sort(parallel.records.column("oid"))
+        assert np.array_equal(a, b)

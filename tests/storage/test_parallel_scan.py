@@ -6,7 +6,7 @@ import pytest
 from repro.data import synthetic_shanghai_taxis
 from repro.encoding import encoding_scheme_by_name
 from repro.partition import CompositeScheme, KdTreePartitioner
-from repro.storage import BlotStore, InMemoryStore
+from repro.storage import BlotStore, ExecOptions, InMemoryStore
 from repro.workload import Query
 
 
@@ -38,13 +38,13 @@ def some_queries(store, n=6):
 class TestParallelScan:
     def test_invalid_parallelism(self, store):
         with pytest.raises(ValueError):
-            store.query(store.universe, parallelism=0)
+            store.query(store.universe, options=ExecOptions(parallelism=0))
 
     @pytest.mark.parametrize("parallelism", [2, 4, 8])
     def test_same_results_as_serial(self, store, parallelism):
         for q in some_queries(store):
-            serial = store.query(q, parallelism=1)
-            parallel = store.query(q, parallelism=parallelism)
+            serial = store.query(q, options=ExecOptions(parallelism=1))
+            parallel = store.query(q, options=ExecOptions(parallelism=parallelism))
             a = sorted(zip(serial.records.column("oid"),
                            serial.records.column("t")))
             b = sorted(zip(parallel.records.column("oid"),
@@ -53,8 +53,8 @@ class TestParallelScan:
 
     def test_same_stats_accounting(self, store):
         q = some_queries(store)[0]
-        serial = store.query(q, parallelism=1).stats
-        parallel = store.query(q, parallelism=4).stats
+        serial = store.query(q, options=ExecOptions(parallelism=1)).stats
+        parallel = store.query(q, options=ExecOptions(parallelism=4)).stats
         assert serial.partitions_involved == parallel.partitions_involved
         assert serial.records_scanned == parallel.records_scanned
         assert serial.bytes_read == parallel.bytes_read
@@ -63,6 +63,6 @@ class TestParallelScan:
     def test_record_order_deterministic(self, store):
         """pool.map preserves partition order, so results are stable."""
         q = some_queries(store)[1]
-        a = store.query(q, parallelism=4).records
-        b = store.query(q, parallelism=4).records
+        a = store.query(q, options=ExecOptions(parallelism=4)).records
+        b = store.query(q, options=ExecOptions(parallelism=4)).records
         assert a == b
