@@ -665,6 +665,111 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0 if not remaining else 1
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream a dataset into an always-on ingesting store.
+
+    The store is durable under ``--wal-dir``: re-running with the same
+    directory resumes from the WAL (crash-safe), which is also how the
+    recovery path is exercised from the command line.  Each appended
+    batch is verified queryable; the final summary reports compactions,
+    sealed windows and WAL traffic.
+    """
+    import json
+
+    from repro.storage import IngestConfig, hydrate_ingest_store
+    from repro.storage.wal import wal_state_exists
+    from repro.verify.oracle import canonical, datasets_identical
+
+    if args.batch_size < 1:
+        print("--batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.auto_compact_at < 1:
+        print("--auto-compact-at must be >= 1", file=sys.stderr)
+        return 2
+    if args.window_seconds is not None and args.window_seconds <= 0:
+        print("--window-seconds must be positive", file=sys.stderr)
+        return 2
+    schemes = args.scheme or ["kd:16/t:4"]
+    encodings = args.encoding or ["COL-GZIP"] * len(schemes)
+    if len(schemes) != len(encodings):
+        print("need as many --encoding values as --scheme values",
+              file=sys.stderr)
+        return 2
+    quiet = args.json
+    data = _load_or_generate(args).sorted_by_time()
+    specs = tuple(
+        (scheme, encoding,
+         f"r{i}-{scheme.replace(':', '').replace('/', '-')}")
+        for i, (scheme, encoding) in enumerate(zip(schemes, encodings))
+    )
+    config = IngestConfig(
+        wal_dir=args.wal_dir,
+        replica_specs=specs,
+        auto_compact_at=args.auto_compact_at,
+        background_compaction=not args.sync,
+        window_seconds=args.window_seconds,
+        fsync_wal=args.fsync,
+        observability=True,
+    )
+    resuming = wal_state_exists(args.wal_dir)
+    n_initial = max(1, len(data) // 2)
+    initial = data.take(np.arange(0, n_initial))
+    store = hydrate_ingest_store(config, initial=initial)
+    if resuming and not quiet:
+        print(f"resumed from {args.wal_dir}: {len(store):,} records "
+              f"({store.buffered_records:,} replayed into the buffer)")
+
+    appended = 0
+    start = n_initial if not resuming else 0
+    for lo in range(start, len(data), args.batch_size):
+        batch = data.take(np.arange(lo, min(lo + args.batch_size,
+                                            len(data))))
+        store.append(batch)
+        appended += len(batch)
+    store.wait_for_compaction()
+
+    # Every record ever acknowledged must come back bit-equal.
+    box = store.dataset().bounding_box()
+    got = canonical(store.query(box).records)
+    want = canonical(store.dataset().filter_box(box))
+    if not datasets_identical(got, want):
+        print("ingest verification FAILED: full-range query does not "
+              "match the logical dataset", file=sys.stderr)
+        store.close()
+        return 1
+
+    reports = store.anti_entropy() if args.anti_entropy else []
+    bad = [r for r in reports if not r.ok]
+    summary = {
+        "records": len(store),
+        "appended": appended,
+        "buffered": store.buffered_records,
+        "compactions": store.compactions,
+        "compaction_failures": store.compaction_failures,
+        "windows": len(store.windows),
+        "anti_entropy_ok": not bad if reports else None,
+        "wal_dir": args.wal_dir,
+        "wal_segments": len(store.wal.segment_ids()),
+    }
+    store.close()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0 if not bad else 1
+    print(f"ingested {appended:,} records in batches of "
+          f"{args.batch_size:,} -> {summary['records']:,} total")
+    print(f"  compactions: {summary['compactions']} "
+          f"({summary['compaction_failures']} failed), "
+          f"buffered: {summary['buffered']:,}")
+    print(f"  sealed windows: {summary['windows']}, "
+          f"wal segments live: {summary['wal_segments']}")
+    if reports:
+        verdict = "OK" if not bad else f"{len(bad)} window(s) FAILED"
+        print(f"  anti-entropy sweep: {verdict}")
+    print("  full-range query verified bit-equal against the logical "
+          "dataset")
+    return 0 if not bad else 1
+
+
 def _serve_replica_specs(n_replicas: int):
     """The ``(scheme, encoding, name)`` triples ``serve`` and ``fleet``
     materialize — the same diversity ladder as ``run-workload``."""
@@ -1125,6 +1230,40 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[data, seed, serving_shape],
     )
     p.set_defaults(handler=_cmd_fleet)
+
+    p = sub.add_parser(
+        "ingest",
+        help="stream records into an always-on store (WAL + background "
+             "compaction); re-run with the same --wal-dir to resume",
+        parents=[data, seed],
+    )
+    p.add_argument("--wal-dir", required=True,
+                   help="durable state directory (WAL segments, compaction "
+                        "snapshot, sealed windows)")
+    p.add_argument("--batch-size", type=int, default=1000,
+                   help="records per appended batch")
+    p.add_argument("--scheme", action="append",
+                   default=None, metavar="SPEC",
+                   help="replica partitioning spec like 'kd:16/t:4' or "
+                        "'grid:8x8' (repeatable; default kd:16/t:4)")
+    p.add_argument("--encoding", action="append", default=None,
+                   help="encoding per --scheme (default COL-GZIP)")
+    p.add_argument("--auto-compact-at", type=int, default=4000,
+                   help="buffered records that trigger a compaction")
+    p.add_argument("--sync", action="store_true",
+                   help="compact inline on the appending thread instead of "
+                        "the background worker")
+    p.add_argument("--window-seconds", type=float, default=None,
+                   help="seal records older than the open window into "
+                        "read-only on-disk replica sets of this span")
+    p.add_argument("--anti-entropy", action="store_true",
+                   help="run the CRC + majority-vote sweep over every "
+                        "sealed window before exiting")
+    p.add_argument("--fsync", action="store_true",
+                   help="fsync every WAL frame (power-loss durability)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the ingest summary as JSON")
+    p.set_defaults(handler=_cmd_ingest)
 
     p = sub.add_parser("query", help="run one range query through the engine",
                        parents=[data, seed])

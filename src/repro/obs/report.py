@@ -27,7 +27,7 @@ from __future__ import annotations
 __all__ = ["REPORT_SCHEMA_VERSION", "build_report", "render_report_text",
            "validate_report"]
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 
 
 def _counter_total(metrics_snapshot: dict, name: str) -> float:
@@ -146,6 +146,36 @@ def build_report(obs, timeseries=None, recalibrator=None) -> dict:
             "replicas": drift_snapshot,
             "flagged": [d["replica"] for d in drift_snapshot if d["flagged"]],
         },
+        "ingest": {
+            "appends": _counter_total(metrics,
+                                      "repro_ingest_appends_total"),
+            "records": _counter_total(metrics,
+                                      "repro_ingest_records_total"),
+            "compactions_by_mode": _counter_by_label(
+                metrics, "repro_ingest_compactions_total", "mode"),
+            "compaction_failures": _counter_total(
+                metrics, "repro_ingest_compaction_failures_total"),
+            "windows_sealed": _counter_total(
+                metrics, "repro_ingest_windows_sealed_total"),
+            "wal": {
+                "appends": _counter_total(metrics, "repro_wal_appends_total"),
+                "bytes": _counter_total(metrics, "repro_wal_bytes_total"),
+                "torn_tails": _counter_total(
+                    metrics, "repro_wal_torn_tails_total"),
+                "replayed_batches": _counter_total(
+                    metrics, "repro_wal_replayed_batches_total"),
+                "snapshots": _counter_total(
+                    metrics, "repro_wal_snapshots_total"),
+            },
+            "anti_entropy": {
+                "sweeps": _counter_total(
+                    metrics, "repro_antientropy_sweeps_total"),
+                "windows": _counter_total(
+                    metrics, "repro_antientropy_windows_total"),
+                "failures": _counter_total(
+                    metrics, "repro_antientropy_failures_total"),
+            },
+        },
         "recalibration": {
             "applied": _counter_total(metrics,
                                       "repro_recalib_applied_total"),
@@ -209,6 +239,28 @@ def render_report_text(report: dict) -> str:
     else:
         lines.append("  drift: no samples")
 
+    ing = report.get("ingest")
+    if ing is not None and (ing["appends"] or ing["wal"]["appends"]):
+        modes = ", ".join(f"{mode} {n:.0f}" for mode, n
+                          in sorted(ing["compactions_by_mode"].items()))
+        lines.append(
+            f"  ingest: {ing['appends']:.0f} appends "
+            f"({ing['records']:,.0f} records), compactions "
+            f"[{modes or 'none'}], {ing['compaction_failures']:.0f} failed, "
+            f"{ing['windows_sealed']:.0f} windows sealed")
+        w = ing["wal"]
+        lines.append(
+            f"    wal: {w['appends']:.0f} frames "
+            f"({w['bytes']:,.0f} bytes), {w['snapshots']:.0f} snapshots, "
+            f"{w['replayed_batches']:.0f} batches replayed, "
+            f"{w['torn_tails']:.0f} torn tails sealed")
+        ae = ing["anti_entropy"]
+        if ae["sweeps"]:
+            lines.append(
+                f"    anti-entropy: {ae['sweeps']:.0f} sweeps over "
+                f"{ae['windows']:.0f} windows, "
+                f"{ae['failures']:.0f} failures")
+
     r = report["recalibration"]
     lines.append(f"  recalibration: {r['applied']:.0f} applied, "
                  f"{r['rejected']:.0f} rejected")
@@ -259,7 +311,7 @@ def validate_report(report: dict) -> None:
     _require(report.get("schema_version") == REPORT_SCHEMA_VERSION,
              f"schema_version != {REPORT_SCHEMA_VERSION}")
     for section in ("queries", "scan", "cache", "degradation", "drift",
-                    "recalibration", "trends", "history"):
+                    "ingest", "recalibration", "trends", "history"):
         _require(isinstance(report.get(section), dict),
                  f"missing section {section!r}")
 
@@ -297,6 +349,21 @@ def validate_report(report: dict) -> None:
         for field in ("replica", "samples", "mean_relative_error",
                       "flagged"):
             _require(field in s, f"drift entry missing {field!r}")
+
+    ing = report["ingest"]
+    for field in ("appends", "records", "compaction_failures",
+                  "windows_sealed"):
+        _require(isinstance(ing.get(field), (int, float)),
+                 f"ingest.{field} must be numeric")
+    _require(isinstance(ing.get("compactions_by_mode"), dict),
+             "ingest.compactions_by_mode")
+    for sub, fields in (("wal", ("appends", "bytes", "torn_tails",
+                                 "replayed_batches", "snapshots")),
+                        ("anti_entropy", ("sweeps", "windows", "failures"))):
+        _require(isinstance(ing.get(sub), dict), f"ingest.{sub}")
+        for field in fields:
+            _require(isinstance(ing[sub].get(field), (int, float)),
+                     f"ingest.{sub}.{field} must be numeric")
 
     r = report["recalibration"]
     for field in ("applied", "rejected"):

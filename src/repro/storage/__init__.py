@@ -4,10 +4,15 @@ from repro.storage.cache import CacheStats, PartitionCache
 from repro.storage.config import (
     DEFAULT_COST_PARAMS,
     FaultSpec,
+    IngestConfig,
     ReplicaRef,
     StoreConfig,
+    hydrate_ingest_store,
     hydrate_store,
     materialize_store,
+    parse_scheme_spec,
+    store_config_from_dict,
+    store_config_to_dict,
 )
 from repro.storage.engine import (
     BlotStore,
@@ -41,12 +46,22 @@ from repro.storage.recovery import (
     repair_partition_any,
     repair_replica,
 )
-from repro.storage.ingest import IngestingBlotStore, ReplicaSpec
+from repro.storage.ingest import (
+    IngestingBlotStore,
+    ReadWriteLock,
+    ReplicaSpec,
+    SealedWindow,
+)
 from repro.storage.replica import (
     StoredReplica,
     build_mixed_replica,
     build_replica,
     temperature_policy,
+)
+from repro.storage.wal import (
+    WalError,
+    WriteAheadLog,
+    wal_state_exists,
 )
 from repro.storage.unit import (
     DirectoryStore,
@@ -64,10 +79,15 @@ __all__ = [
     "DEFAULT_EXEC_OPTIONS",
     "DegradedReadError",
     "FaultSpec",
+    "IngestConfig",
     "ReplicaRef",
     "StoreConfig",
+    "hydrate_ingest_store",
     "hydrate_store",
     "materialize_store",
+    "parse_scheme_spec",
+    "store_config_from_dict",
+    "store_config_to_dict",
     "DirectoryStore",
     "DuplicateUnit",
     "ExecOptions",
@@ -79,7 +99,12 @@ __all__ = [
     "LocalScanMeasurer",
     "PartitionCache",
     "PartitionReadError",
+    "ReadWriteLock",
     "ReplicaSpec",
+    "SealedWindow",
+    "WalError",
+    "WriteAheadLog",
+    "wal_state_exists",
     "QueryResult",
     "QueryStats",
     "RecoveryError",

@@ -270,3 +270,180 @@ def materialize_store(
         faults=faults,
         observability=observability,
     )
+
+
+# -- JSON interchange -------------------------------------------------------
+
+
+def store_config_to_dict(config: StoreConfig) -> dict:
+    """A :class:`StoreConfig` as JSON-serializable plain data.
+
+    The ingest store persists its sealed-window configs inside the WAL's
+    ``snapshot.json`` commit record with this; :func:`store_config_from_dict`
+    round-trips it exactly.
+    """
+    return {
+        "dataset_path": config.dataset_path,
+        "replicas": [
+            {"manifest_path": r.manifest_path, "store_root": r.store_root,
+             "store_kind": r.store_kind}
+            for r in config.replicas
+        ],
+        "csv_has_header": config.csv_has_header,
+        "cost_params": [list(t) for t in config.cost_params],
+        "cache_bytes": config.cache_bytes,
+        "faults": None if config.faults is None else {
+            "seed": config.faults.seed,
+            "partition_fail_rate": config.faults.partition_fail_rate,
+            "slow_seconds": config.faults.slow_seconds,
+            "fail_replicas": list(config.faults.fail_replicas),
+            "fail_partitions": [list(p) for p in config.faults.fail_partitions],
+        },
+        "observability": config.observability,
+    }
+
+
+def store_config_from_dict(data: dict) -> StoreConfig:
+    """Rebuild a :class:`StoreConfig` from :func:`store_config_to_dict`."""
+    faults = data.get("faults")
+    return StoreConfig(
+        dataset_path=data["dataset_path"],
+        replicas=tuple(ReplicaRef(**r) for r in data["replicas"]),
+        csv_has_header=bool(data.get("csv_has_header", False)),
+        cost_params=tuple(
+            (str(n), float(a), float(b)) for n, a, b in data["cost_params"]),
+        cache_bytes=data.get("cache_bytes"),
+        faults=None if faults is None else FaultSpec(
+            seed=int(faults["seed"]),
+            partition_fail_rate=float(faults["partition_fail_rate"]),
+            slow_seconds=float(faults["slow_seconds"]),
+            fail_replicas=tuple(faults["fail_replicas"]),
+            fail_partitions=tuple(
+                (str(name), int(pid)) for name, pid in faults["fail_partitions"]),
+        ),
+        observability=bool(data.get("observability", False)),
+    )
+
+
+# -- ingesting-store hydration ----------------------------------------------
+
+
+def parse_scheme_spec(spec: str):
+    """Parse a plain-string partitioning recipe into a scheme object.
+
+    Grammar (the picklable description :class:`IngestConfig` carries)::
+
+        grid:<nx>x<ny>            uniform spatial grid
+        kd:<leaves>               equal-count k-d tree
+        <spatial>/t:<slices>      composite: spatial cells x equi-depth
+                                  temporal slices, e.g. ``kd:16/t:4``
+    """
+    from repro.partition import (
+        CompositeScheme,
+        GridPartitioner,
+        KdTreePartitioner,
+    )
+
+    spatial_spec, _, time_spec = spec.partition("/")
+    kind, _, arg = spatial_spec.partition(":")
+    if kind == "grid":
+        nx, _, ny = arg.partition("x")
+        spatial = GridPartitioner(int(nx), int(ny or nx))
+    elif kind == "kd":
+        spatial = KdTreePartitioner(int(arg))
+    else:
+        raise ValueError(
+            f"unknown partitioning spec {spec!r} (want 'grid:<nx>x<ny>' or "
+            f"'kd:<leaves>', optionally '/t:<slices>')"
+        )
+    if time_spec:
+        prefix, _, slices = time_spec.partition(":")
+        if prefix != "t":
+            raise ValueError(f"bad temporal suffix in {spec!r}")
+        return CompositeScheme(spatial, int(slices))
+    return spatial
+
+
+@dataclass(frozen=True, slots=True)
+class IngestConfig:
+    """Everything needed to host one always-on ingesting store, as
+    picklable plain data — the :class:`StoreConfig` analogue for the
+    write path, so the serve tier (or any other process) can hydrate an
+    :class:`~repro.storage.ingest.IngestingBlotStore` over a shared WAL
+    directory.
+
+    ``replica_specs`` are ``(scheme_spec, encoding_name, name)`` triples
+    where ``scheme_spec`` follows :func:`parse_scheme_spec`'s grammar;
+    ``cost_params`` mirror :class:`StoreConfig`.  Durable state lives
+    under ``wal_dir`` (WAL segments, the compaction snapshot, sealed
+    windows); :func:`hydrate_ingest_store` resumes from it when present.
+    """
+
+    wal_dir: str
+    replica_specs: tuple[tuple[str, str, str | None], ...]
+    cost_params: tuple[tuple[str, float, float], ...] = ()
+    auto_compact_at: int | None = None
+    background_compaction: bool = True
+    window_seconds: float | None = None
+    anti_entropy_interval: float | None = None
+    fsync_wal: bool = False
+    observability: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "replica_specs",
+                           tuple(tuple(s) for s in self.replica_specs))
+        object.__setattr__(self, "cost_params", tuple(self.cost_params))
+        if not self.replica_specs:
+            raise ValueError("need at least one replica spec")
+
+    def build_specs(self) -> list:
+        from repro.encoding import encoding_scheme_by_name
+        from repro.storage.ingest import ReplicaSpec
+
+        return [
+            ReplicaSpec(parse_scheme_spec(scheme),
+                        encoding_scheme_by_name(encoding), name=name)
+            for scheme, encoding, name in self.replica_specs
+        ]
+
+    def build_cost_model(self) -> CostModel | None:
+        if not self.cost_params:
+            return None
+        return CostModel({
+            name: EncodingCostParams(scan_rate=rate, extra_time=extra)
+            for name, rate, extra in self.cost_params
+        })
+
+
+def hydrate_ingest_store(config: IngestConfig, initial: Dataset | None = None):
+    """Open a live :class:`~repro.storage.ingest.IngestingBlotStore`
+    from plain data.
+
+    When ``config.wal_dir`` already holds WAL state (a snapshot or
+    segments from an earlier process), the store is recovered from it —
+    crash-safe resume, ``initial`` ignored.  Otherwise a fresh store is
+    created, which requires ``initial`` records.
+    """
+    from repro.storage.ingest import IngestingBlotStore
+    from repro.storage.wal import wal_state_exists
+
+    kwargs = dict(
+        cost_model=config.build_cost_model(),
+        auto_compact_at=config.auto_compact_at,
+        wal_dir=config.wal_dir,
+        fsync_wal=config.fsync_wal,
+        background_compaction=config.background_compaction,
+        window_seconds=config.window_seconds,
+        anti_entropy_interval=config.anti_entropy_interval,
+        observability=Observability.create() if config.observability else None,
+    )
+    specs = config.build_specs()
+    if wal_state_exists(config.wal_dir):
+        return IngestingBlotStore.open(config.wal_dir, specs, **{
+            k: v for k, v in kwargs.items() if k != "wal_dir"})
+    if initial is None:
+        raise ValueError(
+            f"{config.wal_dir!r} holds no WAL state and no initial dataset "
+            "was supplied; pass initial= for the first open"
+        )
+    return IngestingBlotStore(initial, specs, **kwargs)

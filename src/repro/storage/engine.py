@@ -99,6 +99,13 @@ class QueryStats:
     total_records: int
     retries: int = 0
     failovers: int = 0
+    #: Ingest-path delta-buffer accounting, kept OUT of ``seconds`` /
+    #: ``bytes_read`` so Eq. 7 calibration over measured replica scans
+    #: never sees the brute-force buffer filter.  Zero on plain
+    #: :class:`BlotStore` reads; only
+    #: :class:`~repro.storage.ingest.IngestingBlotStore` sets them.
+    buffer_seconds: float = 0.0
+    buffer_bytes_scanned: int = 0
 
     @property
     def scanned_fraction(self) -> float:
@@ -150,6 +157,10 @@ class WorkloadStats:
     repairs: int = 0
     degraded_cost_delta: float = 0.0
     failed_replicas: tuple[str, ...] = ()
+    #: Ingest delta-buffer accounting (see :class:`QueryStats`); zero
+    #: outside the ingest path.
+    buffer_seconds: float = 0.0
+    buffer_bytes_scanned: int = 0
 
     @property
     def cache_hit_rate(self) -> float:

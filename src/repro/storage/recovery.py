@@ -34,6 +34,21 @@ from repro.storage.replica import StoredReplica, build_replica
 from repro.storage.unit import UnitStore
 
 _EDGE_EPS = 1e-12
+#: A partition face is recognized as lying on the universe boundary when
+#: it is within this many ulps of the stored universe bound.  Builders
+#: that derive face positions arithmetically (``lo + i * step`` time
+#: slicing) accumulate a few ulps of rounding, and on large-magnitude
+#: axes (epoch-seconds t, where one ulp of 1.2e9 is ~2.4e-7) that gap
+#: dwarfs any absolute epsilon — a fixed 1e-12 silently reopened the
+#: face and dropped boundary records during repair.
+_EDGE_EPS_ULPS = 64.0
+
+
+def _universe_face_tolerance(u_bound: float) -> float:
+    """How far below the universe's upper bound a face may sit and still
+    count as the (closed) universe face: a few ulps of the bound itself,
+    floored by the legacy absolute epsilon for tiny magnitudes."""
+    return max(_EDGE_EPS, _EDGE_EPS_ULPS * float(np.spacing(abs(u_bound))))
 
 
 def canonical_box_test(
@@ -42,11 +57,16 @@ def canonical_box_test(
     """Mask of records passing ``partition_id``'s half-open box test.
 
     Per dimension ``lo <= v < hi``, except that a face lying on the
-    universe's upper boundary is closed (``v <= hi``).  On non-degenerate
-    tilings the tests of different partitions are disjoint; fully
-    degenerate partitions (identical boxes, produced when a node's
-    records all share one coordinate) can pass together — ownership is
-    then settled by :func:`canonical_mask`'s highest-id tie-break.
+    universe's upper boundary is closed (``v <= hi``).  The face test
+    compares against the *stored universe bound* with a relative
+    (ulp-scaled) tolerance, so a face the builder computed a few ulps
+    below the bound still seals the universe edge — and the closed test
+    admits records sitting exactly on the bound even when the face
+    itself rounded slightly below it.  On non-degenerate tilings the
+    tests of different partitions are disjoint; fully degenerate
+    partitions (identical boxes, produced when a node's records all
+    share one coordinate) can pass together — ownership is then settled
+    by :func:`canonical_mask`'s highest-id tie-break.
     """
     box = partitioning.box_array[partition_id]
     u = partitioning.universe
@@ -56,8 +76,9 @@ def canonical_box_test(
         values = dataset.column(column)
         lo, hi = box[2 * dim], box[2 * dim + 1]
         mask &= values >= lo
-        if hi >= u_hi[dim] - _EDGE_EPS:
-            mask &= values <= hi
+        u_bound = u_hi[dim]
+        if hi >= u_bound - _universe_face_tolerance(u_bound):
+            mask &= values <= max(hi, u_bound)
         else:
             mask &= values < hi
     return mask
@@ -189,10 +210,17 @@ def repair_partition_any(
         raise RecoveryError(
             f"partition {partition_id}: no source replicas to repair from"
         )
+    others = [source for source in sources if source.name != damaged.name]
+    if not others:
+        # Every candidate is the damaged replica itself — a distinct
+        # condition from "all sources tried and failed": nothing was
+        # tried, because a replica cannot repair itself from itself.
+        raise RecoveryError(
+            f"partition {partition_id}: no source replicas other than the "
+            f"damaged replica {damaged.name!r} itself to repair from"
+        )
     failures: list[str] = []
-    for source in sources:
-        if source.name == damaged.name:
-            continue
+    for source in others:
         try:
             repair_partition(damaged, partition_id, source)
             return source.name

@@ -1,0 +1,357 @@
+"""Per-store write-ahead log: crash durability for the ingest path.
+
+The paper's NerdTracker scenario is a continuous GPS feed; the delta
+buffer of :class:`~repro.storage.ingest.IngestingBlotStore` lives in
+memory, so before this module a crash lost every record appended since
+the last compaction.  The WAL closes that window: every appended batch
+is written — CRC-framed, length-prefixed — to an append-only segment
+file *before* it becomes visible to queries, and ``replay()`` after a
+restart reconstructs the buffer with zero loss.
+
+The torn-tail discipline is the binary twin of
+:class:`~repro.obs.timeseries.TimeseriesStore`'s JSONL sealing: a crash
+mid-``write`` can tear at most the final frame.  On replay, the first
+frame whose header is short, whose body is short, or whose CRC fails
+marks the torn tail; everything before it is intact (length-prefixed
+frames cannot be re-synchronized past a bad one), the file is truncated
+back to the last intact frame boundary, and the next append starts
+clean.  A CRC-intact frame whose payload fails to decode is *not* a
+torn tail — that is real corruption and raises :class:`WalError`.
+
+Layout under the WAL directory::
+
+    wal-00000001.log   CRC-framed segments (appends since the snapshot)
+    snapshot-<k>.npz   the folded dataset at the last compaction
+    snapshot.json      commit point: which snapshot file is live, which
+                       segments it covers, plus opaque owner metadata
+                       (the ingest store keeps its sealed-window index
+                       here so windows and snapshot commit atomically)
+
+Segment rotation ties the log to compaction: the ingest store rotates
+at compaction start, folds exactly the sealed segments' batches, then
+commits ``snapshot.json`` naming the last sealed segment — one
+``os.replace`` making snapshot + window index + segment GC atomic.
+Segments at or below ``through_segment`` are deleted after the commit;
+a crash between commit and GC merely leaves stale segments that replay
+skips.
+
+Frame format (little-endian)::
+
+    [u32 body_len][u32 crc32(body)][body = 1 kind byte + payload]
+
+Kind ``APPEND`` carries one :class:`~repro.data.dataset.Dataset` batch
+as uncompressed ``.npz`` bytes — the same bit-exact interchange
+:meth:`Dataset.to_npz` uses for :class:`~repro.storage.StoreConfig`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import threading
+import zlib
+from typing import Any
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.record import FIELD_NAMES
+
+__all__ = ["WriteAheadLog", "WalError", "KIND_APPEND", "wal_state_exists"]
+
+_HEADER = struct.Struct("<II")
+#: Sanity bound on one frame's body; a length field beyond it is treated
+#: as a torn/garbage tail, not an attempt to allocate gigabytes.
+_MAX_BODY = 1 << 31
+
+KIND_APPEND = 1
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+_SNAPSHOT_META = "snapshot.json"
+
+
+def wal_state_exists(wal_dir: str) -> bool:
+    """Whether ``wal_dir`` holds durable WAL state (a committed snapshot
+    or any log segment) that :meth:`IngestingBlotStore.open` can resume
+    from."""
+    try:
+        names = os.listdir(wal_dir)
+    except (FileNotFoundError, NotADirectoryError):
+        return False
+    return any(
+        name == _SNAPSHOT_META
+        or (name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX))
+        for name in names
+    )
+
+
+class WalError(RuntimeError):
+    """Real WAL corruption: an intact-CRC frame that cannot be decoded,
+    or snapshot metadata naming files that do not exist."""
+
+
+def _encode_batch(dataset: Dataset) -> bytes:
+    buf = io.BytesIO()
+    np.savez(buf, **{name: dataset.column(name) for name in FIELD_NAMES})
+    return buf.getvalue()
+
+
+def _decode_batch(payload: bytes) -> Dataset:
+    try:
+        with np.load(io.BytesIO(payload)) as archive:
+            return Dataset({name: archive[name] for name in FIELD_NAMES})
+    except Exception as exc:
+        raise WalError(f"CRC-intact WAL frame failed to decode: {exc}") from exc
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed, segment-rotated write-ahead log.
+
+    Thread-safe; the ingest store calls :meth:`append` under its write
+    lock anyway, but the internal lock keeps the WAL safe standalone.
+
+    ``fsync=True`` adds an ``os.fsync`` after every append — full
+    power-loss durability at a per-batch syscall cost; the default
+    (flush only) survives process crashes, the failure mode the ingest
+    tests exercise.
+
+    ``metrics`` is an optional
+    :class:`~repro.obs.MetricsRegistry`; when bound the WAL publishes
+    ``repro_wal_appends_total``, ``repro_wal_bytes_total``,
+    ``repro_wal_torn_tails_total``, ``repro_wal_replayed_batches_total``
+    and ``repro_wal_snapshots_total``.
+    """
+
+    def __init__(self, wal_dir: str, *, fsync: bool = False, metrics=None):
+        self.dir = str(wal_dir)
+        self.fsync = bool(fsync)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._fh: io.BufferedWriter | None = None
+        os.makedirs(self.dir, exist_ok=True)
+        # Resume appends into a fresh segment above everything on disk:
+        # the previous process may have died mid-frame, and sealing
+        # happens on replay — never append onto a possibly-torn tail.
+        ids = self._segment_ids_unlocked()
+        self._current = max(max(ids, default=0), self._through_segment()) + 1
+
+    # -- paths -------------------------------------------------------------
+
+    def _segment_path(self, segment_id: int) -> str:
+        return os.path.join(
+            self.dir, f"{_SEGMENT_PREFIX}{segment_id:08d}{_SEGMENT_SUFFIX}")
+
+    def _meta_path(self) -> str:
+        return os.path.join(self.dir, _SNAPSHOT_META)
+
+    def _through_segment(self) -> int:
+        """The committed snapshot's covered-segment id, without loading
+        the snapshot payload; 0 when no snapshot exists."""
+        try:
+            with open(self._meta_path(), "r", encoding="utf-8") as f:
+                return int(json.load(f)["through_segment"])
+        except (FileNotFoundError, ValueError, KeyError, TypeError):
+            return 0
+
+    def _segment_ids_unlocked(self) -> list[int]:
+        ids = []
+        try:
+            names = os.listdir(self.dir)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if (name.startswith(_SEGMENT_PREFIX)
+                    and name.endswith(_SEGMENT_SUFFIX)):
+                try:
+                    ids.append(int(
+                        name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]))
+                except ValueError:
+                    continue
+        return sorted(ids)
+
+    def segment_ids(self) -> list[int]:
+        """Ids of the segment files currently on disk, ascending."""
+        with self._lock:
+            return self._segment_ids_unlocked()
+
+    @property
+    def current_segment(self) -> int:
+        """The segment id new appends go to."""
+        with self._lock:
+            return self._current
+
+    # -- metrics -----------------------------------------------------------
+
+    def _bump(self, name: str, amount: float = 1.0) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, dataset: Dataset, kind: int = KIND_APPEND) -> int:
+        """Durably log one batch; returns the frame's size in bytes.
+
+        The frame is written and flushed before this returns, so a
+        batch acknowledged to the caller is recoverable by
+        :meth:`replay` after any process crash.
+        """
+        body = bytes([kind]) + _encode_batch(dataset)
+        frame = _HEADER.pack(len(body), zlib.crc32(body)) + body
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self._segment_path(self._current), "ab")
+            self._fh.write(frame)
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        self._bump("repro_wal_appends_total")
+        self._bump("repro_wal_bytes_total", len(frame))
+        return len(frame)
+
+    def rotate(self) -> int:
+        """Seal the current segment and direct appends to a fresh one.
+
+        Returns the sealed segment's id — the value a subsequent
+        :meth:`snapshot` passes as ``through_segment`` once every batch
+        up to the seal has been folded into the snapshot dataset.
+        """
+        with self._lock:
+            sealed = self._current
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self._current = sealed + 1
+            return sealed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self, dataset: Dataset, through_segment: int,
+                 extra: dict[str, Any] | None = None) -> None:
+        """Commit a folded snapshot covering segments <= ``through_segment``.
+
+        The ``.npz`` payload is written first, then ``snapshot.json`` is
+        replaced atomically — the single commit point for the snapshot,
+        the owner's ``extra`` metadata, and the segment GC that follows.
+        """
+        with self._lock:
+            payload = f"snapshot-{through_segment:08d}.npz"
+            payload_path = os.path.join(self.dir, payload)
+            tmp = payload_path + ".tmp"
+            with open(tmp, "wb") as f:
+                np.savez(f, **{name: dataset.column(name)
+                               for name in FIELD_NAMES})
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, payload_path)
+
+            meta = {
+                "file": payload,
+                "through_segment": int(through_segment),
+                "records": len(dataset),
+                "extra": extra or {},
+            }
+            meta_tmp = self._meta_path() + ".tmp"
+            with open(meta_tmp, "w", encoding="utf-8") as f:
+                json.dump(meta, f, sort_keys=True)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(meta_tmp, self._meta_path())
+
+            # Post-commit GC: superseded snapshots and folded segments.
+            # A crash in here only leaves stale files that replay skips.
+            for name in os.listdir(self.dir):
+                if (name.startswith("snapshot-") and name.endswith(".npz")
+                        and name != payload):
+                    self._remove_quietly(os.path.join(self.dir, name))
+            for seg_id in self._segment_ids_unlocked():
+                if seg_id <= through_segment:
+                    self._remove_quietly(self._segment_path(seg_id))
+        self._bump("repro_wal_snapshots_total")
+
+    @staticmethod
+    def _remove_quietly(path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def snapshot_meta(self) -> tuple[Dataset | None, int, dict[str, Any]]:
+        """The committed snapshot: ``(dataset, through_segment, extra)``.
+
+        ``(None, 0, {})`` when no snapshot has ever been committed.
+        """
+        try:
+            with open(self._meta_path(), "r", encoding="utf-8") as f:
+                meta = json.load(f)
+        except FileNotFoundError:
+            return None, 0, {}
+        except ValueError as exc:
+            raise WalError(f"snapshot.json is not valid JSON: {exc}") from exc
+        payload_path = os.path.join(self.dir, meta["file"])
+        if not os.path.exists(payload_path):
+            raise WalError(
+                f"snapshot.json names missing payload {meta['file']!r}")
+        dataset = Dataset.from_npz(payload_path)
+        return dataset, int(meta["through_segment"]), meta.get("extra", {})
+
+    # -- replay ------------------------------------------------------------
+
+    def _read_segment(self, path: str, seal: bool = True) -> list[Dataset]:
+        """Decode one segment's intact frames; truncate any torn tail."""
+        batches: list[Dataset] = []
+        try:
+            f = open(path, "r+b" if seal else "rb")
+        except FileNotFoundError:
+            return batches
+        with f:
+            good_end = 0
+            torn = False
+            while True:
+                header = f.read(_HEADER.size)
+                if len(header) < _HEADER.size:
+                    torn = len(header) > 0
+                    break
+                length, crc = _HEADER.unpack(header)
+                if length == 0 or length > _MAX_BODY:
+                    torn = True
+                    break
+                body = f.read(length)
+                if len(body) < length or zlib.crc32(body) != crc:
+                    torn = True
+                    break
+                if body[0] == KIND_APPEND:
+                    batches.append(_decode_batch(body[1:]))
+                good_end = f.tell()
+            if torn:
+                self._bump("repro_wal_torn_tails_total")
+                if seal:
+                    f.truncate(good_end)
+        return batches
+
+    def replay(self) -> list[Dataset]:
+        """Every batch appended after the committed snapshot, in order.
+
+        Reads segments above the snapshot's ``through_segment``
+        ascending, sealing torn tails in place.  The returned batches,
+        appended onto the snapshot dataset, reconstruct exactly the
+        acknowledged ingest state at the moment of the crash.
+        """
+        with self._lock:
+            through = self._through_segment()
+            batches: list[Dataset] = []
+            for seg_id in self._segment_ids_unlocked():
+                if seg_id <= through:
+                    continue
+                batches.extend(self._read_segment(self._segment_path(seg_id)))
+        self._bump("repro_wal_replayed_batches_total", len(batches))
+        return batches

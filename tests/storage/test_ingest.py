@@ -1,4 +1,8 @@
-"""Tests for continuous ingestion (delta buffer + compaction)."""
+"""Tests for continuous ingestion (delta buffer + compaction, WAL
+durability, background compaction, windowed rollover, anti-entropy)."""
+
+import glob
+import os
 
 import numpy as np
 import pytest
@@ -8,6 +12,8 @@ from repro.encoding import encoding_scheme_by_name
 from repro.geometry import Box3
 from repro.partition import CompositeScheme, KdTreePartitioner
 from repro.storage.ingest import IngestingBlotStore, ReplicaSpec
+from repro.verify.oracle import canonical, datasets_identical
+from repro.workload.query import Query
 
 
 @pytest.fixture(scope="module")
@@ -131,6 +137,23 @@ class TestIngest:
                             encoding_scheme_by_name("ROW-PLAIN")),
             ], auto_compact_at=0)
 
+    def test_buffer_time_accounted_separately(self, stream):
+        """Satellite regression: the brute-force buffer filter must not
+        pollute ``seconds``/``bytes_read`` (Eq. 7 calibration inputs) —
+        it is accounted in the dedicated buffer fields instead."""
+        full, initial, batches = stream
+        store = make_store(initial)
+        box = random_box(full.bounding_box(), np.random.default_rng(3))
+        clean = store.query(box).stats
+        assert clean.buffer_seconds == 0.0
+        assert clean.buffer_bytes_scanned == 0
+        store.append(batches[0])
+        stats = store.query(box).stats
+        assert stats.buffer_seconds > 0.0
+        assert stats.buffer_bytes_scanned == batches[0].binary_size_bytes()
+        # bytes_read counts replica unit fetches only, never buffer bytes.
+        assert stats.bytes_read <= clean.bytes_read
+
     def test_out_of_universe_records_found_before_compaction(self, stream):
         """Records beyond the base universe live in the buffer and are
         still queryable; after compaction they are indexed."""
@@ -148,3 +171,367 @@ class TestIngest:
         assert len(store.query(probe).records) == len(late.filter_box(probe))
         store.compact()
         assert len(store.query(probe).records) == len(late.filter_box(probe))
+
+
+def wal_specs():
+    return [
+        ReplicaSpec(CompositeScheme(KdTreePartitioner(8), 4),
+                    encoding_scheme_by_name("COL-GZIP"), name="kd"),
+        ReplicaSpec(CompositeScheme(KdTreePartitioner(4), 2),
+                    encoding_scheme_by_name("ROW-PLAIN"), name="row"),
+    ]
+
+
+class TestBufferAwareReads:
+    """count() and execute_workload() must see buffered records too —
+    before this they fell through to the base replicas and silently
+    under-counted mid-buffer."""
+
+    def probe_boxes(self, full, n=6):
+        rng = np.random.default_rng(17)
+        return [random_box(full.bounding_box(), rng) for _ in range(n)]
+
+    def test_count_matches_oracle_mid_buffer(self, stream):
+        full, initial, batches = stream
+        store = make_store(initial)
+        current = initial
+        for batch in batches[:2]:
+            store.append(batch)
+            current = Dataset.concat([current, batch])
+        assert store.buffered_records > 0
+        for box in self.probe_boxes(full):
+            n, stats = store.count(box)
+            assert n == current.count_in_box(box)
+            assert stats.records_scanned >= store.buffered_records
+            assert stats.buffer_bytes_scanned > 0
+
+    def test_execute_workload_matches_query_mid_buffer(self, stream):
+        full, initial, batches = stream
+        store = make_store(initial)
+        current = initial
+        for batch in batches[:2]:
+            store.append(batch)
+            current = Dataset.concat([current, batch])
+        workload = [(Query.from_box(box), 1.0)
+                    for box in self.probe_boxes(full)]
+        result = store.execute_workload(workload)
+        assert result.stats.n_queries == len(workload)
+        assert result.stats.buffer_seconds > 0.0
+        for (q, _), qr in zip(workload, result.results):
+            want = canonical(current.filter_box(q.box()))
+            assert datasets_identical(canonical(qr.records), want)
+            single = store.query(q)
+            assert datasets_identical(canonical(single.records), want)
+
+    def test_workload_stats_buffer_separate(self, stream):
+        full, initial, batches = stream
+        store = make_store(initial)
+        workload = [(Query.from_box(box), 1.0)
+                    for box in self.probe_boxes(full, 3)]
+        clean = store.execute_workload(workload).stats
+        store.append(batches[0])
+        dirty = store.execute_workload(workload).stats
+        assert clean.buffer_bytes_scanned == 0
+        assert dirty.buffer_bytes_scanned == \
+            3 * batches[0].binary_size_bytes()
+        assert dirty.records_scanned >= clean.records_scanned
+
+
+class TestWalDurability:
+    def test_fresh_store_snapshots_initial(self, tmp_path, stream):
+        _, initial, _ = stream
+        store = IngestingBlotStore(initial, wal_specs(),
+                                   wal_dir=str(tmp_path / "wal"))
+        dataset, through, _ = store.wal.snapshot_meta()
+        assert through == 0
+        assert datasets_identical(canonical(dataset), canonical(initial))
+
+    def test_constructing_over_existing_state_refuses(self, tmp_path,
+                                                      stream):
+        _, initial, _ = stream
+        IngestingBlotStore(initial, wal_specs(),
+                           wal_dir=str(tmp_path / "wal"))
+        with pytest.raises(ValueError, match="open"):
+            IngestingBlotStore(initial, wal_specs(),
+                               wal_dir=str(tmp_path / "wal"))
+
+    def test_open_without_state_refuses(self, tmp_path):
+        with pytest.raises(ValueError, match="no committed snapshot"):
+            IngestingBlotStore.open(str(tmp_path / "nothing"), wal_specs())
+
+    def test_reopen_replays_buffer_bit_equal(self, tmp_path, stream):
+        full, initial, batches = stream
+        store = IngestingBlotStore(initial, wal_specs(),
+                                   wal_dir=str(tmp_path / "wal"))
+        for batch in batches[:3]:
+            store.append(batch)
+        del store  # crash: no close, no compaction
+        reopened = IngestingBlotStore.open(str(tmp_path / "wal"),
+                                           wal_specs())
+        current = Dataset.concat([initial, *batches[:3]])
+        assert len(reopened) == len(current)
+        assert reopened.buffered_records == sum(map(len, batches[:3]))
+        rng = np.random.default_rng(23)
+        for _ in range(5):
+            box = random_box(full.bounding_box(), rng)
+            got = canonical(reopened.query(box).records)
+            assert datasets_identical(got,
+                                      canonical(current.filter_box(box)))
+
+    def test_compaction_snapshot_survives_reopen(self, tmp_path, stream):
+        _, initial, batches = stream
+        store = IngestingBlotStore(initial, wal_specs(),
+                                   wal_dir=str(tmp_path / "wal"))
+        store.append(batches[0])
+        store.compact()
+        store.append(batches[1])  # post-snapshot batch, buffer only
+        del store
+        reopened = IngestingBlotStore.open(str(tmp_path / "wal"),
+                                           wal_specs())
+        assert len(reopened.base.dataset) == len(initial) + len(batches[0])
+        assert reopened.buffered_records == len(batches[1])
+
+    def test_failed_compaction_keeps_wal_segments(self, tmp_path, stream):
+        """The frozen batches' segments must survive a failed rebuild —
+        the snapshot that would have GC'd them never commits."""
+        _, initial, batches = stream
+
+        class ExplodingScheme:
+            name = "exploding"
+
+            def __init__(self):
+                self._inner = CompositeScheme(KdTreePartitioner(4), 2)
+                self._builds = 0
+
+            def build(self, *args, **kwargs):
+                self._builds += 1
+                if self._builds > 1:
+                    raise RuntimeError("boom")
+                return self._inner.build(*args, **kwargs)
+
+        spec = ReplicaSpec(ExplodingScheme(),
+                           encoding_scheme_by_name("ROW-PLAIN"), name="x")
+        store = IngestingBlotStore(initial, [spec],
+                                   wal_dir=str(tmp_path / "wal"))
+        store.append(batches[0])
+        with pytest.raises(RuntimeError, match="boom"):
+            store.compact()
+        assert store.buffered_records == len(batches[0])
+        assert store.compaction_failures == 1
+        del store
+        reopened = IngestingBlotStore.open(str(tmp_path / "wal"), wal_specs())
+        assert reopened.buffered_records == len(batches[0])
+
+
+class TestBackgroundCompaction:
+    def test_threshold_triggers_worker(self, tmp_path, stream):
+        full, initial, batches = stream
+        store = IngestingBlotStore(
+            initial, wal_specs(), auto_compact_at=1000,
+            wal_dir=str(tmp_path / "wal"), background_compaction=True)
+        for batch in batches:
+            store.append(batch)
+        store.wait_for_compaction()
+        assert store.compactions >= 1
+        assert store.compaction_failures == 0
+        # Every appended record is either folded or still buffered.
+        assert len(store) == len(initial) + sum(map(len, batches))
+        current = Dataset.concat([initial, *batches])
+        rng = np.random.default_rng(29)
+        for _ in range(5):
+            box = random_box(full.bounding_box(), rng)
+            got = canonical(store.query(box).records)
+            assert datasets_identical(got,
+                                      canonical(current.filter_box(box)))
+        store.close()
+
+    def test_failed_background_rebuild_recorded_not_raised(self, tmp_path,
+                                                           stream):
+        _, initial, batches = stream
+
+        class ExplodingScheme:
+            name = "exploding"
+
+            def __init__(self):
+                self._inner = CompositeScheme(KdTreePartitioner(4), 2)
+                self._builds = 0
+
+            def build(self, *args, **kwargs):
+                self._builds += 1
+                if self._builds > 1:
+                    raise RuntimeError("bg boom")
+                return self._inner.build(*args, **kwargs)
+
+        spec = ReplicaSpec(ExplodingScheme(),
+                           encoding_scheme_by_name("ROW-PLAIN"), name="x")
+        store = IngestingBlotStore(
+            initial, [spec], auto_compact_at=500,
+            background_compaction=True)
+        base_before = store.base
+        store.append(batches[0])  # crosses the threshold
+        store.wait_for_compaction()
+        assert store.compactions == 0
+        assert store.compaction_failures >= 1
+        assert "bg boom" in store.last_compaction_error
+        # Serving set untouched, buffer intact: zero loss.
+        assert store.base is base_before
+        assert store.buffered_records == len(batches[0])
+
+    def test_reads_during_background_compaction(self, stream):
+        """Queries issued while the worker rebuilds must answer
+        consistently from either the old or the new serving set."""
+        full, initial, batches = stream
+        store = IngestingBlotStore(initial, wal_specs(),
+                                   auto_compact_at=750,
+                                   background_compaction=True)
+        current = initial
+        rng = np.random.default_rng(31)
+        for batch in batches:
+            store.append(batch)
+            current = Dataset.concat([current, batch])
+            box = random_box(full.bounding_box(), rng)
+            got = canonical(store.query(box).records)
+            assert datasets_identical(got,
+                                      canonical(current.filter_box(box)))
+        store.wait_for_compaction()
+        assert store.compactions >= 1
+
+
+class TestWindowedRollover:
+    def windowed_store(self, tmp_path, initial, window):
+        return IngestingBlotStore(initial, wal_specs(),
+                                  wal_dir=str(tmp_path / "wal"),
+                                  window_seconds=window)
+
+    def test_window_seconds_requires_wal_dir(self, stream):
+        _, initial, _ = stream
+        with pytest.raises(ValueError, match="wal_dir"):
+            IngestingBlotStore(initial, wal_specs(), window_seconds=60.0)
+
+    def test_compaction_seals_old_windows(self, tmp_path, stream):
+        full, initial, batches = stream
+        t = full.column("t")
+        window = float(t.max() - t.min()) / 4
+        store = self.windowed_store(tmp_path, initial, window)
+        for batch in batches:
+            store.append(batch)
+        store.compact()
+        assert len(store.windows) >= 1
+        for w in store.windows:
+            assert w.t_hi - w.t_lo == pytest.approx(window)
+            assert os.path.isdir(w.root)
+            stored_t = w.store.dataset.column("t")
+            assert stored_t.min() >= w.t_lo
+            assert stored_t.max() < w.t_hi
+        # The open window keeps only the newest span.
+        active_t = store.base.dataset.column("t")
+        assert float(active_t.min()) >= max(w.t_hi for w in store.windows)
+        # Logical dataset is preserved across the split.
+        total = sum(w.records for w in store.windows) + \
+            len(store.base.dataset)
+        assert total == len(initial) + sum(map(len, batches))
+
+    def test_queries_merge_windows_base_and_buffer(self, tmp_path, stream):
+        full, initial, batches = stream
+        t = full.column("t")
+        window = float(t.max() - t.min()) / 4
+        store = self.windowed_store(tmp_path, initial, window)
+        for batch in batches[:3]:
+            store.append(batch)
+        store.compact()
+        store.append(batches[3])  # stays buffered
+        current = Dataset.concat([initial, *batches])
+        rng = np.random.default_rng(37)
+        for _ in range(6):
+            box = random_box(full.bounding_box(), rng)
+            got = canonical(store.query(box).records)
+            assert datasets_identical(got,
+                                      canonical(current.filter_box(box)))
+            n, _ = store.count(box)
+            assert n == current.count_in_box(box)
+
+    def test_windows_hydrate_on_reopen(self, tmp_path, stream):
+        full, initial, batches = stream
+        t = full.column("t")
+        window = float(t.max() - t.min()) / 4
+        store = self.windowed_store(tmp_path, initial, window)
+        for batch in batches:
+            store.append(batch)
+        store.compact()
+        n_windows = len(store.windows)
+        assert n_windows >= 1
+        del store
+        reopened = IngestingBlotStore.open(str(tmp_path / "wal"),
+                                           wal_specs(),
+                                           window_seconds=window)
+        assert len(reopened.windows) == n_windows
+        current = Dataset.concat([initial, *batches])
+        box = full.bounding_box()
+        got = canonical(reopened.query(box).records)
+        assert datasets_identical(got, canonical(current.filter_box(box)))
+
+    def test_orphan_window_dirs_removed_at_open(self, tmp_path, stream):
+        _, initial, batches = stream
+        store = self.windowed_store(tmp_path, initial, 600.0)
+        store.append(batches[0])
+        store.compact()
+        committed = {w.root for w in store.windows}
+        orphan = os.path.join(str(tmp_path / "wal"), "windows",
+                              "window-000099")
+        os.makedirs(orphan)
+        del store
+        reopened = IngestingBlotStore.open(str(tmp_path / "wal"),
+                                           wal_specs(),
+                                           window_seconds=600.0)
+        assert not os.path.exists(orphan)
+        assert {w.root for w in reopened.windows} == committed
+
+
+class TestAntiEntropy:
+    def sealed_store(self, tmp_path, stream):
+        full, initial, batches = stream
+        t = full.column("t")
+        window = float(t.max() - t.min()) / 3
+        store = IngestingBlotStore(initial, wal_specs(),
+                                   wal_dir=str(tmp_path / "wal"),
+                                   window_seconds=window)
+        for batch in batches:
+            store.append(batch)
+        store.compact()
+        assert len(store.windows) >= 1
+        return store
+
+    def test_sweep_passes_on_healthy_windows(self, tmp_path, stream):
+        store = self.sealed_store(tmp_path, stream)
+        reports = store.anti_entropy()
+        assert len(reports) == len(store.windows)
+        assert all(r.ok for r in reports)
+
+    def test_sweep_catches_corrupted_unit(self, tmp_path, stream):
+        store = self.sealed_store(tmp_path, stream)
+        unit_files = glob.glob(os.path.join(
+            store.windows[0].root, "units", "**", "*"), recursive=True)
+        victim = next(p for p in unit_files
+                      if os.path.isfile(p) and os.path.getsize(p) > 8)
+        with open(victim, "r+b") as f:
+            f.seek(4)
+            f.write(b"\xde\xad\xbe\xef")
+        reports = store.anti_entropy()
+        assert not all(r.ok for r in reports)
+
+    def test_scheduled_by_injected_clock(self, stream):
+        _, initial, batches = stream
+        now = [0.0]
+        store = IngestingBlotStore(initial, wal_specs(),
+                                   anti_entropy_interval=100.0,
+                                   clock=lambda: now[0])
+        sweeps = []
+        store.anti_entropy = lambda *a, **k: sweeps.append(now[0]) or []
+        store.append(batches[0])   # first due sweep runs immediately
+        assert len(sweeps) == 1
+        now[0] = 50.0
+        store.append(batches[1])   # within the interval: no sweep
+        assert len(sweeps) == 1
+        now[0] = 150.0
+        store.append(batches[2])   # interval elapsed: due again
+        assert len(sweeps) == 2

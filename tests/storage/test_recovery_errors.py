@@ -92,6 +92,21 @@ class TestRepairPartitionAny:
         with pytest.raises(RecoveryError, match="no source replicas"):
             repair_partition_any(damaged, first_unit(damaged), [])
 
+    def test_only_self_candidate_gets_distinct_message(self, ds):
+        """Regression: when every candidate source IS the damaged
+        replica, nothing was tried — the error must say so instead of
+        claiming all sources failed (or worse, 'repairing' a unit from
+        its own damaged bytes)."""
+        damaged, _ = make_pair(ds)
+        pid = first_unit(damaged)
+        with pytest.raises(RecoveryError,
+                           match="other than the damaged replica"):
+            repair_partition_any(damaged, pid, [damaged])
+        # The generic empty-list message stays distinct.
+        with pytest.raises(RecoveryError) as e:
+            repair_partition_any(damaged, pid, [])
+        assert "other than" not in str(e.value)
+
     def test_skips_self_and_uses_healthy_source(self, ds):
         damaged, source = make_pair(ds)
         pid = first_unit(damaged)

@@ -1,0 +1,112 @@
+"""Regression: universe-face detection in the canonical box test must
+use a tolerance relative to the stored universe bound.
+
+Builders that derive face positions arithmetically (``lo + i * step``
+time slicing) land a few ulps below the true bound.  On epoch-second
+time axes (t ≈ 1.2e9) one ulp is ~2.4e-7 — five orders of magnitude
+above the legacy absolute ``1e-12`` epsilon, so the top face was
+classified as interior, the closed universe-edge rule did not apply,
+and records sitting exactly on the universe bound were silently dropped
+during repair.
+"""
+
+import numpy as np
+
+from repro.data import Dataset
+from repro.encoding import encoding_scheme_by_name
+from repro.geometry import Box3
+from repro.partition.base import Partitioning
+from repro.storage import InMemoryStore, build_replica, repair_partition
+from repro.storage.recovery import canonical_box_test, canonical_mask
+
+_T0 = 1.2e9  # epoch seconds, the scale the paper's GPS feeds live at
+
+
+def rounded_time_tiling():
+    """A 2-slice time tiling whose top face rounded one ulp below the
+    stored universe bound — the arithmetic-builder artifact."""
+    t_hi = _T0 + 3600.0
+    universe = Box3(0.0, 1.0, 0.0, 1.0, _T0, t_hi)
+    mid = _T0 + 1800.0
+    rounded_top = np.nextafter(t_hi, -np.inf)
+    boxes = np.array([
+        [0.0, 1.0, 0.0, 1.0, _T0, mid],
+        [0.0, 1.0, 0.0, 1.0, mid, rounded_top],
+    ])
+    return universe, boxes, mid
+
+
+def make_dataset(ts, x=None, y=None):
+    n = len(ts)
+    return Dataset({
+        "oid": np.arange(n, dtype=np.int32),
+        "t": np.asarray(ts, dtype=np.float64),
+        "x": np.full(n, 0.5) if x is None else np.asarray(x, np.float64),
+        "y": np.full(n, 0.5) if y is None else np.asarray(y, np.float64),
+        "speed": np.zeros(n, dtype=np.float32),
+        "heading": np.zeros(n, dtype=np.float32),
+        "occupied": np.zeros(n, dtype=np.uint8),
+        "trip_id": np.zeros(n, dtype=np.int32),
+        "odometer": np.zeros(n, dtype=np.float32),
+    })
+
+
+class TestUniverseFaceTolerance:
+    def test_record_on_universe_bound_passes_rounded_face(self):
+        universe, boxes, mid = rounded_time_tiling()
+        dataset = make_dataset([_T0 + 10.0, mid + 10.0, universe.t_max])
+        partitioning = Partitioning("rounded", universe, boxes,
+                                    np.array([0, 1, 1]))
+        # Pre-fix: the top face sat ~2.4e-7 below the bound, beyond the
+        # absolute 1e-12 epsilon, so the face was treated as interior
+        # and the t == t_max record failed `values < hi`.
+        mask = canonical_box_test(partitioning, dataset, 1)
+        assert mask.tolist() == [False, True, True]
+        assert canonical_mask(partitioning, dataset, 1).tolist() == \
+            [False, True, True]
+
+    def test_interior_faces_stay_half_open(self):
+        universe, boxes, mid = rounded_time_tiling()
+        # A record exactly on the interior boundary belongs to the
+        # upper slice only — the relative tolerance must not leak the
+        # closed-edge rule onto interior faces.
+        dataset = make_dataset([mid])
+        partitioning = Partitioning("rounded", universe, boxes,
+                                    np.array([1]))
+        assert not canonical_box_test(partitioning, dataset, 0).any()
+        assert canonical_box_test(partitioning, dataset, 1).all()
+
+    def test_genuinely_interior_face_not_misread_as_universe(self):
+        universe = Box3(0.0, 1.0, 0.0, 1.0, _T0, _T0 + 3600.0)
+        # Top face a full second below the bound: far outside any ulp
+        # tolerance, must remain open even on this huge-magnitude axis.
+        boxes = np.array([[0.0, 1.0, 0.0, 1.0, _T0, universe.t_max - 1.0]])
+        dataset = make_dataset([universe.t_max - 1.0])
+        partitioning = Partitioning("short", universe, boxes, np.array([0]))
+        assert not canonical_box_test(partitioning, dataset, 0).any()
+
+    def test_repair_restores_boundary_record_at_epoch_scale(self):
+        """The end-to-end consequence: a unit holding a record exactly on
+        the universe's upper time bound repairs losslessly."""
+        rng = np.random.default_rng(9)
+        n = 400
+        ts = np.sort(rng.uniform(_T0, _T0 + 3600.0, n))
+        ts[-1] = _T0 + 3600.0  # exactly on the bound
+        dataset = make_dataset(ts, x=rng.uniform(0.0, 1.0, n),
+                               y=rng.uniform(0.0, 1.0, n)).sorted_by_time()
+        from repro.partition import CompositeScheme, KdTreePartitioner
+
+        damaged = build_replica(dataset, CompositeScheme(
+            KdTreePartitioner(4), 4), encoding_scheme_by_name("COL-GZIP"),
+            InMemoryStore(), name="damaged")
+        source = build_replica(dataset, CompositeScheme(
+            KdTreePartitioner(2), 2), encoding_scheme_by_name("ROW-PLAIN"),
+            InMemoryStore(), name="source")
+        # Damage and repair every unit: the partition owning the bound
+        # record must come back with its full count.
+        for pid, key in enumerate(damaged.unit_keys):
+            if key is None:
+                continue
+            damaged.store.delete(key)
+            restored = repair_partition(damaged, pid, source)
+            assert restored == int(damaged.partitioning.counts[pid])
