@@ -536,6 +536,179 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     return 0 if per_query_ok else 1
 
 
+def _cmd_reselect(args: argparse.Namespace) -> int:
+    """Workload-drift reselection drill: deploy the Eq. 1-5 selection
+    for a wide-scan baseline workload, serve a deliberately drifted
+    hot-spot workload, and let the attached controller detect the
+    drift, re-solve warm from the incumbent, and swap the serving set
+    online — verifying bit-equal reads across the transition."""
+    import json
+
+    from repro.core import (
+        AdvisorConfig,
+        ReplicaAdvisor,
+        ReselectionConfig,
+        ReselectionController,
+        replica_builder,
+    )
+    from repro.costmodel import CostModel, EncodingCostParams
+    from repro.encoding import encoding_scheme_by_name
+    from repro.obs import Observability, TimeseriesStore, build_report
+    from repro.obs.report import render_report_text
+    from repro.partition import small_partitioning_schemes
+    from repro.storage import BlotStore
+    from repro.workload import GroupedQuery, Query, Workload
+
+    if args.budget_copies < 1:
+        print("--budget-copies must be >= 1", file=sys.stderr)
+        return 2
+    if args.min_queries < 1:
+        print("--min-queries must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 < args.drift_threshold <= 1.0:
+        print("--drift-threshold must be in (0, 1]", file=sys.stderr)
+        return 2
+    if args.min_improvement < 0.0:
+        print("--min-improvement must be >= 0", file=sys.stderr)
+        return 2
+
+    data = _load_or_generate(args)
+    bb = data.bounding_box()
+    rng = np.random.default_rng(args.seed)
+
+    encodings = [encoding_scheme_by_name(n)
+                 for n in ("ROW-PLAIN", "COL-GZIP")]
+    schemes = small_partitioning_schemes((4, 16, 64), (2, 4))
+    # A scan-bound cost regime (low per-partition overhead): wide scans
+    # favor coarse row-plain replicas, hot-spot probes favor fine
+    # compressed ones — so a workload shift genuinely moves the Eq. 5
+    # optimum, which is the point of the drill.
+    model = CostModel({
+        "ROW-PLAIN": EncodingCostParams(scan_rate=250_000,
+                                        extra_time=0.004),
+        "COL-GZIP": EncodingCostParams(scan_rate=100_000,
+                                       extra_time=0.001),
+    })
+    advisor = ReplicaAdvisor(data, schemes, encodings, model,
+                             AdvisorConfig(n_records=len(data)))
+    baseline = Workload([
+        (GroupedQuery(bb.width * 0.6, bb.height * 0.6, bb.duration * 0.6),
+         0.9),
+        (GroupedQuery(bb.width * 0.2, bb.height * 0.2, bb.duration * 0.2),
+         0.1),
+    ])
+    budget = advisor.single_replica_budget(baseline,
+                                           copies=args.budget_copies)
+    initial = advisor.recommend(baseline, budget, method="local-search")
+    build = replica_builder(data, schemes, encodings,
+                            universe=advisor.universe)
+
+    obs = Observability.create()
+    cache_bytes = int(args.cache_mb * 1e6) if args.cache_mb > 0 else None
+    store = BlotStore(data, cost_model=model, cache_bytes=cache_bytes,
+                      observability=obs)
+    for name in initial.replica_names:
+        store.register_replica(build(name))
+    incumbent = list(store.replica_names())
+
+    ts = None
+    if args.timeseries:
+        ts = TimeseriesStore(args.timeseries)
+    controller = obs.attach_reselector(ReselectionController(
+        store, advisor, budget, baseline,
+        build=build,
+        config=ReselectionConfig(
+            drift_threshold=args.drift_threshold,
+            min_queries=args.min_queries,
+            min_improvement=args.min_improvement,
+        ),
+        obs=obs, timeseries=ts, rng=np.random.default_rng(args.seed),
+    ))
+
+    def positioned(frac: float, center=None) -> Query:
+        w, h, t = bb.width * frac, bb.height * frac, bb.duration * frac
+        if center is None:
+            return Query(
+                w, h, t,
+                rng.uniform(bb.x_min + w / 2, bb.x_max - w / 2),
+                rng.uniform(bb.y_min + h / 2, bb.y_max - h / 2),
+                rng.uniform(bb.t_min + t / 2, bb.t_max - t / 2))
+        return Query(w, h, t, *center)
+
+    # Fixed probes re-run across the transition: results must stay
+    # bit-equal to the brute-force oracle at every point.
+    probes = [positioned(0.25) for _ in range(3)]
+    oracles = [sorted(zip(data.filter_box(p.box()).column("oid"),
+                          data.filter_box(p.box()).column("t")))
+               for p in probes]
+
+    def check_probes() -> bool:
+        for p, want in zip(probes, oracles):
+            got = store.query(p).records
+            if sorted(zip(got.column("oid"), got.column("t"))) != want:
+                return False
+        return True
+
+    # Phase 1: traffic shaped like the baseline — no drift expected.
+    for _ in range(args.min_queries):
+        frac = 0.6 if rng.uniform() < 0.9 else 0.2
+        store.query(positioned(frac))
+    ok_before = check_probes()
+
+    # Phase 2: the hot-spot shift — tiny probes in one corner of the
+    # universe.  The engine hook trips the controller automatically.
+    hot = (bb.x_min + bb.width * 0.25, bb.y_min + bb.height * 0.25,
+           bb.t_min + bb.duration * 0.25)
+    for _ in range(args.min_queries * 2):
+        store.query(positioned(0.02, center=(
+            hot[0] + rng.uniform(-bb.width, bb.width) * 0.05,
+            hot[1] + rng.uniform(-bb.height, bb.height) * 0.05,
+            hot[2] + rng.uniform(-bb.duration, bb.duration) * 0.05)))
+    controller.wait()
+    ok_after = check_probes()
+
+    applied = [u for u in controller.audit_log if u.action == "applied"]
+    verified = ok_before and ok_after
+    summary = {
+        "epoch": controller.epoch,
+        "evaluations": len(controller.audit_log),
+        "applied": len(applied),
+        "incumbent": incumbent,
+        "serving": store.replica_names(),
+        "verified_bit_equal": verified,
+        "audit": controller.audit_dicts(),
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"initial set ({len(incumbent)}): {', '.join(incumbent)}")
+        for u in controller.audit_log:
+            if u.action == "applied":
+                print(f"[epoch {u.epoch}] drift {u.divergence:.3f} >= "
+                      f"{u.drift_threshold}: cost {u.incumbent_cost:.4g} "
+                      f"-> {u.candidate_cost:.4g} "
+                      f"(+{u.improvement:.1%})")
+                print(f"  built:   {', '.join(u.built) or '-'}")
+                print(f"  retired: {', '.join(u.retired) or '-'}")
+            else:
+                print(f"[{u.action}] drift {u.divergence:.3f}: "
+                      f"{u.reason or ''}")
+        print(f"serving set ({len(store.replica_names())}): "
+              + ", ".join(store.replica_names()))
+        print("probe reads bit-equal across transition: "
+              + ("yes" if verified else "NO"))
+    if args.report:
+        report = build_report(obs, timeseries=ts, reselector=controller)
+        print(render_report_text(report))
+    store.close()
+    if not verified:
+        return 1
+    if args.expect_applied and not applied:
+        print("no reselection was applied", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.data import (
         od_matrix,
@@ -1180,6 +1353,37 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[data, seed, workload_shape, faults],
     )
     p.set_defaults(handler=_cmd_drill)
+
+    p = sub.add_parser(
+        "reselect",
+        help="workload-drift drill: serve a shifted workload and let the "
+             "controller re-solve Eq. 1-5 warm and swap replicas online",
+        parents=[data, seed],
+    )
+    p.add_argument("--budget-copies", type=int, default=3,
+                   help="storage budget as copies of the best single "
+                        "replica (paper Section V-C)")
+    p.add_argument("--min-queries", type=int, default=24,
+                   help="observed queries per drift evaluation window")
+    p.add_argument("--drift-threshold", type=float, default=0.2,
+                   help="Jensen-Shannon divergence (0..1) that counts "
+                        "as workload drift")
+    p.add_argument("--min-improvement", type=float, default=0.02,
+                   help="relative Eq. 5 improvement required to swap")
+    p.add_argument("--cache-mb", type=float, default=32.0,
+                   help="decoded-partition cache budget in MB (0 disables)")
+    p.add_argument("--timeseries", default=None, metavar="PATH",
+                   help="persist the reselection audit trail to this "
+                        "JSONL history file")
+    p.add_argument("--expect-applied", action="store_true",
+                   help="exit nonzero unless a reselection was applied "
+                        "(CI gate)")
+    p.add_argument("--report", action="store_true",
+                   help="print the full operational report (with its "
+                        "reselection section) after the drill")
+    p.add_argument("--json", action="store_true",
+                   help="emit the drill summary as JSON")
+    p.set_defaults(handler=_cmd_reselect)
 
     serving_shape = argparse.ArgumentParser(add_help=False)
     serving_shape.add_argument("--replicas", type=int, default=2,

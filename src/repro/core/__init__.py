@@ -37,6 +37,15 @@ from repro.core.partial import (
 )
 from repro.core.problem import Selection, SelectionInstance
 from repro.core.pruning import PruningResult, prune_dominated
+from repro.core.reselect import (
+    ReselectionConfig,
+    ReselectionController,
+    baseline_from_history,
+    queries_from_traces,
+    replica_builder,
+    warm_reselect,
+    workload_divergence,
+)
 
 __all__ = [
     "AdaptiveReconfigurator",
@@ -51,10 +60,13 @@ __all__ = [
     "PartialReplica",
     "PruningResult",
     "ReplicaAdvisor",
+    "ReselectionConfig",
+    "ReselectionController",
     "Selection",
     "SelectionInstance",
     "SelectionReport",
     "WorkloadReduction",
+    "baseline_from_history",
     "branch_and_bound_select",
     "brute_force_select",
     "build_mip",
@@ -64,8 +76,12 @@ __all__ = [
     "local_search_select",
     "partial_selection_instance",
     "prune_dominated",
+    "queries_from_traces",
     "record_fraction_in_box",
     "reduce_workload",
+    "replica_builder",
+    "warm_reselect",
+    "workload_divergence",
     "selection_instance_from_set_cover",
     "set_cover_decision",
     "set_cover_from_selection",

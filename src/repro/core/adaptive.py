@@ -15,6 +15,8 @@ logs grow.  This module closes that loop:
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,22 +28,57 @@ from repro.workload.generator import workload_from_query_log
 
 
 class QueryLogger:
-    """Accumulates executed queries, the raw material for retuning."""
+    """Accumulates executed queries, the raw material for retuning.
 
-    def __init__(self) -> None:
-        self._log: list[Query] = []
+    The log is a bounded ring buffer guarded by a lock: under always-on
+    serving, ``record()`` arrives concurrently from the workload thread
+    pool, and an unbounded list would both race on append and grow
+    without limit for the life of the process.  ``capacity`` bounds the
+    retained window (retuning cares about the *recent* distribution
+    anyway); overflow drops the oldest entry and bumps ``evicted`` so
+    operators can tell a short log from a saturated one.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._log: deque[Query] = deque(maxlen=self.capacity)
+        self._recorded = 0
+        self._evicted = 0
+        self._lock = threading.Lock()
 
     def record(self, query: Query) -> None:
-        self._log.append(query)
+        with self._lock:
+            if len(self._log) == self.capacity:
+                self._evicted += 1
+            self._log.append(query)
+            self._recorded += 1
+
+    @property
+    def recorded(self) -> int:
+        """Queries recorded over the logger's lifetime."""
+        with self._lock:
+            return self._recorded
+
+    @property
+    def evicted(self) -> int:
+        """Queries dropped from the ring buffer to stay within
+        ``capacity`` (``clear()`` does not count)."""
+        with self._lock:
+            return self._evicted
 
     def __len__(self) -> int:
-        return len(self._log)
+        with self._lock:
+            return len(self._log)
 
     def queries(self) -> list[Query]:
-        return list(self._log)
+        with self._lock:
+            return list(self._log)
 
     def clear(self) -> None:
-        self._log.clear()
+        with self._lock:
+            self._log.clear()
 
     def to_workload(
         self,
@@ -54,9 +91,10 @@ class QueryLogger:
         distinct sizes still exceeds ``max_grouped_queries`` they are
         k-means-clustered down to that many centers.
         """
-        if not self._log:
+        log = self.queries()
+        if not log:
             raise ValueError("query log is empty")
-        workload = workload_from_query_log(self._log)
+        workload = workload_from_query_log(log)
         if max_grouped_queries is not None and len(workload) > max_grouped_queries:
             if rng is None:
                 rng = np.random.default_rng(0)

@@ -1,0 +1,579 @@
+"""Workload-drift-triggered online replica reselection.
+
+The Eq. 1-5 selection is only optimal *for the workload it was solved
+against*.  Section VI's experiments fix the workload up front; a live
+deployment does not get that luxury — query mixes shift (a city-wide
+scan workload turns into a hot-spot probe workload overnight) and the
+incumbent ``R*`` silently degrades while every individual query still
+succeeds.  This module closes that loop:
+
+1. **Mine** the live query distribution: the engine feeds every served
+   query into a bounded, thread-safe
+   :class:`~repro.core.adaptive.QueryLogger`;
+   :func:`queries_from_traces` additionally reconstructs history from
+   the :class:`~repro.obs.TraceRecorder`'s finished ``query`` spans
+   (for controllers attached after the fact), and
+   :func:`baseline_from_history` re-anchors a restarted controller from
+   the persisted ``"reselection"`` timeseries entries.
+2. **Detect drift**: :func:`workload_divergence` measures the
+   Jensen-Shannon divergence between the baseline workload (the one the
+   incumbent was selected for) and the observed one, over the shared
+   cluster structure that :func:`~repro.core.grouping.reduce_workload`
+   induces — scale-free, symmetric and bounded in ``[0, 1]``.
+3. **Re-solve incrementally**: :func:`warm_reselect` restricts the
+   Eq. 1-5 instance to the incumbent columns plus each query's cheapest
+   candidate and runs the local-search solver *warm-started from the
+   incumbent* — orders of magnitude less work than a cold solve over
+   the full candidate cross product, with the incumbent's objective as
+   a floor (local search only ever improves on its start).
+4. **Act online**: new replicas are built in the background and
+   installed before displaced ones are retired (readers never see an
+   empty set), with the install/retire window serialized under the
+   ingest tier's writer-preferring
+   :class:`~repro.storage.ReadWriteLock`; in-flight routing plans that
+   still name a retired replica fail over down their Eq. 6-7 ranking
+   inside the engine, so reads never block or truncate across the
+   transition.
+
+Partial replicas (:mod:`repro.core.partial`) participate in the pricing
+pass as *advisory* candidates only: a partial replica cannot be
+physically installed (engine replicas must hold the full dataset — the
+diverse-replica repair path assumes identical logical content), so the
+controller reports which partials the solver would have picked and
+re-solves the install set over full columns.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.adaptive import QueryLogger
+from repro.core.grouping import reduce_workload
+from repro.core.localsearch import local_search_select
+from repro.core.partial import PartialReplica, partial_selection_instance
+from repro.core.problem import Selection, SelectionInstance
+from repro.obs.reselection import ReselectionUpdate
+from repro.workload.query import GroupedQuery, Query, Workload
+
+__all__ = [
+    "ReselectionConfig",
+    "ReselectionController",
+    "baseline_from_history",
+    "queries_from_traces",
+    "replica_builder",
+    "warm_reselect",
+    "workload_divergence",
+]
+
+
+# -- drift signal -------------------------------------------------------------
+
+
+def _grouped_weights(workload: Workload) -> dict[GroupedQuery, float]:
+    return {q: w for q, w in workload.grouped().normalized()}
+
+
+def workload_divergence(
+    baseline: Workload,
+    observed: Workload,
+    k: int = 8,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Jensen-Shannon divergence in ``[0, 1]`` between two workloads'
+    grouped weight distributions.
+
+    Both sides are grouped and normalized, merged into one extent set,
+    clustered with :func:`~repro.core.grouping.reduce_workload` (so
+    near-identical extents land in the same bucket and don't read as
+    disjoint), and compared per cluster.  0 means identical mixes, 1
+    means disjoint support.  Deterministic given ``rng``.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    p_of = _grouped_weights(baseline)
+    q_of = _grouped_weights(observed)
+    extents = list(p_of)
+    extents.extend(g for g in q_of if g not in p_of)
+    # Cluster the merged extent set once; the average of the two sides
+    # weights the k-means so clusters reflect both mixes.  A plain dict
+    # merge (never a combined Workload of raw entries) sidesteps
+    # Workload's duplicate-query rejection.
+    merged = Workload([
+        (g, 0.5 * p_of.get(g, 0.0) + 0.5 * q_of.get(g, 0.0))
+        for g in extents
+    ])
+    labels = reduce_workload(merged, k, rng).labels
+    n_clusters = int(labels.max()) + 1 if len(labels) else 1
+    p = np.zeros(n_clusters)
+    q = np.zeros(n_clusters)
+    for idx, g in enumerate(extents):
+        p[labels[idx]] += p_of.get(g, 0.0)
+        q[labels[idx]] += q_of.get(g, 0.0)
+    m = 0.5 * (p + q)
+
+    def _kl(a: np.ndarray) -> float:
+        mask = a > 0
+        return float(np.sum(a[mask] * np.log(a[mask] / m[mask])))
+
+    js = 0.5 * _kl(p) + 0.5 * _kl(q)
+    # ln 2 is the JS maximum (disjoint support); clamp tiny float debris.
+    return min(max(js / math.log(2.0), 0.0), 1.0)
+
+
+# -- incremental re-solve -----------------------------------------------------
+
+
+def warm_reselect(
+    instance: SelectionInstance,
+    incumbent: Sequence[int],
+    max_passes: int = 20,
+) -> Selection:
+    """Re-solve Eq. 1-5 warm-started from the incumbent selection.
+
+    The search pool is the incumbent's columns plus each query's
+    cheapest candidate (the per-query capped-cost argmin) — every
+    single-replica lower bound is reachable, and the incumbent is the
+    start point, so the result never scores worse than the incumbent on
+    the capped objective.  Runs local search on the restricted
+    sub-instance and maps the answer back to full-instance indices.
+    """
+    m = instance.n_replicas
+    incumbent_cols = sorted({int(j) for j in incumbent if 0 <= int(j) < m})
+    pool = set(incumbent_cols)
+    if instance.n_queries and m:
+        pool.update(int(j) for j in instance.capped_costs.argmin(axis=1))
+    if not pool:
+        pool.update(range(min(m, 1)))
+    pool_list = sorted(pool)
+    sub = instance.restricted_to(pool_list)
+    pos = {j: k for k, j in enumerate(pool_list)}
+
+    start = None
+    start_sub = tuple(sorted(pos[j] for j in incumbent_cols))
+    if start_sub and sub.is_feasible(start_sub):
+        start = Selection(
+            selected=start_sub,
+            cost=sub.workload_cost(start_sub),
+            storage=sub.storage_of(start_sub),
+            optimal=False,
+            solver="incumbent",
+        )
+    refined = local_search_select(sub, start=start, max_passes=max_passes)
+    selected = tuple(sorted(pool_list[k] for k in refined.selected))
+    return Selection(
+        selected=selected,
+        cost=instance.workload_cost(selected),
+        storage=instance.storage_of(selected),
+        optimal=False,
+        solver=f"warm[{len(pool_list)}/{m}]+{refined.solver}",
+    )
+
+
+# -- mining history -----------------------------------------------------------
+
+
+def queries_from_traces(tracer) -> list[Query]:
+    """Reconstruct positioned queries from the tracer's finished root
+    ``query`` spans (the engine annotates each with its extent and
+    centroid).  Lets a controller attached mid-flight seed its log from
+    history instead of starting blind."""
+    out: list[Query] = []
+    for span in tracer.spans():
+        if span.name != "query" or span.end is None:
+            continue
+        attrs = span.attrs
+        if "q_width" not in attrs:
+            continue
+        out.append(Query(
+            float(attrs["q_width"]), float(attrs["q_height"]),
+            float(attrs["q_duration"]), float(attrs["q_x"]),
+            float(attrs["q_y"]), float(attrs["q_t"]),
+        ))
+    return out
+
+
+def baseline_from_history(timeseries) -> Workload | None:
+    """The baseline workload implied by the newest *applied*
+    ``"reselection"`` entry in a timeseries store, or None when no
+    reselection was ever applied.  A restarted controller re-anchors
+    from this instead of re-flagging drift the old baseline already
+    absorbed."""
+    for entry in reversed(timeseries.entries("reselection")):
+        data = entry["data"]
+        rows = data.get("observed") or []
+        if data.get("action") == "applied" and rows:
+            return Workload([
+                (GroupedQuery(float(w), float(h), float(t)), float(weight))
+                for w, h, t, weight in rows
+            ])
+    return None
+
+
+# -- physical builds ----------------------------------------------------------
+
+
+def replica_builder(
+    dataset,
+    partitioning_schemes: Sequence,
+    encoding_schemes: Sequence,
+    unit_store_factory: Callable[[], object] | None = None,
+    universe=None,
+) -> Callable[[str], object]:
+    """A ``profile name -> StoredReplica`` factory over the advisor's
+    candidate namespace (``"<scheme>/<encoding>"``).
+
+    The controller calls it off the serving path for every replica the
+    winning selection needs built; each build lands in a fresh unit
+    store from ``unit_store_factory`` (in-memory by default).
+    """
+    schemes = {s.name: s for s in partitioning_schemes}
+    encodings = {e.name: e for e in encoding_schemes}
+
+    def build(profile_name: str):
+        from repro.storage import InMemoryStore, build_replica
+
+        scheme_name, sep, encoding_name = profile_name.rpartition("/")
+        if not sep or scheme_name not in schemes \
+                or encoding_name not in encodings:
+            raise KeyError(f"no builder for candidate {profile_name!r}")
+        store = (InMemoryStore() if unit_store_factory is None
+                 else unit_store_factory())
+        return build_replica(dataset, schemes[scheme_name],
+                             encodings[encoding_name], store,
+                             name=profile_name, universe=universe)
+
+    return build
+
+
+# -- the controller -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReselectionConfig:
+    """Guards on the drift -> re-solve -> swap loop."""
+
+    #: Jensen-Shannon divergence in (0, 1] below which the observed
+    #: workload counts as "the one we already selected for".
+    drift_threshold: float = 0.2
+    #: Observed queries required before an evaluation is attempted, and
+    #: the cooldown (in further queries) after any evaluation.
+    min_queries: int = 32
+    #: Relative Eq. 5 improvement required to actually swap.
+    min_improvement: float = 0.02
+    #: Cluster count for workload reduction / divergence.
+    max_grouped_queries: int = 8
+    #: Query-log ring capacity.
+    capacity: int = 4096
+    #: Audit what would change, touch nothing.
+    dry_run: bool = False
+    #: Run evaluations on a background thread (the serving path only
+    #: pays a counter check); tests use the synchronous default.
+    background: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.drift_threshold <= 1.0:
+            raise ValueError("drift_threshold must be in (0, 1]")
+        if self.min_queries < 1:
+            raise ValueError("min_queries must be >= 1")
+        if self.min_improvement < 0.0:
+            raise ValueError("min_improvement must be >= 0")
+        if self.max_grouped_queries < 1:
+            raise ValueError("max_grouped_queries must be >= 1")
+
+
+class ReselectionController:
+    """Drift-triggered, warm-started, non-blocking replica reselection.
+
+    Wire one to an engine via
+    :meth:`repro.obs.Observability.attach_reselector`: the engine then
+    feeds every served query into :meth:`observe` and offers
+    :meth:`maybe_reselect` a shot after each served call (both are a
+    counter check until ``min_queries`` fresh queries accumulate).
+
+    An evaluation: group the observed log, measure
+    :func:`workload_divergence` against the baseline workload, and —
+    past the threshold — rebuild the Eq. 1-5 instance for the observed
+    workload and :func:`warm_reselect` from the incumbent.  A winning
+    candidate set is applied *install-first*: new replicas are built
+    (slow, off-lock), registered, and only then are displaced replicas
+    retired, the whole install/retire window serialized under a
+    writer-preferring :class:`~repro.storage.ReadWriteLock`.  The
+    engine's decoded-partition cache and zone memos for swapped/retired
+    replicas are invalidated by the store itself
+    (``retire_replica``/``swap_replica``), and stale routing plans fail
+    over inside the engine, so concurrent reads stay correct and
+    non-blocking throughout.
+
+    Every decision lands in :attr:`audit_log`, in the
+    ``repro_reselect_*`` counters, and (when a timeseries store is
+    attached) in the on-disk history as a ``"reselection"`` entry.
+    """
+
+    def __init__(
+        self,
+        store,
+        advisor,
+        budget: float,
+        baseline: Workload,
+        *,
+        build: Callable[[str], object] | None = None,
+        partial_replicas: Sequence[PartialReplica] = (),
+        config: ReselectionConfig | None = None,
+        obs=None,
+        timeseries=None,
+        rng: np.random.Generator | None = None,
+    ):
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        if len(baseline) == 0:
+            raise ValueError("baseline workload is empty")
+        from repro.storage import ReadWriteLock
+
+        self.store = store
+        self.advisor = advisor
+        self.budget = float(budget)
+        self.baseline = baseline
+        self.config = config or ReselectionConfig()
+        self.obs = obs
+        self.timeseries = timeseries
+        self.partial_replicas = list(partial_replicas)
+        self.logger = QueryLogger(capacity=self.config.capacity)
+        self.epoch = 0
+        self.audit_log: list[ReselectionUpdate] = []
+        self._build = build
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._gate = threading.Lock()        # one evaluation at a time
+        self._swap = ReadWriteLock()         # install/retire window
+        self._next_eval = self.config.min_queries
+        self._thread: threading.Thread | None = None
+
+    # -- mining ------------------------------------------------------------
+
+    def observe(self, query: Query) -> None:
+        """One served query, straight off the engine's serving path."""
+        self.logger.record(query)
+
+    def seed_from_traces(self, tracer=None) -> int:
+        """Backfill the query log from finished trace spans (the
+        controller may be attached long after the engine started
+        serving).  Returns the number of queries recovered."""
+        if tracer is None and self.obs is not None:
+            tracer = self.obs.tracer
+        if tracer is None:
+            return 0
+        queries = queries_from_traces(tracer)
+        for q in queries:
+            self.logger.record(q)
+        return len(queries)
+
+    # -- the loop ----------------------------------------------------------
+
+    def maybe_reselect(self) -> ReselectionUpdate | None:
+        """Engine hook: cheap until ``min_queries`` fresh queries have
+        accumulated, then one evaluation (inline or on a background
+        thread per the config).  Never blocks behind a running
+        evaluation."""
+        if self.logger.recorded < self._next_eval:
+            return None
+        if not self._gate.acquire(blocking=False):
+            return None
+        if self.config.background:
+            thread = threading.Thread(
+                target=self._evaluate_and_release,
+                name="repro-reselect", daemon=True)
+            self._thread = thread
+            thread.start()
+            return None
+        try:
+            return self._evaluate_locked(force=False)
+        finally:
+            self._gate.release()
+
+    def evaluate(self, force: bool = False) -> ReselectionUpdate | None:
+        """Run one evaluation now (blocking).  ``force`` skips the
+        drift gate — the CLI drill and tests use it."""
+        with self._gate:
+            return self._evaluate_locked(force=force)
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Join a background evaluation, if one is running."""
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def _evaluate_and_release(self) -> None:
+        try:
+            self._evaluate_locked(force=False)
+        finally:
+            self._gate.release()
+
+    # -- one evaluation ----------------------------------------------------
+
+    def _evaluate_locked(self, force: bool) -> ReselectionUpdate | None:
+        cfg = self.config
+        # Cooldown first: win or lose, don't re-litigate until fresh
+        # evidence accumulates.
+        self._next_eval = self.logger.recorded + cfg.min_queries
+        if len(self.logger) == 0:
+            return None
+        if not force and len(self.logger) < cfg.min_queries:
+            return None
+
+        observed = self.logger.to_workload(
+            max_grouped_queries=cfg.max_grouped_queries, rng=self._rng)
+        divergence = workload_divergence(
+            self.baseline, observed, k=cfg.max_grouped_queries,
+            rng=self._rng)
+        self._count("repro_reselect_evaluations_total")
+        self._gauge("repro_reselect_divergence", divergence)
+        if not force and divergence < cfg.drift_threshold:
+            return None
+
+        instance = self.advisor.build_instance(observed, self.budget)
+        col_of = {instance.name_of(j): j
+                  for j in range(instance.n_replicas)}
+        current = list(self.store.replica_names())
+        incumbent_cols = sorted(col_of[n] for n in current if n in col_of)
+        incumbent_cost = instance.capped_workload_cost(incumbent_cols)
+        warm = warm_reselect(instance, incumbent_cols)
+        candidate_cost = instance.capped_workload_cost(warm.selected)
+        candidate_names = tuple(instance.name_of(j) for j in warm.selected)
+        improvement = ((incumbent_cost - candidate_cost) / incumbent_cost
+                       if incumbent_cost > 0 else 0.0)
+        advisory = self._partial_advisory(observed)
+
+        common = dict(
+            epoch=self.epoch,
+            divergence=divergence,
+            drift_threshold=cfg.drift_threshold,
+            observed_queries=len(self.logger),
+            incumbent=tuple(current),
+            incumbent_cost=incumbent_cost,
+            candidate=candidate_names,
+            candidate_cost=candidate_cost,
+            improvement=improvement,
+            partial_advisory=advisory,
+            storage_used=warm.storage,
+            budget=self.budget,
+            solver=warm.solver,
+            n_pool=instance.n_replicas,
+            observed=tuple(
+                (g.width, g.height, g.duration, w)
+                for g, w in observed.grouped()),
+        )
+
+        if not warm.selected:
+            return self._decide("rejected", "solver returned an empty "
+                                "selection", common)
+        if set(candidate_names) == set(current):
+            return self._decide(
+                "rejected", "incumbent set is still the winner under the "
+                "observed workload", common)
+        if improvement < cfg.min_improvement:
+            return self._decide(
+                "rejected",
+                f"improvement {improvement:.4f} below minimum "
+                f"{cfg.min_improvement:.4f}", common)
+        if cfg.dry_run:
+            return self._decide(
+                "dry-run", None, common,
+                built=tuple(n for n in candidate_names if n not in current),
+                retired=tuple(n for n in current
+                              if n not in candidate_names))
+        return self._apply(observed, candidate_names, current, common)
+
+    def _apply(self, observed: Workload, candidate_names: tuple[str, ...],
+               current: list[str], common: dict) -> ReselectionUpdate:
+        to_build = [n for n in candidate_names if n not in current]
+        to_retire = [n for n in current if n not in candidate_names]
+        if to_build and self._build is None:
+            return self._decide(
+                "rejected", "no replica builder attached "
+                f"(would build {to_build})", common)
+        # Builds are the slow part; do them before touching the serving
+        # set, so the swap window itself is just dict surgery.
+        built = []
+        try:
+            for name in to_build:
+                built.append(self._build(name))
+        except Exception as exc:  # noqa: BLE001 — audited, not fatal
+            return self._decide(
+                "rejected", f"build of {name!r} failed: {exc}", common)
+
+        with self._swap.write_lock():
+            # Install-first: readers racing the swap always see a
+            # superset of a valid serving set; retiring afterwards is
+            # safe because the engine fails stale plans over.
+            for replica in built:
+                self.store.register_replica(replica)
+            for name in to_retire:
+                self.store.retire_replica(name)
+
+        # New epoch: the observed workload becomes the baseline the
+        # next drift measurement anchors on, and retired replicas'
+        # drift windows stop mattering.
+        self.baseline = observed
+        self.logger.clear()
+        self._next_eval = self.logger.recorded + self.config.min_queries
+        if self.obs is not None:
+            for name in to_retire:
+                self.obs.drift.clear_replica(name)
+        self.epoch += 1
+        return self._decide("applied", None, common,
+                            built=tuple(to_build),
+                            retired=tuple(to_retire))
+
+    # -- advisory partial pricing ------------------------------------------
+
+    def _partial_advisory(self, observed: Workload) -> tuple[str, ...]:
+        """Which partial replicas the solver would pick if they were
+        installable — priced against the observed workload alongside
+        the full candidates, reported but never built."""
+        if not self.partial_replicas:
+            return ()
+        cost_model = getattr(self.store, "cost_model", None)
+        if cost_model is None:
+            return ()
+        try:
+            instance = partial_selection_instance(
+                cost_model, observed, self.advisor.candidates,
+                list(self.partial_replicas), self.budget)
+            picked = local_search_select(instance)
+        except ValueError:
+            return ()
+        return tuple(n for n in (instance.name_of(j)
+                                 for j in picked.selected)
+                     if n.endswith("@partial"))
+
+    # -- audit -------------------------------------------------------------
+
+    def _decide(self, action: str, reason: str | None, common: dict,
+                built: tuple[str, ...] = (),
+                retired: tuple[str, ...] = ()) -> ReselectionUpdate:
+        update = ReselectionUpdate(action=action, reason=reason,
+                                   built=built, retired=retired, **common)
+        self.audit_log.append(update)
+        if self.timeseries is not None:
+            self.timeseries.append("reselection", update.to_dict())
+        if action == "applied":
+            self._count("repro_reselect_applied_total")
+        elif action == "rejected":
+            self._count("repro_reselect_rejected_total")
+        return update
+
+    def audit_dicts(self) -> list[dict]:
+        """The in-memory audit trail as JSON-safe data."""
+        return [u.to_dict() for u in self.audit_log]
+
+    def _count(self, name: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name).inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self.obs is not None:
+            self.obs.metrics.gauge(name).set(value)

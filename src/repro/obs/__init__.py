@@ -54,6 +54,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.recalibrate import CalibrationUpdate, Recalibrator
+from repro.obs.reselection import ReselectionUpdate
 from repro.obs.report import (
     REPORT_SCHEMA_VERSION,
     build_report,
@@ -85,6 +86,11 @@ class Observability:
     #: not exist yet when the bundle is built).
     recalibrator: Recalibrator | None = None
     checkpointer: Checkpointer | None = None
+    #: Duck-typed reselection controller (see
+    #: :class:`repro.core.reselect.ReselectionController` — held as an
+    #: opaque attribute so ``obs`` never imports ``core``): anything
+    #: with ``observe(query)`` and ``maybe_reselect()``.
+    reselector: object | None = None
 
     @classmethod
     def create(
@@ -120,6 +126,27 @@ class Observability:
         self.checkpointer = Checkpointer(
             self, store, interval_seconds=interval_seconds, **kwargs)
         return self.checkpointer
+
+    def attach_reselector(self, controller):
+        """Attach a reselection controller (duck-typed: ``observe`` +
+        ``maybe_reselect``).  The engine then feeds served queries into
+        it and offers it a shot after every served call."""
+        self.reselector = controller
+        return controller
+
+    def observe_query(self, query) -> None:
+        """Engine hook: feed one served query to the attached
+        reselection controller.  No-op without one."""
+        if self.reselector is not None:
+            self.reselector.observe(query)
+
+    def maybe_reselect(self):
+        """Engine hook: give the reselection controller (when attached)
+        a chance to act on accumulated workload drift.  No-op without
+        one."""
+        if self.reselector is None:
+            return None
+        return self.reselector.maybe_reselect()
 
     def maybe_recalibrate(self, replica_name: str,
                           encoding_name: str) -> "CalibrationUpdate | None":
@@ -165,6 +192,7 @@ __all__ = [
     "Observability",
     "REPORT_SCHEMA_VERSION",
     "Recalibrator",
+    "ReselectionUpdate",
     "Span",
     "TimeseriesStore",
     "TraceRecorder",

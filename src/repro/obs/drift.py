@@ -30,11 +30,35 @@ from dataclasses import dataclass
 #: Guard against 0/0 when both predicted and measured are ~zero.
 _EPS = 1e-12
 
+#: Finite ceiling for a timing sample.  Metadata-only counts predict
+#: exactly zero seconds, and a broken timer can hand back inf/NaN; both
+#: must be clamped *before* they enter a drift window, because a single
+#: non-finite pair makes every downstream mean (and the JSON snapshot)
+#: inf/NaN forever after.
+_MAX_SECONDS = 1e9
+
+#: Finite ceiling for :attr:`DriftStatus.scale_factor` when the window's
+#: mean prediction is ~zero (the measured/0 case).  Reported as "capped"
+#: rather than ``inf`` so the value stays arithmetic- and JSON-safe.
+SCALE_FACTOR_CAP = 1e6
+
+
+def _finite_seconds(value: float) -> float:
+    """Clamp one timing sample to a finite non-negative float: NaN
+    becomes 0.0 (no evidence), +/-inf becomes ``_MAX_SECONDS``."""
+    v = float(value)
+    if v != v:  # NaN
+        return 0.0
+    if v == float("inf") or v == float("-inf"):
+        return _MAX_SECONDS
+    return min(abs(v), _MAX_SECONDS)
+
 
 def relative_error(predicted: float, measured: float) -> float:
     """Symmetric relative error in [0, 1): 0 = perfect, ->1 = off by
-    orders of magnitude.  Zero-vs-zero counts as no error."""
-    p, m = abs(predicted), abs(measured)
+    orders of magnitude.  Zero-vs-zero counts as no error; non-finite
+    inputs are clamped first, so the result is always finite."""
+    p, m = _finite_seconds(predicted), _finite_seconds(measured)
     denom = max(p, m)
     if denom <= _EPS:
         return 0.0
@@ -57,10 +81,14 @@ class DriftStatus:
     def scale_factor(self) -> float:
         """measured/predicted over the window — >1 means the model is
         optimistic (predicts faster than reality), <1 pessimistic.
-        A consistent factor of ~k suggests ``ScanRate`` is off by ~k."""
+        A consistent factor of ~k suggests ``ScanRate`` is off by ~k.
+        Always finite: a window whose mean prediction is ~zero (e.g.
+        metadata-only counts) caps at :data:`SCALE_FACTOR_CAP` instead
+        of going infinite."""
         if self.mean_predicted <= _EPS:
-            return float("inf") if self.mean_measured > _EPS else 1.0
-        return self.mean_measured / self.mean_predicted
+            return SCALE_FACTOR_CAP if self.mean_measured > _EPS else 1.0
+        return min(self.mean_measured / self.mean_predicted,
+                   SCALE_FACTOR_CAP)
 
 
 class DriftMonitor:
@@ -91,8 +119,12 @@ class DriftMonitor:
     def record(self, replica_name: str, predicted_seconds: float,
                measured_seconds: float) -> None:
         """One executed query: what Eq. 7 predicted for the serving
-        replica vs. what the scan actually took."""
-        pair = (float(predicted_seconds), float(measured_seconds))
+        replica vs. what the scan actually took.  Samples are clamped
+        finite on the way in (metadata-only counts predict 0.0 and a
+        broken timer can produce inf/NaN) so windows never poison the
+        rolling means."""
+        pair = (_finite_seconds(predicted_seconds),
+                _finite_seconds(measured_seconds))
         with self._lock:
             window = self._pairs.get(replica_name)
             if window is None:
@@ -166,7 +198,7 @@ class DriftMonitor:
                 "max_relative_error": s.max_relative_error,
                 "mean_predicted_seconds": s.mean_predicted,
                 "mean_measured_seconds": s.mean_measured,
-                "scale_factor": (None if s.scale_factor == float("inf")
+                "scale_factor": (None if s.scale_factor >= SCALE_FACTOR_CAP
                                  else s.scale_factor),
                 "flagged": s.flagged,
             }

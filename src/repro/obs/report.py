@@ -27,7 +27,7 @@ from __future__ import annotations
 __all__ = ["REPORT_SCHEMA_VERSION", "build_report", "render_report_text",
            "validate_report"]
 
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
 
 
 def _counter_total(metrics_snapshot: dict, name: str) -> float:
@@ -73,12 +73,14 @@ def _trends(snapshots: list[dict]) -> dict:
     }
 
 
-def build_report(obs, timeseries=None, recalibrator=None) -> dict:
+def build_report(obs, timeseries=None, recalibrator=None,
+                 reselector=None) -> dict:
     """Assemble the operational report from whatever is attached.
 
     ``obs`` is an :class:`~repro.obs.Observability` bundle; the
-    timeseries store and recalibrator are optional — absent layers
-    produce empty-but-present sections, so the schema is stable.
+    timeseries store, recalibrator and reselection controller are
+    optional — absent layers produce empty-but-present sections, so the
+    schema is stable.
     """
     metrics = obs.metrics.snapshot()
 
@@ -88,9 +90,14 @@ def build_report(obs, timeseries=None, recalibrator=None) -> dict:
 
     drift_snapshot = obs.drift.snapshot()
 
+    if reselector is None:
+        reselector = getattr(obs, "reselector", None)
+
     if timeseries is not None:
         audit = [dict(e["data"], seq=e["seq"])
                  for e in timeseries.entries("calibration")]
+        reselect_audit = [dict(e["data"], seq=e["seq"])
+                          for e in timeseries.entries("reselection")]
         snapshots = timeseries.entries("snapshot")
         history = {
             "attached": True,
@@ -100,6 +107,9 @@ def build_report(obs, timeseries=None, recalibrator=None) -> dict:
         }
     else:
         audit = recalibrator.audit_dicts() if recalibrator is not None else []
+        reselect_audit = (reselector.audit_dicts()
+                          if reselector is not None
+                          and hasattr(reselector, "audit_dicts") else [])
         snapshots = []
         history = {"attached": False, "path": None, "entries": 0,
                    "last_seq": 0}
@@ -182,6 +192,17 @@ def build_report(obs, timeseries=None, recalibrator=None) -> dict:
             "rejected": _counter_total(metrics,
                                        "repro_recalib_rejected_total"),
             "audit": audit,
+        },
+        "reselection": {
+            "evaluations": _counter_total(
+                metrics, "repro_reselect_evaluations_total"),
+            "applied": _counter_total(metrics,
+                                      "repro_reselect_applied_total"),
+            "rejected": _counter_total(metrics,
+                                       "repro_reselect_rejected_total"),
+            "replica_changes_by_op": _counter_by_label(
+                metrics, "repro_replica_changes_total", "op"),
+            "audit": reselect_audit,
         },
         "trends": _trends(snapshots),
         "history": history,
@@ -280,6 +301,35 @@ def render_report_text(report: dict) -> str:
                 f"{entry['new_extra_time']:.4g}, "
                 f"n={entry['n_samples']}{clamp}")
 
+    rs = report.get("reselection")
+    if rs is not None and (rs["evaluations"] or rs["audit"]):
+        changes = ", ".join(f"{op} {n:.0f}" for op, n
+                            in sorted(rs["replica_changes_by_op"].items()))
+        lines.append(
+            f"  reselection: {rs['evaluations']:.0f} evaluations, "
+            f"{rs['applied']:.0f} applied, {rs['rejected']:.0f} rejected"
+            + (f" (replica changes: {changes})" if changes else ""))
+        for entry in rs["audit"]:
+            if entry["action"] == "applied":
+                lines.append(
+                    f"    [applied] epoch {entry['epoch']}: "
+                    f"div={entry['divergence']:.3f} "
+                    f"cost {entry['incumbent_cost']:.4g} -> "
+                    f"{entry['candidate_cost']:.4g} "
+                    f"(+{entry['improvement']:.1%}), "
+                    f"built {list(entry['built'])}, "
+                    f"retired {list(entry['retired'])}")
+            else:
+                lines.append(
+                    f"    [{entry['action']}] epoch {entry['epoch']}: "
+                    f"div={entry['divergence']:.3f}"
+                    + (f" — {entry['reason']}" if entry.get("reason")
+                       else ""))
+            if entry.get("partial_advisory"):
+                lines.append(
+                    f"      partial advisory: "
+                    f"{list(entry['partial_advisory'])}")
+
     t = report["trends"]
     if t["counters"]:
         lines.append(f"  trends over {t['snapshots']} snapshots "
@@ -311,7 +361,8 @@ def validate_report(report: dict) -> None:
     _require(report.get("schema_version") == REPORT_SCHEMA_VERSION,
              f"schema_version != {REPORT_SCHEMA_VERSION}")
     for section in ("queries", "scan", "cache", "degradation", "drift",
-                    "ingest", "recalibration", "trends", "history"):
+                    "ingest", "recalibration", "reselection", "trends",
+                    "history"):
         _require(isinstance(report.get(section), dict),
                  f"missing section {section!r}")
 
@@ -381,6 +432,22 @@ def validate_report(report: dict) -> None:
                      "applied/dry-run audit entry needs new_scan_rate")
             _require(isinstance(entry.get("new_extra_time"), (int, float)),
                      "applied/dry-run audit entry needs new_extra_time")
+
+    rs = report["reselection"]
+    for field in ("evaluations", "applied", "rejected"):
+        _require(isinstance(rs.get(field), (int, float)),
+                 f"reselection.{field} must be numeric")
+    _require(isinstance(rs.get("replica_changes_by_op"), dict),
+             "reselection.replica_changes_by_op")
+    _require(isinstance(rs.get("audit"), list), "reselection.audit")
+    for entry in rs["audit"]:
+        _require(entry.get("action") in ("applied", "rejected", "dry-run",
+                                         "skipped"),
+                 f"reselection audit action {entry.get('action')!r}")
+        for field in ("epoch", "divergence", "incumbent", "candidate",
+                      "improvement", "built", "retired"):
+            _require(field in entry,
+                     f"reselection audit entry missing {field!r}")
 
     t = report["trends"]
     _require(isinstance(t.get("snapshots"), int), "trends.snapshots")

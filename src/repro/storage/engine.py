@@ -269,8 +269,11 @@ class BlotStore:
         # Zone-map memo: (replica, pid) -> ((x, y, t) zones, or None for
         # formats without zone maps), recorded whenever a blob is opened.
         # Zones describe the partition's logical content, which is
-        # immutable (repair restores identical records), so entries never
-        # invalidate.  Single-key dict ops are atomic under the GIL.
+        # immutable for a *given* replica (repair restores identical
+        # records), so entries only invalidate when the replica itself is
+        # retired or swapped (a rebuilt same-name replica partitions the
+        # data differently).  Single-key dict ops are atomic under the
+        # GIL.
         self._zone_info: dict[tuple[str, int], tuple | None] = {}
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
@@ -360,7 +363,61 @@ class BlotStore:
         self._replicas[replica.name] = replica
         if self._faults is not None:
             replica.attach_fault_injector(self._faults)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_replica_changes_total",
+                labels={"op": "register", "replica": replica.name}).inc()
         return replica
+
+    def retire_replica(self, name: str) -> StoredReplica:
+        """Hot-remove a replica from the serving set.
+
+        The replica drops out of routing immediately (``route`` /
+        ``route_workload`` recompute from the live set on every call);
+        its decoded-partition cache entries and memoized zone bounds are
+        invalidated so a later replica registered under the same name
+        can never be served another replica's stale partitions.  In-
+        flight batch plans that still assign queries to the retired
+        name fail over down each query's Eq. 6-7 ranking instead of
+        erroring.  Returns the retired replica (the caller owns the
+        underlying storage units and decides when to delete them).
+        """
+        stored = self.replica(name)  # KeyError early on unknown names
+        if len(self._replicas) == 1:
+            raise ValueError(
+                f"cannot retire {name!r}: it is the last replica")
+        del self._replicas[name]
+        self._forget_replica_state(name, op="retire")
+        return stored
+
+    def swap_replica(self, replica: StoredReplica) -> StoredReplica:
+        """Atomically replace the same-name replica with a rebuilt one.
+
+        The satellite bugfix this codifies: a rebuild under an existing
+        name MUST evict that name's decoded-partition cache entries and
+        zone-memo rows — both are keyed ``(replica_name, pid)``, and the
+        rebuilt replica's partition ``pid`` generally holds different
+        records in a different box, so a stale hit would silently serve
+        the old replica's data.  Returns the displaced replica.
+        """
+        old = self.replica(replica.name)
+        self._replicas[replica.name] = replica
+        if self._faults is not None:
+            replica.attach_fault_injector(self._faults)
+        self._forget_replica_state(replica.name, op="swap")
+        return old
+
+    def _forget_replica_state(self, name: str, op: str) -> None:
+        """Drop every piece of memoized per-replica read state: cache
+        entries and zone-memo rows keyed on ``(name, pid)``."""
+        if self._cache is not None:
+            self._cache.invalidate_replica(name)
+        for key in [k for k in self._zone_info if k[0] == name]:
+            self._zone_info.pop(key, None)
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "repro_replica_changes_total",
+                labels={"op": op, "replica": name}).inc()
 
     def total_storage_bytes(self) -> int:
         """``Storage(R)`` over all registered replicas (Definition 5)."""
@@ -636,13 +693,22 @@ class BlotStore:
         opts = options if options is not None else DEFAULT_EXEC_OPTIONS
         acct = _Accounting()
         rec = self._recorder(opts)
-        with rec.start("query", kind="query") as root:
+        with rec.start("query", kind="query", q_width=q.width,
+                       q_height=q.height, q_duration=q.duration,
+                       q_x=q.x, q_y=q.y, q_t=q.t) as root:
             with rec.start("route", parent=root) as route_span:
                 candidates = self._candidates(q, replica, opts)
                 route_span.annotate(candidates=list(candidates))
             attempts: list[tuple[str, Exception]] = []
             for name in candidates:
-                stored = self.replica(name)
+                stored = self._replicas.get(name)
+                if stored is None:
+                    # Retired between routing and serving: fail over.
+                    attempts.append((name, KeyError(name)))
+                    acct.add_failover()
+                    rec.event("failover", parent=root, failed_replica=name,
+                              cause="retired")
+                    continue
                 try:
                     result = self._scan_query(stored, q, opts, acct,
                                               rec=rec, root=root, box=box)
@@ -681,6 +747,7 @@ class BlotStore:
             self._publish_query(obs, result.stats, path, acct)
             self._record_drift(obs, q, result.stats.replica_name,
                                result.stats.seconds)
+            obs.observe_query(q)
             self._after_telemetry(obs, result.stats.replica_name)
         return result
 
@@ -693,6 +760,7 @@ class BlotStore:
         stored = self._replicas.get(replica_name)
         if stored is not None:
             obs.maybe_recalibrate(replica_name, stored.encoding.name)
+        obs.maybe_reselect()
         obs.maybe_checkpoint()
 
     def _publish_query(self, obs: Observability, stats: QueryStats,
@@ -1010,13 +1078,21 @@ class BlotStore:
         opts = options if options is not None else DEFAULT_EXEC_OPTIONS
         acct = _Accounting()
         rec = self._recorder(opts)
-        with rec.start("query", kind="count") as root:
+        with rec.start("query", kind="count", q_width=q.width,
+                       q_height=q.height, q_duration=q.duration,
+                       q_x=q.x, q_y=q.y, q_t=q.t) as root:
             with rec.start("route", parent=root) as route_span:
                 candidates = self._candidates(q, replica, opts)
                 route_span.annotate(candidates=list(candidates))
             attempts: list[tuple[str, Exception]] = []
             for name in candidates:
-                stored = self.replica(name)
+                stored = self._replicas.get(name)
+                if stored is None:
+                    attempts.append((name, KeyError(name)))
+                    acct.add_failover()
+                    rec.event("failover", parent=root, failed_replica=name,
+                              cause="retired")
+                    continue
                 try:
                     total, stats = self._scan_count(stored, q, opts, acct,
                                                     rec=rec, root=root,
@@ -1035,6 +1111,7 @@ class BlotStore:
                 if obs is not None:
                     self._publish_query(obs, stats, "count", acct)
                     self._record_drift(obs, q, name, stats.seconds)
+                    obs.observe_query(q)
                     self._after_telemetry(obs, name)
                 return total, stats
             raise DegradedReadError(
@@ -1281,7 +1358,30 @@ class BlotStore:
             next_round: dict[str, list[int]] = {}
             for name in sorted(current):
                 idxs = current[name]
-                stored = self.replica(name)
+                stored = self._replicas.get(name)
+                if stored is None:
+                    # The plan predates a hot retire: move the whole
+                    # group down each query's Eq. 6-7 ranking, exactly
+                    # like a replica-scope read failure.
+                    err = KeyError(name)
+                    for i in idxs:
+                        errors[i].append((name, err))
+                        fallback = self._next_fallback(plan, i, tried[i],
+                                                       opts)
+                        if fallback is not None:
+                            tried[i].add(fallback)
+                            serving[i] = fallback
+                            acct.add_failover()
+                            rec.event("failover", parent=wl_root, query=i,
+                                      failed_replica=name, fallback=fallback,
+                                      cause="retired")
+                            next_round.setdefault(fallback, []).append(i)
+                            continue
+                        results[i] = self._finish_exhausted(
+                            plan, i, queries[i], opts, acct, errors[i],
+                            rec=rec, root=wl_root)
+                        serving[i] = results[i].stats.replica_name
+                    continue
                 boxes = {i: queries[i].box() for i in idxs}
                 involved = {i: stored.involved_partitions(boxes[i]) for i in idxs}
                 union: list[int] = sorted(
@@ -1449,6 +1549,8 @@ class BlotStore:
             sum(r.stats.partitions_involved for r in results))
         m.histogram("repro_workload_seconds").observe(stats.seconds)
         self._publish_degradation(obs, acct)
+        for q in queries:
+            obs.observe_query(q)
         if self._cost_model is None:
             return
         # Single-replica plans carry an all-zeros cost matrix (routing is

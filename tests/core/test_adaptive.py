@@ -75,6 +75,65 @@ class TestQueryLogger:
         log.clear()
         assert len(log) == 0
 
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QueryLogger(capacity=0)
+
+    def test_bounded_ring_buffer_evicts_oldest(self):
+        log = QueryLogger(capacity=4)
+        queries = [Query(0.1 * (i + 1), 0.1, 0.1, 0.5, 0.5, 0.5)
+                   for i in range(6)]
+        for q in queries:
+            log.record(q)
+        # Pre-fix the log grew without bound; now it retains the newest
+        # `capacity` queries and counts what it dropped.
+        assert len(log) == 4
+        assert log.queries() == queries[2:]
+        assert log.recorded == 6
+        assert log.evicted == 2
+
+    def test_clear_does_not_count_as_eviction(self):
+        log = QueryLogger(capacity=2)
+        for i in range(3):
+            log.record(Query(0.1 * (i + 1), 0.1, 0.1, 0.5, 0.5, 0.5))
+        assert log.evicted == 1
+        log.clear()
+        assert log.evicted == 1
+        assert len(log) == 0
+
+    def test_concurrent_record_is_safe_and_bounded(self):
+        """Pre-fix failure: concurrent `record()` from the workload
+        thread pool grew an unbounded list with no synchronization.
+        With the lock + ring buffer, every record is accounted for:
+        length caps at `capacity` and recorded - evicted == retained."""
+        import threading
+
+        capacity, n_threads, per_thread = 128, 8, 500
+        log = QueryLogger(capacity=capacity)
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                log.record(Query(0.01 * (tid + 1), 0.01, 0.01,
+                                 0.5, 0.5, 0.001 * i))
+                if i % 17 == 0:
+                    log.queries()  # concurrent snapshot reads
+                    len(log)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = n_threads * per_thread
+        assert len(log) == capacity
+        assert log.recorded == total
+        assert log.evicted == total - capacity
+        assert len(log.queries()) == capacity
+
 
 class TestAdaptiveReconfigurator:
     def make(self, advisor, workload, **kwargs):

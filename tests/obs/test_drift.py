@@ -4,13 +4,15 @@ The headline scenario: an engine whose ``ScanRate`` constants are off by
 4x must trip the drift alarm, while a well-calibrated model must not.
 """
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.costmodel import CostModel, EncodingCostParams, ReplicaProfile
 from repro.geometry import Box3
 from repro.obs import DriftMonitor
-from repro.obs.drift import relative_error
+from repro.obs.drift import SCALE_FACTOR_CAP, relative_error
 from repro.workload import Query
 
 
@@ -30,6 +32,43 @@ class TestRelativeError:
         assert relative_error(1.0, 4.0) == pytest.approx(
             relative_error(3600.0, 14400.0))
         assert relative_error(1.0, 4.0) == pytest.approx(0.75)
+
+    def test_non_finite_inputs_stay_finite(self):
+        # A broken timer must not inject inf/NaN into the window.
+        for bad in (float("inf"), float("-inf"), float("nan")):
+            for err in (relative_error(bad, 1.0), relative_error(1.0, bad),
+                        relative_error(bad, bad)):
+                assert math.isfinite(err)
+                assert 0.0 <= err <= 1.0
+
+    def test_zero_predicted_is_maximal_but_finite(self):
+        # Metadata-only counts predict exactly zero seconds.
+        err = relative_error(0.0, 0.5)
+        assert err == 1.0
+        assert math.isfinite(err)
+
+
+class TestNonFiniteSamples:
+    """The satellite bugfix: inf/NaN pairs must never poison a window."""
+
+    def test_window_means_stay_finite(self):
+        mon = DriftMonitor(min_samples=1)
+        mon.record("r", float("nan"), float("inf"))
+        mon.record("r", 0.0, 1.0)        # metadata-only count shape
+        mon.record("r", 1.0, 1.0)
+        status = mon.status("r")
+        for value in (status.mean_relative_error, status.max_relative_error,
+                      status.mean_predicted, status.mean_measured,
+                      status.scale_factor):
+            assert math.isfinite(value)
+
+    def test_snapshot_stays_json_safe_after_bad_samples(self):
+        import json
+
+        mon = DriftMonitor(min_samples=1)
+        mon.record("r", float("inf"), float("nan"))
+        (entry,) = mon.snapshot()
+        json.dumps(entry, allow_nan=False)  # raises on inf/NaN
 
 
 class TestDriftMonitor:
@@ -112,8 +151,11 @@ class TestScaleFactor:
         mon = DriftMonitor(min_samples=1)
         mon.record("all-zero", 0.0, 0.0)
         assert mon.status("all-zero").scale_factor == 1.0
+        # Zero-predicted / positive-measured used to go infinite; now it
+        # caps at a finite ceiling so downstream arithmetic stays sane.
         mon.record("surprise", 0.0, 1.0)
-        assert mon.status("surprise").scale_factor == float("inf")
+        assert mon.status("surprise").scale_factor == SCALE_FACTOR_CAP
+        assert math.isfinite(mon.status("surprise").scale_factor)
 
 
 class TestHysteresis:
