@@ -1014,6 +1014,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.storage import hydrate_store
     from repro.verify.oracle import canonical, datasets_identical
 
+    tracing = args.trace_dir is not None
+    if (args.stitch or args.trace_out or args.min_stitch is not None) \
+            and not tracing:
+        print("--stitch/--trace-out/--min-stitch need --trace-dir",
+              file=sys.stderr)
+        return 2
     config, err = _materialize_serve_store(args)
     if config is None:
         return err
@@ -1049,6 +1055,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             worker_mode=args.worker_mode,
             max_inflight=args.max_inflight,
             quotas=quotas,
+            tracing=tracing,
         ) as server:
             report = await run_fleet(server, spec)
             verified = mismatched = degraded = 0
@@ -1066,10 +1073,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         mismatched += 1
             stats = server.server_stats()
             snapshot = await server.metrics_snapshot()
-        return report, stats, snapshot, (verified, mismatched, degraded)
+            trace_paths = (await server.dump_traces(args.trace_dir)
+                           if tracing else [])
+        return report, stats, snapshot, trace_paths, \
+            (verified, mismatched, degraded)
 
-    report, stats, snapshot, (verified, mismatched, degraded) = \
-        asyncio.run(go())
+    report, stats, snapshot, trace_paths, (verified, mismatched, degraded) \
+        = asyncio.run(go())
 
     print(f"[fleet] {report.n_queries} queries over {args.tenants} tenants: "
           f"{report.served} served ({report.records_returned:,} records), "
@@ -1083,6 +1093,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         with open(args.metrics_out, "w", encoding="utf-8") as f:
             json.dump(snapshot, f, indent=2, sort_keys=True)
         print(f"wrote shard metrics to {args.metrics_out}")
+    if tracing:
+        print(f"[trace] wrote {len(trace_paths)} span streams "
+              f"under {args.trace_dir}")
+    if args.stitch:
+        from repro.obs import stitch_files, validate_trace_tree
+
+        stitched = stitch_files(trace_paths)
+        try:
+            for tree in stitched.requests:
+                validate_trace_tree(tree)
+        except ValueError as exc:
+            print(f"stitched trace tree INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(f"[stitch] {len(stitched.requests)} request trees, "
+              f"{stitched.engine_spans} engine spans "
+              f"({stitched.stitched_engine_spans} stitched, ratio "
+              f"{stitched.engine_stitch_ratio:.3f}), "
+              f"{stitched.orphans} orphans")
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as f:
+                json.dump(stitched.to_dict(), f, indent=2, sort_keys=True)
+            print(f"wrote stitched trace forest to {args.trace_out}")
+        if (args.min_stitch is not None
+                and stitched.engine_stitch_ratio < args.min_stitch):
+            print(f"stitch ratio {stitched.engine_stitch_ratio:.3f} below "
+                  f"--min-stitch {args.min_stitch}", file=sys.stderr)
+            return 1
     if args.verify:
         print(f"[verify] {verified} bit-equal, {mismatched} MISMATCHED, "
               f"{degraded} degraded (skipped)")
@@ -1128,6 +1165,204 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                        sorted(s.per_replica_queries.items()))
     print(f"  routing: {routed}")
     return 0
+
+
+def _quantile_ms(entry: dict, q: str) -> str:
+    value = (entry.get("quantiles") or {}).get(q)
+    if value is None:
+        return "-"
+    return f"{value * 1e3:.1f}ms"
+
+
+def _render_top(snapshot: dict) -> str:
+    """The serving snapshot as a text board: front-door counters,
+    per-tenant latency quantiles, per-shard dispatch quantiles, SLO
+    state."""
+    lines: list[str] = []
+    server = snapshot.get("server", {})
+    lines.append(
+        f"served {server.get('queries_served', 0)}  "
+        f"shed {server.get('shed', 0)}  "
+        f"quota-rejected {server.get('quota_rejected', 0)}  "
+        f"failovers {server.get('failovers', 0)}  "
+        f"degraded {server.get('degraded', 0)}  "
+        f"batches {server.get('batches_flushed', 0)}")
+    merged = snapshot.get("merged", {})
+    outcomes: dict[tuple[str, str], float] = {}
+    for counter in merged.get("counters", []):
+        if counter.get("name") != "repro_requests_total":
+            continue
+        labels = counter.get("labels") or {}
+        key = (labels.get("tenant", "?"), labels.get("outcome", "?"))
+        outcomes[key] = outcomes.get(key, 0.0) + counter.get("value", 0.0)
+    request_sketches = []
+    shard_sketches = []
+    for entry in merged.get("quantiles", []):
+        if entry.get("name") == "repro_request_seconds":
+            request_sketches.append(entry)
+        elif entry.get("name") == "repro_shard_dispatch_seconds":
+            shard_sketches.append(entry)
+    if request_sketches:
+        lines.append("tenant latencies (merged sketches):")
+        for entry in request_sketches:
+            tenant = (entry.get("labels") or {}).get("tenant", "?")
+            tallies = " ".join(
+                f"{outcome}={int(n)}" for (t, outcome), n
+                in sorted(outcomes.items()) if t == tenant)
+            lines.append(
+                f"  {tenant:<12} n={entry.get('count', 0):<6} "
+                f"p50={_quantile_ms(entry, '0.5'):<9} "
+                f"p95={_quantile_ms(entry, '0.95'):<9} "
+                f"p99={_quantile_ms(entry, '0.99'):<9} {tallies}")
+    if shard_sketches:
+        lines.append("shard dispatch:")
+        for entry in shard_sketches:
+            shard = (entry.get("labels") or {}).get("shard", "?")
+            lines.append(
+                f"  shard-{shard:<6} n={entry.get('count', 0):<6} "
+                f"p50={_quantile_ms(entry, '0.5'):<9} "
+                f"p99={_quantile_ms(entry, '0.99'):<9}")
+    slo = snapshot.get("slo")
+    if slo is not None:
+        firing = slo.get("firing", [])
+        if firing:
+            lines.append("SLO: FIRING " + ", ".join(
+                f"{f['tenant']}/{f['objective']}" for f in firing))
+        else:
+            lines.append(
+                f"SLO: healthy ({len(slo.get('objectives', []))} "
+                "objectives)")
+        for status in slo.get("status", []):
+            burns = " ".join(
+                f"{w['seconds']:g}s:{w['burn_rate']:.2f}x"
+                for w in status.get("windows", []))
+            flag = "FIRING" if status.get("firing") else "ok"
+            lines.append(f"  {status['tenant']}/{status['objective']}: "
+                         f"{flag} burn {burns}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render a serving metrics snapshot (``repro serve --metrics-out``)
+    as a refreshing text board — ``top`` for the serving tier."""
+    import json
+    import time
+
+    iterations = 1 if args.once else args.iterations
+    shown = 0
+    while True:
+        try:
+            with open(args.snapshot, encoding="utf-8") as f:
+                snapshot = json.load(f)
+        except FileNotFoundError:
+            print(f"no snapshot at {args.snapshot} (yet)", file=sys.stderr)
+            snapshot = None
+        except json.JSONDecodeError:
+            snapshot = None  # torn mid-write; retry next refresh
+        if snapshot is not None:
+            if sys.stdout.isatty() and not args.once:  # pragma: no cover
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_top(snapshot))
+        shown += 1
+        if iterations and shown >= iterations:
+            return 0 if snapshot is not None else 1
+        print("-" * 64)
+        time.sleep(args.interval)
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """SLO drill: serve fleet traffic (optionally under an injected
+    fault schedule), evaluate per-tenant burn-rate objectives, and exit
+    by SLO health — 0 healthy / 1 firing, inverted by
+    ``--expect-alert`` for deterministic alert drills in CI."""
+    import asyncio
+    import json
+
+    from repro.obs import (
+        Observability,
+        SLOEngine,
+        SLObjective,
+        build_report,
+        parse_slo_config,
+        validate_report,
+    )
+    from repro.obs.report import render_report_text
+    from repro.serve import FleetSpec, ShardServer, run_fleet
+
+    objectives: list[SLObjective] = []
+    if args.slo_config:
+        with open(args.slo_config, encoding="utf-8") as f:
+            objectives.extend(parse_slo_config(json.load(f)))
+    if args.availability is not None:
+        objectives.append(SLObjective(tenant="*", kind="availability",
+                                      target=args.availability))
+    if args.latency_p99_ms is not None:
+        objectives.append(SLObjective(tenant="*", kind="latency",
+                                      target=0.99,
+                                      latency_seconds=args.latency_p99_ms
+                                      / 1e3))
+    if not objectives:
+        print("declare at least one objective: --availability, "
+              "--latency-p99-ms or --slo-config", file=sys.stderr)
+        return 2
+
+    config, err = _materialize_serve_store(args)
+    if config is None:
+        return err
+    obs = Observability.create()
+    engine = SLOEngine(objectives, metrics=obs.metrics,
+                       min_events=args.min_events)
+    spec = FleetSpec(
+        n_queries=args.queries,
+        tenants=tuple(f"tenant-{i}" for i in range(args.tenants)),
+        concurrency=args.concurrency,
+        seed=args.seed,
+    )
+
+    async def go():
+        async with ShardServer(
+            config,
+            n_shards=args.shards,
+            worker_mode=args.worker_mode,
+            observability=obs,
+            slo=engine,
+        ) as server:
+            fleet = await run_fleet(server, spec)
+            engine.evaluate()
+            snapshot = await server.metrics_snapshot()
+        return fleet, snapshot
+
+    fleet, snapshot = asyncio.run(go())
+
+    report = build_report(obs, slo=engine)
+    validate_report(report)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+    firing = engine.firing
+    if args.json:
+        print(json.dumps({
+            "served": fleet.served,
+            "degraded": fleet.degraded,
+            "objectives": engine.objective_dicts(),
+            "status": engine.status_dicts(),
+            "firing": [{"tenant": t, "objective": o} for t, o in firing],
+            "audit": engine.audit_dicts(),
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"[fleet] {fleet.n_queries} queries: {fleet.served} served, "
+              f"{fleet.degraded} degraded")
+        print(_render_top(snapshot))
+        print(render_report_text(report))
+    if args.report_out and not args.json:
+        print(f"wrote v{report['schema_version']} report "
+              f"to {args.report_out}")
+    if args.expect_alert:
+        if firing:
+            return 0
+        print("expected an SLO alert but none is firing", file=sys.stderr)
+        return 1
+    return 1 if firing else 0
 
 
 def _seed_parent(default: int = 7) -> argparse.ArgumentParser:
@@ -1425,7 +1660,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None, metavar="PATH",
                    help="write the per-shard + merged metrics snapshot "
                         "as JSON")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="enable end-to-end tracing and dump per-worker "
+                        "span streams (JSONL) here")
+    p.add_argument("--stitch", action="store_true",
+                   help="reassemble the dumped span streams into one "
+                        "tree per request and print stitch stats")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the stitched trace forest as JSON "
+                        "(with --stitch)")
+    p.add_argument("--min-stitch", type=float, default=None,
+                   metavar="RATIO",
+                   help="exit 1 unless at least this fraction of "
+                        "worker-side engine spans stitched under a "
+                        "request root (with --stitch)")
     p.set_defaults(handler=_cmd_serve)
+
+    p = sub.add_parser(
+        "top",
+        help="render a `serve --metrics-out` snapshot as a refreshing "
+             "text board (latency quantiles, outcomes, SLO state)",
+    )
+    p.add_argument("--snapshot", required=True, metavar="PATH",
+                   help="metrics snapshot JSON to watch")
+    p.add_argument("--once", action="store_true",
+                   help="render once and exit")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="refreshes before exiting (0 = forever)")
+    p.set_defaults(handler=_cmd_top)
+
+    p = sub.add_parser(
+        "slo",
+        help="SLO drill: serve fleet traffic under per-tenant "
+             "objectives and exit by burn-rate alert state",
+        parents=[data, seed, serving_shape, faults],
+    )
+    p.add_argument("--shards", type=int, default=2,
+                   help="shard workers to start")
+    p.add_argument("--worker-mode", default="thread",
+                   choices=["process", "thread"],
+                   help="spawn real worker processes or in-process threads")
+    p.add_argument("--availability", type=float, default=None,
+                   metavar="FRACTION",
+                   help="availability objective for every tenant "
+                        "(e.g. 0.999)")
+    p.add_argument("--latency-p99-ms", type=float, default=None,
+                   metavar="MS",
+                   help="p99 latency objective for every tenant")
+    p.add_argument("--slo-config", default=None, metavar="PATH",
+                   help='declarative objectives JSON ({"tenants": ...})')
+    p.add_argument("--min-events", type=int, default=10,
+                   help="events a window needs before it may fire")
+    p.add_argument("--report-out", default=None, metavar="PATH",
+                   help="write the schema-v4 operational report as JSON")
+    p.add_argument("--json", action="store_true",
+                   help="emit the drill result as JSON")
+    p.add_argument("--expect-alert", action="store_true",
+                   help="invert the exit code: 0 when an alert is "
+                        "firing (for deterministic CI drills)")
+    p.set_defaults(handler=_cmd_slo)
 
     p = sub.add_parser(
         "fleet",

@@ -58,6 +58,7 @@ from repro.core.localsearch import local_search_select
 from repro.core.partial import PartialReplica, partial_selection_instance
 from repro.core.problem import Selection, SelectionInstance
 from repro.obs.reselection import ReselectionUpdate
+from repro.obs.trace import NULL_RECORDER
 from repro.workload.query import GroupedQuery, Query, Workload
 
 __all__ = [
@@ -415,6 +416,18 @@ class ReselectionController:
     # -- one evaluation ----------------------------------------------------
 
     def _evaluate_locked(self, force: bool) -> ReselectionUpdate | None:
+        # Evaluations are background spans in the shared trace stream:
+        # a p99 blip at the front door can be lined up against a
+        # concurrent warm re-solve or replica build.
+        tracer = self.obs.tracer if self.obs is not None else NULL_RECORDER
+        with tracer.start("bg_reselect", kind="background") as span:
+            update = self._evaluate_inner(force)
+            if update is not None:
+                span.annotate(action=update.action,
+                              divergence=update.divergence)
+            return update
+
+    def _evaluate_inner(self, force: bool) -> ReselectionUpdate | None:
         cfg = self.config
         # Cooldown first: win or lose, don't re-litigate until fresh
         # evidence accumulates.

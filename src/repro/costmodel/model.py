@@ -418,6 +418,20 @@ class CostModel:
         scan = np_q * profile.records_per_partition / params.scan_rate
         return scan + np_q * params.extra_time
 
+    def query_costs(
+        self, queries: list[AnyQuery], profile: ReplicaProfile
+    ) -> np.ndarray:
+        """Vectorized Eq. 7 over many queries on one replica profile —
+        one broadcast ``Np`` evaluation instead of a Python loop; entry
+        ``i`` equals :meth:`query_cost` on ``queries[i]``.  The serving
+        tier records one drift pair per served query, so this sits on
+        the per-batch telemetry path."""
+        params = self.params_for(profile.encoding_name)
+        packed = _pack_queries(list(queries))
+        np_vec = _packed_expected_partitions(profile, packed)
+        return (np_vec * profile.records_per_partition / params.scan_rate
+                + np_vec * params.extra_time)
+
     def query_makespan(
         self, query: AnyQuery, profile: ReplicaProfile, map_slots: int
     ) -> float:

@@ -13,7 +13,11 @@ CLI) can catch them without import cycles:
 - :class:`ReplicaExists` — registering a replica under a taken name;
 - :class:`OverloadError` — the serving tier shed a query at admission
   (load shedding is explicit, never silent truncation);
-- :class:`QuotaExceededError` — a tenant ran out of request budget.
+- :class:`QuotaExceededError` — a tenant ran out of request budget;
+- :class:`DeadlineExceededError` — a request's propagated deadline
+  expired before (or while) a shard served it;
+- :class:`SnapshotMergeError` — two per-process metric snapshots could
+  not be merged (mismatched histogram bounds or sketch resolution).
 
 The historical homes (``repro.storage.faults``, ``repro.storage.engine``)
 re-export their classes from here, so existing ``except`` clauses keep
@@ -124,11 +128,48 @@ class QuotaExceededError(RuntimeError):
         )
 
 
+class DeadlineExceededError(RuntimeError):
+    """A request's propagated deadline (absolute wall-clock seconds,
+    carried by :class:`~repro.obs.distributed.TraceContext`) expired
+    before the work completed.  The front door raises it instead of
+    dispatching; a shard worker reports it as the task failure when the
+    frame arrives already expired."""
+
+    def __init__(self, deadline: float, now: float):
+        self.deadline = float(deadline)
+        self.now = float(now)
+        super().__init__(
+            f"deadline exceeded: {now - deadline:.3f}s past the deadline"
+        )
+
+
+class SnapshotMergeError(ValueError):
+    """Two per-process metric snapshots disagree on an instrument's
+    shape — histogram bucket bounds or quantile-sketch resolution — so
+    a bucket-wise merge would silently misbin observations.  Carries
+    the metric identity and both shapes for diagnosis."""
+
+    def __init__(self, name: str, labels: dict, reason: str,
+                 ours=None, theirs=None):
+        self.name = name
+        self.labels = dict(labels)
+        self.reason = reason
+        self.ours = ours
+        self.theirs = theirs
+        detail = f" (ours={ours!r}, theirs={theirs!r})" \
+            if ours is not None or theirs is not None else ""
+        super().__init__(
+            f"cannot merge metric {name!r} {self.labels!r}: {reason}{detail}"
+        )
+
+
 __all__ = [
+    "DeadlineExceededError",
     "DegradedReadError",
     "InjectedFault",
     "OverloadError",
     "PartitionReadError",
     "QuotaExceededError",
     "ReplicaExists",
+    "SnapshotMergeError",
 ]

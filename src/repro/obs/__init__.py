@@ -32,11 +32,21 @@ attached, the engine holds the no-op :data:`NULL_RECORDER` and skips
 every publication — the disabled path stays on the PR 1 benchmark
 budget.
 
+PR 10 adds the distributed layer: :class:`TraceContext` /
+:func:`stitch_traces` (:mod:`repro.obs.distributed`) carry a trace
+across the serving tier's process boundary and reassemble per-worker
+dumps into one tree per request; :class:`QuantileSketch` gives
+mergeable per-tenant/per-shard latency percentiles; and
+:class:`SLOEngine` (:mod:`repro.obs.slo`) turns request outcomes into
+multi-window burn-rate alerts surfaced in report schema v4.
+
 Dependency discipline: the metrics/trace/drift/timeseries core imports
 nothing from the rest of ``repro``, so any layer can depend on it
-without cycles.  The one exception is :mod:`repro.obs.recalibrate`,
-which closes the loop *into* :mod:`repro.costmodel` — safe because
-``costmodel`` never imports ``obs`` (or ``storage``), keeping the
+without cycles.  Two exceptions: :mod:`repro.obs.recalibrate` closes
+the loop *into* :mod:`repro.costmodel`, and
+:mod:`repro.obs.aggregate` raises
+:class:`~repro.errors.SnapshotMergeError` from the consolidated
+exception surface — both targets import nothing back, keeping the
 graph acyclic.
 """
 
@@ -45,15 +55,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.obs.aggregate import merge_metric_snapshots
+from repro.obs.distributed import (
+    StitchResult,
+    TraceContext,
+    load_spans_jsonl,
+    new_trace_id,
+    stitch_files,
+    stitch_traces,
+    validate_trace_tree,
+)
 from repro.obs.drift import DriftMonitor, DriftStatus, relative_error
 from repro.obs.metrics import (
     DEFAULT_SECONDS_BUCKETS,
+    SKETCH_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
 )
 from repro.obs.recalibrate import CalibrationUpdate, Recalibrator
+from repro.obs.slo import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLOEngine,
+    SLOStatus,
+    SLObjective,
+    parse_slo_config,
+)
 from repro.obs.reselection import ReselectionUpdate
 from repro.obs.report import (
     REPORT_SCHEMA_VERSION,
@@ -178,10 +207,12 @@ class Observability:
 
 
 __all__ = [
+    "BurnWindow",
     "CalibrationUpdate",
     "Checkpointer",
     "Counter",
     "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_WINDOWS",
     "DriftMonitor",
     "DriftStatus",
     "Gauge",
@@ -190,15 +221,27 @@ __all__ = [
     "NULL_RECORDER",
     "NullTraceRecorder",
     "Observability",
+    "QuantileSketch",
     "REPORT_SCHEMA_VERSION",
     "Recalibrator",
     "ReselectionUpdate",
+    "SKETCH_QUANTILES",
+    "SLOEngine",
+    "SLOStatus",
+    "SLObjective",
     "Span",
+    "StitchResult",
     "TimeseriesStore",
+    "TraceContext",
     "TraceRecorder",
     "build_report",
+    "load_spans_jsonl",
     "merge_metric_snapshots",
+    "new_trace_id",
+    "parse_slo_config",
     "relative_error",
     "render_report_text",
+    "stitch_files",
+    "stitch_traces",
     "validate_report",
 ]

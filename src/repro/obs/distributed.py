@@ -1,0 +1,295 @@
+"""Cross-process trace propagation and offline stitching.
+
+The serving tier splits one request across processes: the asyncio front
+door opens a ``request`` span, the batcher coalesces requests, and each
+spawn worker runs the engine with its own
+:class:`~repro.obs.trace.TraceRecorder`.  This module carries the trace
+across that boundary and reassembles it afterwards:
+
+- :class:`TraceContext` — the compact, picklable propagation frame (a
+  128-bit trace id, the remote parent's span id, the tenant, an
+  optional absolute deadline).  It rides on
+  :class:`~repro.serve.protocol.ShardRequest` and on
+  :class:`~repro.storage.options.ExecOptions` (``trace_context``), so
+  worker-side engine spans root under the front door's dispatch span
+  instead of orphaning.
+- :func:`new_trace_id` — a fresh random 128-bit trace id for request
+  roots (span ids stay recorder-local; see ``_span_id_seed``).
+- :func:`stitch_traces` — merges per-worker span dumps into one tree
+  per front-door request.  Batching shares work across requests: the
+  batch span parents under the *first* request in the batch and carries
+  ``links`` to the others; stitching grafts a copy of the shared
+  subtree under every linked request (marked ``via_link``), so each
+  request's tree is complete on its own.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, replace
+
+#: Span names emitted by the storage engine (worker side).  The stitch
+#: ratio — the acceptance gate for distributed tracing — is computed
+#: over these: what fraction of engine spans ended up under a
+#: front-door ``request`` root?
+ENGINE_SPAN_NAMES = frozenset({
+    "workload", "query", "route", "scan", "decode", "cache", "retry",
+    "failover", "repair", "buffer_scan",
+})
+
+#: Roots emitted by background subsystems (compaction, anti-entropy,
+#: recalibration, reselection).  Never expected under a request tree;
+#: reported separately so a slow p99 can be eyeballed against them.
+BACKGROUND_SPAN_NAMES = frozenset({
+    "compact", "seal-windows", "rebuild", "snapshot", "anti-entropy",
+    "bg_recalibrate", "bg_reselect",
+})
+
+
+def new_trace_id() -> int:
+    """A fresh random 128-bit trace id (never zero).  Request roots at
+    the front door get one of these; child spans inherit it through
+    :class:`TraceContext` propagation."""
+    value = int.from_bytes(os.urandom(16), "big")
+    return value or 1
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The wire-format trace frame carried across process boundaries.
+
+    ``deadline`` is absolute ``time.time()`` seconds (wall clock — the
+    only clock spawn workers share with the front door); None means no
+    deadline.  Frozen and built from plain scalars, so it pickles
+    across the spawn boundary unchanged.
+    """
+
+    trace_id: int
+    parent_span_id: int | None = None
+    tenant: str = ""
+    deadline: float | None = None
+
+    def child(self, parent_span_id: int) -> "TraceContext":
+        """The context a span hands to *its* remote children."""
+        return replace(self, parent_span_id=parent_span_id)
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (time.time() if now is None else now) > self.deadline
+
+    def remaining(self, now: float | None = None) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.time() if now is None else now)
+
+    def to_dict(self) -> dict:
+        return {"trace_id": self.trace_id,
+                "parent_span_id": self.parent_span_id,
+                "tenant": self.tenant, "deadline": self.deadline}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        return cls(trace_id=int(data["trace_id"]),
+                   parent_span_id=data.get("parent_span_id"),
+                   tenant=str(data.get("tenant", "")),
+                   deadline=data.get("deadline"))
+
+
+def load_spans_jsonl(path: str) -> list[dict]:
+    """Span dicts from one recorder dump (one JSON object per line).
+    Tolerates a torn final line — a worker killed mid-write loses at
+    most the span being written."""
+    with open(path, encoding="utf-8") as f:
+        lines = [line.strip() for line in f]
+    lines = [line for line in lines if line]
+    spans: list[dict] = []
+    for i, line in enumerate(lines):
+        try:
+            spans.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # torn tail: at most the span being written
+            raise ValueError(
+                f"{path}: corrupt span record on line {i + 1} "
+                "(not a torn tail)") from None
+    return spans
+
+
+@dataclass
+class StitchResult:
+    """The reassembled forest plus the bookkeeping the acceptance gate
+    needs.  ``requests`` are the trees rooted at front-door ``request``
+    spans (grafts applied); ``background`` the background-subsystem
+    roots; ``trees`` everything, orphans included (lifted to roots and
+    marked ``orphan``)."""
+
+    trees: list[dict]
+    requests: list[dict]
+    background: list[dict]
+    orphans: int
+    total_spans: int
+    engine_spans: int
+    stitched_engine_spans: int
+
+    @property
+    def engine_stitch_ratio(self) -> float:
+        """Fraction of worker-side engine spans reachable from a
+        front-door ``request`` root; 1.0 when there were none."""
+        if self.engine_spans == 0:
+            return 1.0
+        return self.stitched_engine_spans / self.engine_spans
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "background": self.background,
+            "trees": self.trees,
+            "stats": {
+                "orphans": self.orphans,
+                "total_spans": self.total_spans,
+                "engine_spans": self.engine_spans,
+                "stitched_engine_spans": self.stitched_engine_spans,
+                "engine_stitch_ratio": self.engine_stitch_ratio,
+            },
+        }
+
+
+def _copy_subtree(node: dict) -> dict:
+    out = {k: v for k, v in node.items() if k != "children"}
+    out["attrs"] = dict(node.get("attrs") or {})
+    out["children"] = [_copy_subtree(c) for c in node.get("children", [])]
+    return out
+
+
+def _is_engine_span(span: dict) -> bool:
+    if span.get("name") not in ENGINE_SPAN_NAMES:
+        return False
+    # When dumps carry a "worker" tag (the server adds one), only
+    # worker-side spans count toward the stitch ratio; untagged dumps
+    # count every engine span.
+    worker = span.get("worker")
+    return worker is None or worker != "frontdoor"
+
+
+def stitch_traces(spans: list[dict]) -> StitchResult:
+    """Reassemble span dicts from any number of recorder dumps into
+    trees.
+
+    Parent/child edges follow ``parent_id`` (span ids are globally
+    unique — each recorder counts from its own random 63-bit offset).
+    Spans whose parent never arrived (ring-buffer eviction, a worker's
+    dump lost) are lifted to roots and marked ``orphan``.  Spans
+    carrying ``attrs.links`` (``[[trace_id, span_id], ...]``) get a
+    deep copy of their subtree grafted under every linked span, marked
+    ``via_link`` — that is how a batch shared by N requests appears in
+    all N trees.
+    """
+    nodes: dict[int, dict] = {}
+    for span in spans:
+        node = dict(span)
+        node["attrs"] = dict(span.get("attrs") or {})
+        node["children"] = []
+        nodes[node["span_id"]] = node
+
+    roots: list[dict] = []
+    orphans = 0
+    for node in nodes.values():
+        parent_id = node.get("parent_id")
+        if parent_id is None:
+            roots.append(node)
+        elif parent_id in nodes:
+            nodes[parent_id]["children"].append(node)
+        else:
+            node["orphan"] = True
+            orphans += 1
+            roots.append(node)
+
+    # Graft linked subtrees after the forest is built, so copies carry
+    # their full subtree.  The batch subtree never contains the request
+    # spans it links to (they are its ancestors), so no cycles.
+    for node in list(nodes.values()):
+        links = node["attrs"].get("links") or ()
+        for link in links:
+            target = nodes.get(int(link[1]))
+            if target is None or target is node:
+                continue
+            # The copy keeps its original trace_id — the graft is a
+            # borrowed view of another trace's subtree, and the
+            # ``via_link`` marker is what exempts it from the parent's
+            # trace-consistency check.
+            graft = _copy_subtree(node)
+            graft["via_link"] = True
+            target["children"].append(graft)
+
+    def _sort(node: dict) -> None:
+        node["children"].sort(key=lambda c: (c.get("start") or 0.0,
+                                             c["span_id"]))
+        for child in node["children"]:
+            _sort(child)
+
+    roots.sort(key=lambda n: (n.get("start") or 0.0, n["span_id"]))
+    for root in roots:
+        _sort(root)
+
+    requests = [r for r in roots if r.get("name") == "request"]
+    background = [r for r in roots
+                  if r.get("name") in BACKGROUND_SPAN_NAMES]
+
+    stitched_ids: set[int] = set()
+
+    def _collect(node: dict) -> None:
+        if _is_engine_span(node):
+            stitched_ids.add(node["span_id"])
+        for child in node["children"]:
+            _collect(child)
+
+    for req in requests:
+        _collect(req)
+
+    engine_ids = {n["span_id"] for n in nodes.values()
+                  if _is_engine_span(n)}
+    return StitchResult(
+        trees=roots,
+        requests=requests,
+        background=background,
+        orphans=orphans,
+        total_spans=len(nodes),
+        engine_spans=len(engine_ids),
+        stitched_engine_spans=len(stitched_ids & engine_ids),
+    )
+
+
+def stitch_files(paths) -> StitchResult:
+    """:func:`stitch_traces` over the concatenation of JSONL dumps."""
+    spans: list[dict] = []
+    for path in paths:
+        spans.extend(load_spans_jsonl(path))
+    return stitch_traces(spans)
+
+
+def validate_trace_tree(node: dict, _parent: dict | None = None) -> None:
+    """Structural schema check for one stitched tree; raises ValueError
+    on the first violation.  Every node carries the span fields; every
+    child either parents on this node (``parent_id`` matches, same
+    ``trace_id``) or is an explicit graft/orphan."""
+    for field_name in ("trace_id", "span_id", "name", "start"):
+        if field_name not in node:
+            raise ValueError(f"span missing {field_name!r}: {node!r}")
+    if not isinstance(node.get("children"), list):
+        raise ValueError(f"span {node['span_id']} has no children list")
+    for child in node["children"]:
+        if child.get("via_link"):
+            validate_trace_tree(child, node)
+            continue
+        if child.get("parent_id") != node["span_id"]:
+            raise ValueError(
+                f"child {child.get('span_id')} of {node['span_id']} has "
+                f"parent_id {child.get('parent_id')}")
+        if child.get("trace_id") != node["trace_id"]:
+            raise ValueError(
+                f"child {child.get('span_id')} crosses traces: "
+                f"{child.get('trace_id')} != {node['trace_id']}")
+        validate_trace_tree(child, node)

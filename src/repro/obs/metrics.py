@@ -1,4 +1,5 @@
-"""A thread-safe metrics registry: counters, gauges, histograms.
+"""A thread-safe metrics registry: counters, gauges, histograms,
+quantile sketches.
 
 The telemetry substrate of the engine (see ``docs/observability.md``).
 Every component that makes a runtime decision — the query engine, the
@@ -22,6 +23,7 @@ Design constraints:
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 
 #: Default histogram boundaries for second-valued observations: fixed,
@@ -78,6 +80,22 @@ METRIC_HELP: dict[str, str] = {
         "Column decodes avoided by the lazy x/y/t-first scan.",
     "repro_count_metadata_partitions_total":
         "Fully-contained partitions counted from metadata alone.",
+    "repro_request_seconds":
+        "Front-door request latency quantiles, by tenant.",
+    "repro_requests_total":
+        "Front-door requests, by tenant and outcome.",
+    "repro_shard_dispatch_seconds":
+        "Shard dispatch round-trip latency quantiles, by shard.",
+    "repro_admission_admitted_total": "Queries admitted past the limiter.",
+    "repro_admission_shed_total":
+        "Queries shed at admission (OverloadError).",
+    "repro_quota_rejected_total":
+        "Queries rejected by tenant quotas, by tenant.",
+    "repro_deadline_exceeded_total":
+        "Requests or shard tasks dropped on an expired deadline.",
+    "repro_slo_evaluations_total": "SLO burn-rate evaluations run.",
+    "repro_slo_alerts_total":
+        "SLO burn-rate alerts fired, by tenant and objective.",
 }
 
 
@@ -220,6 +238,131 @@ class Histogram:
         return self.state()[0]
 
 
+#: Quantiles every sketch reports in snapshots and expositions.
+SKETCH_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+#: Default relative-error bound for quantile sketches: a reported p99
+#: is within 1% of the true value.
+DEFAULT_SKETCH_ALPHA = 0.01
+
+#: Observations below this collapse into the sketch's zero bucket (the
+#: log mapping cannot represent 0).
+_SKETCH_MIN_VALUE = 1e-9
+
+
+def sketch_quantile(alpha: float, zero: int, buckets: dict[int, int],
+                    count: int, q: float) -> float | None:
+    """Read quantile ``q`` out of sketch state (``zero`` count plus
+    ``{bucket_index: count}``); None when the sketch is empty.  Shared
+    by the live instrument and the cross-process merge path, so a
+    merged snapshot reports quantiles identically to a local one."""
+    if count <= 0:
+        return None
+    gamma = (1.0 + alpha) / (1.0 - alpha)
+    rank = max(0, math.ceil(q * count) - 1)
+    if rank < zero:
+        return 0.0
+    cumulative = zero
+    last = 0.0
+    for idx in sorted(buckets):
+        cumulative += buckets[idx]
+        last = 2.0 * gamma ** idx / (gamma + 1.0)
+        if cumulative > rank:
+            return last
+    return last
+
+
+class QuantileSketch:
+    """Mergeable streaming quantiles over log-spaced buckets.
+
+    DDSketch-style: a value lands in bucket ``ceil(log_gamma(v))`` with
+    ``gamma = (1+alpha)/(1-alpha)``, so any reported quantile is within
+    relative error ``alpha`` of the true order statistic.  Two sketches
+    with the same ``alpha`` merge *exactly* by summing bucket counts —
+    the property fixed-bound histograms lack at the tails and P² lacks
+    entirely — which is what lets per-worker latency sketches fold into
+    fleet-wide per-tenant p50/p95/p99 in :mod:`repro.obs.aggregate`.
+    """
+
+    __slots__ = ("name", "labels", "alpha", "_gamma", "_log_gamma",
+                 "_buckets", "_zero", "_count", "_sum", "_min", "_max",
+                 "_lock")
+
+    def __init__(self, name: str, labels: LabelSet = (),
+                 alpha: float = DEFAULT_SKETCH_ALPHA):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.name = name
+        self.labels = labels
+        self.alpha = float(alpha)
+        self._gamma = (1.0 + self.alpha) / (1.0 - self.alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0.0:
+            raise ValueError("quantile sketches take non-negative values")
+        idx = None
+        if value >= _SKETCH_MIN_VALUE:
+            idx = math.ceil(math.log(value) / self._log_gamma)
+        with self._lock:
+            if idx is None:
+                self._zero += 1
+            else:
+                self._buckets[idx] = self._buckets.get(idx, 0) + 1
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float | None:
+        """The value at quantile ``q`` (None when empty), within
+        relative error ``alpha``."""
+        with self._lock:
+            zero, buckets, count = self._zero, dict(self._buckets), \
+                self._count
+        return sketch_quantile(self.alpha, zero, buckets, count, q)
+
+    def state(self) -> dict:
+        """The sketch as plain JSON-safe data: raw buckets (keyed by
+        stringified index, JSON objects cannot key on ints) for exact
+        merging, plus the canonical quantile readings for display."""
+        with self._lock:
+            zero, buckets, count = self._zero, dict(self._buckets), \
+                self._count
+            total_sum, lo, hi = self._sum, self._min, self._max
+        return {
+            "alpha": self.alpha,
+            "count": count,
+            "sum": total_sum,
+            "min": lo,
+            "max": hi,
+            "zero": zero,
+            "buckets": {str(idx): n for idx, n in sorted(buckets.items())},
+            "quantiles": {
+                str(q): sketch_quantile(self.alpha, zero, buckets, count, q)
+                for q in SKETCH_QUANTILES
+            },
+        }
+
+
 class MetricsRegistry:
     """Get-or-create registry of named, optionally labeled instruments.
 
@@ -237,6 +380,12 @@ class MetricsRegistry:
     def _get(self, cls, name: str, labels: dict[str, str] | None,
              **kwargs):
         key = (name, _labelset(labels))
+        # Lock-free fast path: the metrics dict only ever grows, and
+        # dict.get is atomic under the GIL, so a hit needs no lock —
+        # this runs once per scan/decode on the engine's hot path.
+        existing = self._metrics.get(key)
+        if existing is not None and type(existing) is cls:
+            return existing
         with self._lock:
             existing = self._metrics.get(key)
             if existing is not None:
@@ -267,6 +416,12 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get(Histogram, name, labels, buckets=buckets)
 
+    def quantile_sketch(
+        self, name: str, labels: dict[str, str] | None = None,
+        alpha: float = DEFAULT_SKETCH_ALPHA,
+    ) -> QuantileSketch:
+        return self._get(QuantileSketch, name, labels, alpha=alpha)
+
     def _sorted_metrics(self) -> list[object]:
         with self._lock:
             items = list(self._metrics.items())
@@ -290,7 +445,7 @@ class MetricsRegistry:
         """All instruments as plain JSON-safe data, deterministically
         ordered by ``(name, labels)``."""
         out: dict[str, list[dict]] = {"counters": [], "gauges": [],
-                                      "histograms": []}
+                                      "histograms": [], "quantiles": []}
         for metric in self._sorted_metrics():
             labels = dict(metric.labels)
             if isinstance(metric, Counter):
@@ -311,6 +466,10 @@ class MetricsRegistry:
                         for bound, n in buckets
                     ],
                 })
+            elif isinstance(metric, QuantileSketch):
+                out["quantiles"].append(
+                    {"name": metric.name, "labels": labels,
+                     **metric.state()})
         return out
 
     @staticmethod
@@ -357,6 +516,23 @@ class MetricsRegistry:
                 lines.append(
                     f"{metric.name}_count{_render_labels(metric.labels)} "
                     f"{total_count}")
+            elif isinstance(metric, QuantileSketch):
+                self._header(lines, seen, metric.name, "summary")
+                state = metric.state()
+                for q in SKETCH_QUANTILES:
+                    value = state["quantiles"][str(q)]
+                    if value is None:
+                        continue
+                    q_labels = metric.labels + (("quantile", _fmt(q)),)
+                    lines.append(
+                        f"{metric.name}{_render_labels(q_labels)} "
+                        f"{_fmt(value)}")
+                lines.append(
+                    f"{metric.name}_sum{_render_labels(metric.labels)} "
+                    f"{_fmt(state['sum'])}")
+                lines.append(
+                    f"{metric.name}_count{_render_labels(metric.labels)} "
+                    f"{state['count']}")
         return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -188,6 +188,20 @@ class Recalibrator:
 
     def _attempt_locked(self, replica_name: str, encoding_name: str,
                         status) -> CalibrationUpdate:
+        # The attempt is itself a (background) span in the same stream
+        # the request traces land in, so a latency blip can be lined up
+        # against a concurrent recalibration.
+        with self.tracer.start("bg_recalibrate", kind="background",
+                               replica=replica_name,
+                               encoding=encoding_name) as span:
+            update = self._recalibrate_locked(replica_name, encoding_name,
+                                              status)
+            span.annotate(action=update.action,
+                          mode=update.mode, n_samples=update.n_samples)
+            return update
+
+    def _recalibrate_locked(self, replica_name: str, encoding_name: str,
+                            status) -> CalibrationUpdate:
         old = self.cost_model.params_for(encoding_name)
         points = self.harvest_points(replica_name)
 

@@ -14,7 +14,12 @@ telemetry loop in one document:
   otherwise;
 - **trends** — first/last/delta per counter across the persisted
   snapshot history, the "what changed since yesterday" view the live
-  registry cannot answer.
+  registry cannot answer;
+- **slo** (schema v4) — the per-tenant burn-rate picture from an
+  attached :class:`~repro.obs.slo.SLOEngine`: declared objectives,
+  last-evaluation statuses, currently-firing alerts and the
+  firing/resolved audit trail (read from the timeseries store when one
+  is attached, the live engine otherwise).
 
 :func:`validate_report` is the schema gate CI runs against
 ``repro report --json``; it is hand-rolled (the toolchain carries no
@@ -27,7 +32,7 @@ from __future__ import annotations
 __all__ = ["REPORT_SCHEMA_VERSION", "build_report", "render_report_text",
            "validate_report"]
 
-REPORT_SCHEMA_VERSION = 3
+REPORT_SCHEMA_VERSION = 4
 
 
 def _counter_total(metrics_snapshot: dict, name: str) -> float:
@@ -74,13 +79,13 @@ def _trends(snapshots: list[dict]) -> dict:
 
 
 def build_report(obs, timeseries=None, recalibrator=None,
-                 reselector=None) -> dict:
+                 reselector=None, slo=None) -> dict:
     """Assemble the operational report from whatever is attached.
 
     ``obs`` is an :class:`~repro.obs.Observability` bundle; the
-    timeseries store, recalibrator and reselection controller are
-    optional — absent layers produce empty-but-present sections, so the
-    schema is stable.
+    timeseries store, recalibrator, reselection controller and
+    :class:`~repro.obs.slo.SLOEngine` are optional — absent layers
+    produce empty-but-present sections, so the schema is stable.
     """
     metrics = obs.metrics.snapshot()
 
@@ -98,6 +103,8 @@ def build_report(obs, timeseries=None, recalibrator=None,
                  for e in timeseries.entries("calibration")]
         reselect_audit = [dict(e["data"], seq=e["seq"])
                           for e in timeseries.entries("reselection")]
+        slo_audit = [dict(e["data"], seq=e["seq"])
+                     for e in timeseries.entries("slo")]
         snapshots = timeseries.entries("snapshot")
         history = {
             "attached": True,
@@ -110,6 +117,7 @@ def build_report(obs, timeseries=None, recalibrator=None,
         reselect_audit = (reselector.audit_dicts()
                           if reselector is not None
                           and hasattr(reselector, "audit_dicts") else [])
+        slo_audit = slo.audit_dicts() if slo is not None else []
         snapshots = []
         history = {"attached": False, "path": None, "entries": 0,
                    "last_seq": 0}
@@ -203,6 +211,17 @@ def build_report(obs, timeseries=None, recalibrator=None,
             "replica_changes_by_op": _counter_by_label(
                 metrics, "repro_replica_changes_total", "op"),
             "audit": reselect_audit,
+        },
+        "slo": {
+            "objectives": slo.objective_dicts() if slo is not None else [],
+            "evaluations": _counter_total(metrics,
+                                          "repro_slo_evaluations_total"),
+            "alerts": _counter_total(metrics, "repro_slo_alerts_total"),
+            "firing": ([{"tenant": t, "objective": o}
+                        for t, o in slo.firing]
+                       if slo is not None else []),
+            "status": slo.status_dicts() if slo is not None else [],
+            "audit": slo_audit,
         },
         "trends": _trends(snapshots),
         "history": history,
@@ -330,6 +349,26 @@ def render_report_text(report: dict) -> str:
                     f"      partial advisory: "
                     f"{list(entry['partial_advisory'])}")
 
+    slo = report.get("slo")
+    if slo is not None and (slo["objectives"] or slo["audit"]):
+        firing = ", ".join(f"{f['tenant']}:{f['objective']}"
+                           for f in slo["firing"]) or "none"
+        lines.append(
+            f"  slo: {len(slo['objectives'])} objectives, "
+            f"{slo['evaluations']:.0f} evaluations, "
+            f"{slo['alerts']:.0f} alerts fired (firing now: {firing})")
+        for status in slo["status"]:
+            burns = ", ".join(
+                f"{w['seconds']:.0f}s burn {w['burn_rate']:.2f}"
+                f"/{w['max_burn']:g}" for w in status["windows"])
+            flag = " FIRING" if status["firing"] else ""
+            lines.append(f"    {status['tenant']}:{status['objective']} "
+                         f"[{burns}]{flag}")
+        for entry in slo["audit"]:
+            lines.append(
+                f"    [{entry['action']}] {entry['tenant']}:"
+                f"{entry['objective']}")
+
     t = report["trends"]
     if t["counters"]:
         lines.append(f"  trends over {t['snapshots']} snapshots "
@@ -361,8 +400,8 @@ def validate_report(report: dict) -> None:
     _require(report.get("schema_version") == REPORT_SCHEMA_VERSION,
              f"schema_version != {REPORT_SCHEMA_VERSION}")
     for section in ("queries", "scan", "cache", "degradation", "drift",
-                    "ingest", "recalibration", "reselection", "trends",
-                    "history"):
+                    "ingest", "recalibration", "reselection", "slo",
+                    "trends", "history"):
         _require(isinstance(report.get(section), dict),
                  f"missing section {section!r}")
 
@@ -448,6 +487,27 @@ def validate_report(report: dict) -> None:
                       "improvement", "built", "retired"):
             _require(field in entry,
                      f"reselection audit entry missing {field!r}")
+
+    slo = report["slo"]
+    for field in ("evaluations", "alerts"):
+        _require(isinstance(slo.get(field), (int, float)),
+                 f"slo.{field} must be numeric")
+    for field in ("objectives", "firing", "status", "audit"):
+        _require(isinstance(slo.get(field), list), f"slo.{field}")
+    for entry in slo["audit"]:
+        _require(entry.get("action") in ("firing", "resolved"),
+                 f"slo audit action {entry.get('action')!r}")
+        for field in ("tenant", "objective"):
+            _require(field in entry, f"slo audit entry missing {field!r}")
+    for status in slo["status"]:
+        for field in ("tenant", "objective", "windows", "firing"):
+            _require(field in status, f"slo status missing {field!r}")
+        _require(isinstance(status["windows"], list), "slo status windows")
+        for window in status["windows"]:
+            for field in ("seconds", "max_burn", "events", "bad_fraction",
+                          "burn_rate"):
+                _require(isinstance(window.get(field), (int, float)),
+                         f"slo window {field} must be numeric")
 
     t = report["trends"]
     _require(isinstance(t.get("snapshots"), int), "trends.snapshots")

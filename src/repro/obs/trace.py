@@ -21,11 +21,29 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
 from collections import Counter as _TallyCounter
 from collections import deque
 from dataclasses import dataclass, field
+
+
+def _span_id_seed() -> int:
+    """A process- and instance-unique starting point for span ids.
+
+    Span/trace ids must stay unique across *recorders*, not just within
+    one: the serving tier runs one recorder per spawn worker and
+    stitches their dumps into one tree, so two workers handing out
+    ``1, 2, 3, ...`` would collide on every id.  Each recorder instead
+    counts up from an independent random point in a 63-bit space (PID
+    folded in as belt-and-braces against a weak entropy source); two
+    recorders collide only if one emits enough spans to walk into the
+    other's random offset — vanishingly improbable for any real run.
+    """
+    seed = int.from_bytes(os.urandom(8), "big") ^ (os.getpid() << 24)
+    seed &= (1 << 63) - 1
+    return seed or 1  # 0 is the null handle's id
 
 
 @dataclass(slots=True)
@@ -113,7 +131,7 @@ class TraceRecorder:
         self._capacity = int(capacity)
         self._clock = clock
         self._spans: deque[Span] = deque(maxlen=self._capacity)
-        self._ids = itertools.count(1)
+        self._ids = itertools.count(_span_id_seed())
         self._recorded = 0
         self._lock = threading.Lock()
 
@@ -123,20 +141,39 @@ class TraceRecorder:
 
     # -- span lifecycle ----------------------------------------------------
 
-    def start(self, name: str, parent: "_SpanHandle | None" = None,
-              **attrs: object) -> _SpanHandle:
+    def start(self, name: str, parent: "_SpanHandle | None" = None, *,
+              context=None, **attrs: object) -> _SpanHandle:
         """Open a span.  With no ``parent`` the span roots a new trace;
-        otherwise it joins the parent's trace as a child."""
-        with self._lock:
-            span_id = next(self._ids)
-            trace_id = parent.trace_id if parent is not None else span_id
+        otherwise it joins the parent's trace as a child.
+
+        ``context`` is a remote parent — anything with ``trace_id`` and
+        ``parent_span_id`` attributes (see
+        :class:`repro.obs.distributed.TraceContext`).  It lets a span in
+        this process continue a trace started in another one: the span
+        adopts the context's trace id and parents under the remote span
+        instead of rooting a new trace.  A local ``parent`` wins over a
+        ``context`` when both are given.
+        """
+        # next() on itertools.count is atomic under the GIL — id
+        # allocation needs no lock (spans start on pool threads, and
+        # this sits on the engine's per-scan hot path).
+        span_id = next(self._ids)
+        if parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        elif context is not None:
+            trace_id = context.trace_id
+            parent_id = context.parent_span_id
+        else:
+            trace_id = span_id
+            parent_id = None
         span = Span(
             trace_id=trace_id,
             span_id=span_id,
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             name=name,
             start=self._clock(),
-            attrs=dict(attrs),
+            attrs=attrs,  # the kwargs dict is fresh per call — owned
         )
         return _SpanHandle(self, span)
 
@@ -233,7 +270,8 @@ class NullTraceRecorder:
     capacity = 0
     recorded = 0
 
-    def start(self, name: str, parent=None, **attrs: object) -> _NullHandle:
+    def start(self, name: str, parent=None, *, context=None,
+              **attrs: object) -> _NullHandle:
         return _NULL_HANDLE
 
     def finish(self, handle) -> None:

@@ -9,6 +9,15 @@ control and per-tenant quotas shed load with structured errors
 (:class:`AdmissionController`, :class:`TenantQuotas`), and a simulated
 fleet (:func:`run_fleet`) provides the mixed read traffic.
 
+With ``ShardServer(tracing=True)`` the tier is end-to-end traceable:
+request/batch/dispatch spans at the front door, a
+:class:`~repro.obs.distributed.TraceContext` on every
+:class:`ShardRequest` frame, and per-worker span streams collected by
+:class:`TraceRequest` that
+:func:`~repro.obs.distributed.stitch_traces` reassembles into one tree
+per request.  Request latencies feed mergeable quantile sketches and
+an optional per-tenant :class:`~repro.obs.SLOEngine`.
+
 The enabling API is :class:`~repro.storage.StoreConfig`: a picklable
 store recipe every ``spawn``-started worker rehydrates with
 ``open_store(config)`` — no mmap view, thread pool or recorder ever
@@ -24,6 +33,8 @@ from repro.serve.protocol import (
     QueryTask,
     ShardRequest,
     ShardResponse,
+    TraceRequest,
+    TraceResponse,
     concat_payloads,
     dataset_to_payload,
     payload_to_dataset,
@@ -49,6 +60,8 @@ __all__ = [
     "ShardResponse",
     "ShardServer",
     "TenantQuotas",
+    "TraceRequest",
+    "TraceResponse",
     "WORKER_MODES",
     "concat_payloads",
     "dataset_to_payload",

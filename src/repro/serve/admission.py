@@ -4,6 +4,13 @@ Both mechanisms reject *before* any work is queued, with structured
 errors (:class:`~repro.errors.OverloadError`,
 :class:`~repro.errors.QuotaExceededError`) — a refused query is always
 an explicit signal, never a silently truncated result.
+
+Both publish into an optional :class:`~repro.obs.MetricsRegistry`
+(``bind_metrics``): sheds and quota rejections get dedicated counters
+(``repro_admission_shed_total``, ``repro_quota_rejected_total``) that
+flow into the merged fleet snapshot, so the overload paths are visible
+in the same place as the success paths.  Unbound, they keep plain-int
+tallies only.
 """
 
 from __future__ import annotations
@@ -23,14 +30,20 @@ class AdmissionController:
     reader threads and the asyncio loop can share it.
     """
 
-    def __init__(self, max_inflight: int):
+    def __init__(self, max_inflight: int, metrics=None):
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self._limit = int(max_inflight)
         self._inflight = 0
         self._shed = 0
         self._admitted = 0
+        self._metrics = metrics
         self._lock = threading.Lock()
+
+    def bind_metrics(self, metrics) -> None:
+        """Publish admitted/shed counters into ``metrics`` (a
+        :class:`~repro.obs.MetricsRegistry`) from now on."""
+        self._metrics = metrics
 
     @property
     def limit(self) -> int:
@@ -52,9 +65,19 @@ class AdmissionController:
         with self._lock:
             if self._inflight >= self._limit:
                 self._shed += 1
-                raise OverloadError(self._inflight, self._limit)
-            self._inflight += 1
-            self._admitted += 1
+                inflight = self._inflight
+                metrics = self._metrics
+            else:
+                self._inflight += 1
+                self._admitted += 1
+                inflight = None
+                metrics = self._metrics
+        if inflight is not None:
+            if metrics is not None:
+                metrics.counter("repro_admission_shed_total").inc()
+            raise OverloadError(inflight, self._limit)
+        if metrics is not None:
+            metrics.counter("repro_admission_admitted_total").inc()
 
     def release(self) -> None:
         with self._lock:
@@ -98,11 +121,16 @@ class TenantQuotas:
         #: tenant -> [tokens, last_refill_time]
         self._buckets: dict[str, list[float]] = {}
         self._rejected = 0
+        self._metrics = None
         self._lock = threading.Lock()
 
     @property
     def rejected(self) -> int:
         return self._rejected
+
+    def bind_metrics(self, metrics) -> None:
+        """Publish per-tenant rejection counters into ``metrics``."""
+        self._metrics = metrics
 
     def config_for(self, tenant: str) -> QuotaConfig:
         return self._overrides.get(tenant, self._default)
@@ -123,6 +151,10 @@ class TenantQuotas:
                 bucket[0] = tokens
                 bucket[1] = now
                 self._rejected += 1
+                metrics = self._metrics
+                if metrics is not None:
+                    metrics.counter("repro_quota_rejected_total",
+                                    labels={"tenant": tenant}).inc()
                 raise QuotaExceededError(
                     tenant, retry_after_seconds=(1.0 - tokens) / cfg.rate)
             bucket[0] = tokens - 1.0

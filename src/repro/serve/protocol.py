@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.data.record import FIELD_NAMES
+from repro.obs.distributed import TraceContext
 from repro.workload.query import Query
 
 
@@ -51,11 +52,17 @@ class ShardRequest:
     fan-out; every shard answers the same queries from the same replica,
     so the per-shard partials union to the full result (ownership masks
     partition each replica exactly once across shards).
+
+    ``trace`` carries the front door's dispatch-span context (plus the
+    batch's earliest deadline) into the worker, so engine spans in the
+    worker process parent under the originating request's trace instead
+    of orphaning.  None when tracing is off — the frame costs nothing.
     """
 
     request_id: int
     replica: str
     tasks: tuple[QueryTask, ...]
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +93,23 @@ class MetricsResponse:
     request_id: int
     shard_id: int
     snapshot: dict
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRequest:
+    """Ask a shard for its retained trace spans (as plain dicts);
+    ``clear`` drains the worker's ring buffer after the read so a
+    periodic collector never double-counts."""
+
+    request_id: int
+    clear: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class TraceResponse:
+    request_id: int
+    shard_id: int
+    spans: tuple[dict, ...] = ()
 
 
 #: Queue sentinel: a worker receiving ``None`` drains out; it echoes

@@ -19,23 +19,56 @@ union bit-equal: ownership masks are per-replica, so shards must always
 agree on which replica a query reads.  A query that exhausts the
 ranking raises :class:`~repro.errors.DegradedReadError`, never a
 partial result.
+
+**Distributed tracing** (``tracing=True``): every ``query()`` call
+opens a ``request`` root span under a fresh 128-bit trace id; the batch
+span parents under the *first* request of the batch and lists the
+others as ``links``; each per-replica round gets a ``dispatch`` span
+whose :class:`~repro.obs.distributed.TraceContext` rides the
+:class:`~repro.serve.protocol.ShardRequest` frame into the workers, so
+engine spans in other processes parent back into the originating
+request.  :meth:`trace_snapshot` / :meth:`dump_traces` collect the
+per-worker streams for :func:`~repro.obs.distributed.stitch_traces`.
+Tracing off is the :data:`~repro.obs.trace.NULL_RECORDER` no-op path.
+
+**SLO + quantiles.** The front door always carries its own
+:class:`~repro.obs.Observability` bundle: request outcomes and
+latencies land in ``repro_requests_total{tenant,outcome}`` and the
+mergeable ``repro_request_seconds{tenant}`` sketch (plus
+``repro_shard_dispatch_seconds{shard}`` per fan-out leg), and — when an
+:class:`~repro.obs.SLOEngine` is attached — feed per-tenant burn-rate
+evaluation.  Quota rejections are excluded from the SLO stream (the
+client misbehaved, not the service); sheds and degraded reads count
+against availability.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import json
+import time
+from dataclasses import dataclass, replace
 
 from repro.cluster.placement import ShardAssignment, assign_shards
 from repro.data.dataset import Dataset
-from repro.errors import DegradedReadError
+from repro.errors import (
+    DeadlineExceededError,
+    DegradedReadError,
+    OverloadError,
+    QuotaExceededError,
+)
+from repro.obs import Observability
 from repro.obs.aggregate import merge_metric_snapshots
+from repro.obs.distributed import TraceContext, new_trace_id
+from repro.obs.trace import NULL_RECORDER
 from repro.serve.admission import AdmissionController, TenantQuotas
 from repro.serve.batcher import Batcher
 from repro.serve.protocol import (
     MetricsRequest,
     QueryTask,
     ShardRequest,
+    TraceRequest,
     concat_payloads,
 )
 from repro.serve.worker import shard_worker_main
@@ -44,6 +77,18 @@ from repro.storage.options import ExecOptions
 from repro.workload.query import Query, Workload
 
 WORKER_MODES = ("process", "thread")
+
+
+@dataclass(slots=True)
+class _Envelope:
+    """One in-flight request travelling through the batcher: the query
+    plus the tracing/deadline context the flush path needs to resolve
+    it.  The batcher treats it opaquely."""
+
+    query: Query
+    tenant: str
+    span: object  # the request root span handle (null when tracing off)
+    deadline: float | None  # absolute ``time.time()`` seconds
 
 
 class ShardServer:
@@ -66,6 +111,9 @@ class ShardServer:
         max_inflight: int = 256,
         quotas: TenantQuotas | None = None,
         options: ExecOptions | None = None,
+        tracing: bool = False,
+        observability: Observability | None = None,
+        slo=None,
     ):
         if worker_mode not in WORKER_MODES:
             raise ValueError(
@@ -75,8 +123,19 @@ class ShardServer:
         self._sharding = sharding
         self._worker_mode = worker_mode
         self._options = options
-        self.admission = AdmissionController(max_inflight)
+        self._tracing = bool(tracing)
+        #: The front door's own telemetry bundle — always present, so
+        #: admission/quota/request counters land somewhere even when the
+        #: store config carries no observability.
+        self.obs = observability if observability is not None \
+            else Observability.create()
+        self._tracer = self.obs.tracer if self._tracing else NULL_RECORDER
+        self.slo = slo
+        self.admission = AdmissionController(max_inflight,
+                                             metrics=self.obs.metrics)
         self.quotas = quotas
+        if quotas is not None:
+            quotas.bind_metrics(self.obs.metrics)
         self._batcher = Batcher(self._flush_batch,
                                 window_seconds=window_seconds,
                                 max_batch=max_batch)
@@ -100,6 +159,10 @@ class ShardServer:
         return self._n_shards
 
     @property
+    def tracing(self) -> bool:
+        return self._tracing
+
+    @property
     def assignment(self) -> ShardAssignment:
         if self._assignment is None:
             raise RuntimeError("server not started")
@@ -120,6 +183,11 @@ class ShardServer:
         self._assignment = assign_shards(
             [self._router.replica(name) for name in names],
             self._n_shards, self._sharding)
+        # Tracing needs a recorder in every worker: force the bundle on
+        # even when the caller's config was built without one.
+        worker_config = self._config
+        if self._tracing and not worker_config.observability:
+            worker_config = replace(worker_config, observability=True)
         if self._worker_mode == "process":
             import multiprocessing as mp
 
@@ -140,7 +208,7 @@ class ShardServer:
         for shard_id in range(self._n_shards):
             request_q = make_queue()
             response_q = make_queue()
-            worker = make_worker((self._config, self._assignment, shard_id,
+            worker = make_worker((worker_config, self._assignment, shard_id,
                                   request_q, response_q, self._options))
             worker.start()
             self._request_queues.append(request_q)
@@ -173,25 +241,72 @@ class ShardServer:
 
     # -- the query surface -------------------------------------------------
 
-    async def query(self, query: Query, tenant: str = "default") -> Dataset:
+    async def query(self, query: Query, tenant: str = "default",
+                    deadline_seconds: float | None = None) -> Dataset:
         """Admit, batch, shard and answer one range query.
 
         Raises :class:`~repro.errors.QuotaExceededError` /
-        :class:`~repro.errors.OverloadError` at the gate and
+        :class:`~repro.errors.OverloadError` at the gate,
+        :class:`~repro.errors.DeadlineExceededError` when
+        ``deadline_seconds`` elapses before dispatch, and
         :class:`~repro.errors.DegradedReadError` when every replica
         failed for this query — never a partial result.
         """
         if not self._started:
             raise RuntimeError("server not started")
-        if self.quotas is not None:
-            self.quotas.check(tenant)
-        self.admission.acquire()
+        t0 = time.perf_counter()
+        deadline = (time.time() + deadline_seconds
+                    if deadline_seconds is not None else None)
+        tracer = self._tracer
+        ctx = (TraceContext(trace_id=new_trace_id(), tenant=tenant,
+                            deadline=deadline)
+               if self._tracing else None)
+        root = tracer.start("request", context=ctx, tenant=tenant)
+        outcome = "ok"
         try:
-            records = await self._batcher.submit(query)
+            if self.quotas is not None:
+                with tracer.start("quota", parent=root, tenant=tenant):
+                    self.quotas.check(tenant)
+            with tracer.start("admission", parent=root):
+                self.admission.acquire()
+            try:
+                records = await self._batcher.submit(
+                    _Envelope(query, tenant, root, deadline))
+            finally:
+                self.admission.release()
+            self.queries_served += 1
+            return records
+        except QuotaExceededError:
+            outcome = "quota_rejected"
+            raise
+        except OverloadError:
+            outcome = "shed"
+            raise
+        except DeadlineExceededError:
+            outcome = "deadline"
+            raise
+        except DegradedReadError:
+            outcome = "degraded"
+            raise
+        except BaseException:
+            outcome = "error"
+            raise
         finally:
-            self.admission.release()
-        self.queries_served += 1
-        return records
+            latency = time.perf_counter() - t0
+            root.annotate(outcome=outcome)
+            root.finish()
+            metrics = self.obs.metrics
+            metrics.counter("repro_requests_total",
+                            labels={"tenant": tenant,
+                                    "outcome": outcome}).inc()
+            metrics.quantile_sketch("repro_request_seconds",
+                                    labels={"tenant": tenant}
+                                    ).observe(latency)
+            if outcome == "deadline":
+                metrics.counter("repro_deadline_exceeded_total").inc()
+            if self.slo is not None and outcome != "quota_rejected":
+                self.slo.record(tenant, ok=(outcome == "ok"),
+                                latency_seconds=latency)
 
     async def execute(self, queries, tenant: str = "default") -> list:
         """Submit many queries concurrently; returns per-query results
@@ -208,12 +323,49 @@ class ShardServer:
         # Dedupe: concurrent clients may submit identical queries, and
         # both Workload and the engine want unique query sets.
         order: list[Query] = []
-        futures_by_query: dict[Query, list] = {}
-        for query, future in batch:
-            if query not in futures_by_query:
-                futures_by_query[query] = []
-                order.append(query)
-            futures_by_query[query].append(future)
+        pairs_by_query: dict[Query, list] = {}
+        for envelope, future in batch:
+            if envelope.query not in pairs_by_query:
+                pairs_by_query[envelope.query] = []
+                order.append(envelope.query)
+            pairs_by_query[envelope.query].append((envelope, future))
+
+        # Expire dead envelopes before any work is dispatched; a query
+        # whose every waiter is past deadline is dropped entirely.
+        now = time.time()
+        for query in list(order):
+            live = []
+            for envelope, future in pairs_by_query[query]:
+                if envelope.deadline is not None and now > envelope.deadline:
+                    if not future.done():
+                        future.set_exception(
+                            DeadlineExceededError(envelope.deadline, now))
+                else:
+                    live.append((envelope, future))
+            if live:
+                pairs_by_query[query] = live
+            else:
+                order.remove(query)
+                del pairs_by_query[query]
+        if not order:
+            return
+
+        envelopes = [e for q in order for e, _f in pairs_by_query[q]]
+        deadlines = [e.deadline for e in envelopes if e.deadline is not None]
+        batch_deadline = min(deadlines) if deadlines else None
+        # The batch span parents under the first request of the batch
+        # (the "owner"); the other coalesced requests are recorded as
+        # span links so the stitcher can graft the shared subtree into
+        # each of their trees.
+        owner = envelopes[0]
+        tracer = self._tracer
+        batch_span = tracer.start("batch", parent=owner.span,
+                                  n_queries=len(order),
+                                  n_requests=len(envelopes))
+        links = [[e.span.trace_id, e.span.span_id]
+                 for e in envelopes[1:] if e.span.span_id]
+        if links:
+            batch_span.annotate(links=links)
 
         plan = self._router.route_workload(Workload.unweighted(order))
         rankings = [plan.ranking_for(i) for i in range(len(order))]
@@ -221,42 +373,58 @@ class ShardServer:
         attempts: list[list] = [[] for _ in order]
         outcome: dict[int, object] = {}
         pending = set(range(len(order)))
+        rounds = 0
 
-        while pending:
-            groups: dict[str, list[int]] = {}
-            for i in sorted(pending):
-                groups.setdefault(rankings[i][rank_pos[i]], []).append(i)
-            dispatches = [
-                self._dispatch(replica,
-                               tuple(QueryTask(i, order[i]) for i in idxs))
-                for replica, idxs in groups.items()
-            ]
-            all_responses = await asyncio.gather(*dispatches)
-            for (replica, idxs), responses in zip(groups.items(),
-                                                  all_responses):
-                responses = sorted(responses, key=lambda r: r.shard_id)
-                for i in idxs:
-                    errors = [r.failures[i] for r in responses
-                              if i in r.failures]
-                    if not errors:
-                        if rank_pos[i] > 0:
-                            self.failovers += 1
-                        outcome[i] = concat_payloads(
-                            r.results[i] for r in responses)
-                        pending.discard(i)
-                        continue
-                    attempts[i].append((replica, RuntimeError(errors[0])))
-                    rank_pos[i] += 1
-                    if rank_pos[i] >= len(rankings[i]):
-                        self.degraded += 1
-                        outcome[i] = DegradedReadError(
-                            f"query {order[i]} could not be served by any "
-                            "replica", tuple(attempts[i]))
-                        pending.discard(i)
+        try:
+            while pending:
+                rounds += 1
+                groups: dict[str, list[int]] = {}
+                for i in sorted(pending):
+                    groups.setdefault(rankings[i][rank_pos[i]], []).append(i)
+                dispatches = [
+                    self._dispatch(
+                        replica,
+                        tuple(QueryTask(i, order[i]) for i in idxs),
+                        parent=batch_span,
+                        tenant=owner.tenant,
+                        deadline=batch_deadline)
+                    for replica, idxs in groups.items()
+                ]
+                all_responses = await asyncio.gather(*dispatches)
+                for (replica, idxs), responses in zip(groups.items(),
+                                                      all_responses):
+                    responses = sorted(responses, key=lambda r: r.shard_id)
+                    for i in idxs:
+                        errors = [r.failures[i] for r in responses
+                                  if i in r.failures]
+                        if not errors:
+                            if rank_pos[i] > 0:
+                                self.failovers += 1
+                            outcome[i] = concat_payloads(
+                                r.results[i] for r in responses)
+                            pending.discard(i)
+                            continue
+                        attempts[i].append((replica, RuntimeError(errors[0])))
+                        tracer.event("failover", parent=batch_span,
+                                     query=i, replica=replica,
+                                     error=errors[0])
+                        rank_pos[i] += 1
+                        if rank_pos[i] >= len(rankings[i]):
+                            self.degraded += 1
+                            outcome[i] = DegradedReadError(
+                                f"query {order[i]} could not be served by "
+                                "any replica", tuple(attempts[i]))
+                            pending.discard(i)
+        finally:
+            batch_span.annotate(rounds=rounds,
+                                degraded=sum(
+                                    1 for r in outcome.values()
+                                    if isinstance(r, DegradedReadError)))
+            batch_span.finish()
 
         for i, query in enumerate(order):
             result = outcome[i]
-            for future in futures_by_query[query]:
+            for _envelope, future in pairs_by_query[query]:
                 if future.done():
                     continue
                 if isinstance(result, BaseException):
@@ -264,10 +432,22 @@ class ShardServer:
                 else:
                     future.set_result(result)
 
-    async def _dispatch(self, replica: str, tasks) -> list:
+    async def _dispatch(self, replica: str, tasks, parent=None,
+                        tenant: str = "", deadline: float | None = None
+                        ) -> list:
         """Send one pinned-replica task group to every shard and gather
-        the per-shard responses."""
+        the per-shard responses.  The dispatch span's context rides the
+        request frame so worker-side spans parent under it."""
+        tracer = self._tracer
+        span = tracer.start("dispatch", parent=parent, replica=replica,
+                            queries=len(tasks), shards=self._n_shards)
+        ctx = None
+        if span.span_id or deadline is not None:
+            ctx = TraceContext(trace_id=span.trace_id,
+                               parent_span_id=span.span_id or None,
+                               tenant=tenant, deadline=deadline)
         loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
         waits = []
         for shard_id in range(self._n_shards):
             request_id = next(self._ids)
@@ -275,9 +455,25 @@ class ShardServer:
             self._pending[request_id] = future
             self._request_queues[shard_id].put(
                 ShardRequest(request_id=request_id, replica=replica,
-                             tasks=tasks))
-            waits.append(future)
-        return await asyncio.gather(*waits)
+                             tasks=tasks, trace=ctx))
+            waits.append((shard_id, future))
+
+        async def wait_one(shard_id, future):
+            response = await future
+            self.obs.metrics.quantile_sketch(
+                "repro_shard_dispatch_seconds",
+                labels={"shard": str(shard_id)},
+            ).observe(time.perf_counter() - t0)
+            return response
+
+        try:
+            responses = await asyncio.gather(
+                *(wait_one(s, f) for s, f in waits))
+            span.annotate(failures=sum(
+                len(r.failures) for r in responses))
+            return responses
+        finally:
+            span.finish()
 
     async def _read_responses(self, response_q) -> None:
         loop = asyncio.get_running_loop()
@@ -309,9 +505,12 @@ class ShardServer:
         """Per-shard telemetry plus the cross-shard aggregate.
 
         ``shards`` holds each worker's
-        :meth:`~repro.obs.MetricsRegistry.snapshot`; ``merged`` is their
+        :meth:`~repro.obs.MetricsRegistry.snapshot`; ``frontdoor`` the
+        server's own registry (admission, quotas, request latencies);
+        ``merged`` is their
         :func:`~repro.obs.aggregate.merge_metric_snapshots` union;
-        ``server`` the front-door counters."""
+        ``server`` the front-door counters.  When an SLO engine is
+        attached, ``slo`` carries its freshly evaluated status."""
         loop = asyncio.get_running_loop()
         waits = []
         for shard_id in range(self._n_shards):
@@ -322,9 +521,70 @@ class ShardServer:
             waits.append(future)
         responses = await asyncio.gather(*waits)
         shard_snapshots = {r.shard_id: r.snapshot for r in responses}
-        return {
+        frontdoor = self.obs.metrics.snapshot()
+        snapshot = {
             "server": self.server_stats(),
+            "frontdoor": frontdoor,
             "shards": shard_snapshots,
             "merged": merge_metric_snapshots(
-                [shard_snapshots[s] for s in sorted(shard_snapshots)]),
+                [frontdoor]
+                + [shard_snapshots[s] for s in sorted(shard_snapshots)]),
         }
+        if self.slo is not None:
+            self.slo.evaluate()
+            snapshot["slo"] = {
+                "objectives": self.slo.objective_dicts(),
+                "status": self.slo.status_dicts(),
+                "firing": [{"tenant": t, "objective": o}
+                           for t, o in self.slo.firing],
+                "audit": self.slo.audit_dicts(),
+            }
+        return snapshot
+
+    async def trace_snapshot(self, clear: bool = False) -> dict:
+        """Every worker's retained spans plus the front door's own, each
+        tagged with a ``worker`` label (``frontdoor`` / ``shard-N``) for
+        :func:`~repro.obs.distributed.stitch_traces`."""
+        loop = asyncio.get_running_loop()
+        waits = []
+        for shard_id in range(self._n_shards):
+            request_id = next(self._ids)
+            future = loop.create_future()
+            self._pending[request_id] = future
+            self._request_queues[shard_id].put(
+                TraceRequest(request_id, clear=clear))
+            waits.append(future)
+        responses = await asyncio.gather(*waits)
+        shards = {
+            r.shard_id: [dict(s, worker=f"shard-{r.shard_id}")
+                         for s in r.spans]
+            for r in responses
+        }
+        frontdoor = [dict(s.to_dict(), worker="frontdoor")
+                     for s in self._tracer.spans()]
+        if clear:
+            self._tracer.clear()
+        return {"frontdoor": frontdoor, "shards": shards}
+
+    async def dump_traces(self, directory, clear: bool = False) -> list:
+        """Write per-worker span streams as JSONL files
+        (``frontdoor.jsonl``, ``worker-N.jsonl``) under ``directory``
+        and return the written paths — the on-disk shape
+        :func:`~repro.obs.distributed.stitch_files` consumes."""
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        snapshot = await self.trace_snapshot(clear=clear)
+        paths = []
+        streams = [("frontdoor.jsonl", snapshot["frontdoor"])]
+        streams += [(f"worker-{shard_id}.jsonl", spans)
+                    for shard_id, spans in sorted(
+                        snapshot["shards"].items())]
+        for name, spans in streams:
+            path = directory / name
+            with open(path, "w", encoding="utf-8") as fh:
+                for span in spans:
+                    fh.write(json.dumps(span) + "\n")
+            paths.append(path)
+        return paths

@@ -14,20 +14,36 @@ slice of a *different* partitioning than its peers — duplicated and
 missing records.  Failover is the front door's job: a worker reports
 per-query structured failures and the server re-dispatches those
 queries, pinned to the next-ranked replica, to every shard at once.
+
+Tracing: when a request frame carries a
+:class:`~repro.obs.distributed.TraceContext`, the worker opens a
+``shard_serve`` span under the front door's dispatch span and threads
+its own context into :class:`~repro.storage.options.ExecOptions`, so
+the engine's ``workload``/``query``/``scan`` spans land in the worker's
+recorder already parented into the originating request's trace.  The
+front door collects them later with a
+:class:`~repro.serve.protocol.TraceRequest`.  An expired deadline on
+the frame fails every task structurally instead of scanning.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 
 import numpy as np
 
 from repro.costmodel.model import RoutingPlan
+from repro.errors import DeadlineExceededError
+from repro.obs.distributed import TraceContext
+from repro.obs.trace import NULL_RECORDER
 from repro.serve.protocol import (
     MetricsRequest,
     MetricsResponse,
     ShardRequest,
     ShardResponse,
+    TraceRequest,
+    TraceResponse,
     dataset_to_payload,
 )
 from repro.storage.config import StoreConfig, hydrate_store
@@ -61,6 +77,11 @@ def _worker_options(options: ExecOptions | None) -> ExecOptions:
     return replace(base, failover=False, repair=False)
 
 
+def _recorder_of(store):
+    obs = getattr(store, "observability", None)
+    return obs.tracer if obs is not None else NULL_RECORDER
+
+
 def serve_request(store, request: ShardRequest, shard_id: int,
                   options: ExecOptions) -> ShardResponse:
     """Answer one batched request against this shard's masked store.
@@ -71,25 +92,53 @@ def serve_request(store, request: ShardRequest, shard_id: int,
     back to per-query execution to isolate exactly which queries the
     pinned replica cannot serve here.
     """
+    ctx = request.trace
+    if ctx is not None and ctx.deadline is not None:
+        now = time.time()
+        if now > ctx.deadline:
+            err = DeadlineExceededError(ctx.deadline, now)
+            return ShardResponse(
+                request_id=request.request_id, shard_id=shard_id,
+                failures={task.index: f"{type(err).__name__}: {err}"
+                          for task in request.tasks})
+    if ctx is not None and ctx.trace_id:
+        rec = _recorder_of(store)
+        shard_span = rec.start("shard_serve", context=ctx, shard=shard_id,
+                               replica=request.replica,
+                               n_tasks=len(request.tasks))
+        options = replace(
+            options, trace=True,
+            trace_context=TraceContext(trace_id=shard_span.trace_id,
+                                       parent_span_id=shard_span.span_id,
+                                       tenant=ctx.tenant,
+                                       deadline=ctx.deadline))
+    else:
+        shard_span = None
     queries = [task.query for task in request.tasks]
     results: dict[int, dict[str, np.ndarray]] = {}
     failures: dict[int, str] = {}
     try:
-        outcome = store.execute_workload(
-            Workload.unweighted(queries),
-            plan=pinned_plan(request.replica, len(queries)),
-            options=options,
-        )
-        for task, qr in zip(request.tasks, outcome.results):
-            results[task.index] = dataset_to_payload(qr.records)
-    except Exception:
-        for task in request.tasks:
-            try:
-                qr = store.query(task.query, replica=request.replica,
-                                 options=options)
+        try:
+            outcome = store.execute_workload(
+                Workload.unweighted(queries),
+                plan=pinned_plan(request.replica, len(queries)),
+                options=options,
+            )
+            for task, qr in zip(request.tasks, outcome.results):
                 results[task.index] = dataset_to_payload(qr.records)
-            except Exception as exc:
-                failures[task.index] = f"{type(exc).__name__}: {exc}"
+        except Exception:
+            for task in request.tasks:
+                try:
+                    qr = store.query(task.query, replica=request.replica,
+                                     options=options)
+                    results[task.index] = dataset_to_payload(qr.records)
+                except Exception as exc:
+                    failures[task.index] = f"{type(exc).__name__}: {exc}"
+    finally:
+        if shard_span is not None:
+            shard_span.annotate(results=len(results),
+                                failures=len(failures))
+            shard_span.finish()
     return ShardResponse(request_id=request.request_id, shard_id=shard_id,
                          results=results, failures=failures)
 
@@ -97,8 +146,17 @@ def serve_request(store, request: ShardRequest, shard_id: int,
 def _metrics_snapshot(store) -> dict:
     obs = store.observability
     if obs is None:
-        return {"counters": [], "gauges": [], "histograms": []}
+        return {"counters": [], "gauges": [], "histograms": [],
+                "quantiles": []}
     return obs.metrics.snapshot()
+
+
+def _trace_spans(store, clear: bool) -> tuple[dict, ...]:
+    rec = _recorder_of(store)
+    spans = tuple(s.to_dict() for s in rec.spans())
+    if clear:
+        rec.clear()
+    return spans
 
 
 def shard_worker_main(config: StoreConfig, assignment, shard_id: int,
@@ -119,6 +177,13 @@ def shard_worker_main(config: StoreConfig, assignment, shard_id: int,
                     request_id=message.request_id,
                     shard_id=shard_id,
                     snapshot=_metrics_snapshot(store),
+                ))
+                continue
+            if isinstance(message, TraceRequest):
+                response_queue.put(TraceResponse(
+                    request_id=message.request_id,
+                    shard_id=shard_id,
+                    spans=_trace_spans(store, message.clear),
                 ))
                 continue
             response_queue.put(serve_request(store, message, shard_id, opts))

@@ -220,16 +220,28 @@ class _DecodeTelemetry:
     observation per column block actually decoded (metric objects are
     internally locked, so pool threads may call this concurrently)."""
 
-    __slots__ = ("_metrics",)
+    __slots__ = ("_metrics", "_by_kind")
 
     def __init__(self, metrics) -> None:
         self._metrics = metrics
+        # Per-kind (counter, histogram) handles, resolved once: this
+        # fires per column block, and registry lookups cost more than
+        # the increment.  A racing first-miss resolves to the same
+        # registry objects, so the benign overwrite is harmless.
+        self._by_kind: dict[str, tuple] = {}
 
     def column_decoded(self, kind: str, seconds: float) -> None:
-        self._metrics.counter(
-            "repro_columns_decoded_total", labels={"kind": kind}).inc()
-        self._metrics.histogram(
-            "repro_decode_seconds", labels={"kind": kind}).observe(seconds)
+        pair = self._by_kind.get(kind)
+        if pair is None:
+            pair = (
+                self._metrics.counter(
+                    "repro_columns_decoded_total", labels={"kind": kind}),
+                self._metrics.histogram(
+                    "repro_decode_seconds", labels={"kind": kind}),
+            )
+            self._by_kind[kind] = pair
+        pair[0].inc()
+        pair[1].observe(seconds)
 
 
 class BlotStore:
@@ -275,6 +287,8 @@ class BlotStore:
         # data differently).  Single-key dict ops are atomic under the
         # GIL.
         self._zone_info: dict[tuple[str, int], tuple | None] = {}
+        # Hot-path counter handles by name (see _bump).
+        self._counter_memo: dict[str, object] = {}
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
 
@@ -693,7 +707,8 @@ class BlotStore:
         opts = options if options is not None else DEFAULT_EXEC_OPTIONS
         acct = _Accounting()
         rec = self._recorder(opts)
-        with rec.start("query", kind="query", q_width=q.width,
+        with rec.start("query", context=opts.trace_context,
+                       kind="query", q_width=q.width,
                        q_height=q.height, q_duration=q.duration,
                        q_x=q.x, q_y=q.y, q_t=q.t) as root:
             with rec.start("route", parent=root) as route_span:
@@ -874,9 +889,17 @@ class BlotStore:
 
     def _bump(self, name: str, amount: int = 1) -> None:
         """Increment a fast-path counter (no-op without telemetry;
-        metric objects are internally locked, safe from pool threads)."""
+        metric objects are internally locked, safe from pool threads).
+        Handles are memoized per name — pruning checks fire per
+        partition per query, and the registry lookup dominates the
+        increment (a racing first-miss resolves to the same registry
+        object, so the benign overwrite is harmless)."""
         if self._obs is not None and amount:
-            self._obs.metrics.counter(name).inc(amount)
+            counter = self._counter_memo.get(name)
+            if counter is None:
+                counter = self._obs.metrics.counter(name)
+                self._counter_memo[name] = counter
+            counter.inc(amount)
 
     def _remember_zones(self, stored: StoredReplica, pid: int, reader):
         """Memoize a freshly opened reader's (x, y, t) zone bounds so
@@ -1078,7 +1101,8 @@ class BlotStore:
         opts = options if options is not None else DEFAULT_EXEC_OPTIONS
         acct = _Accounting()
         rec = self._recorder(opts)
-        with rec.start("query", kind="count", q_width=q.width,
+        with rec.start("query", context=opts.trace_context,
+                       kind="count", q_width=q.width,
                        q_height=q.height, q_duration=q.duration,
                        q_x=q.x, q_y=q.y, q_t=q.t) as root:
             with rec.start("route", parent=root) as route_span:
@@ -1308,7 +1332,8 @@ class BlotStore:
                 )
             queries.append(q)
         rec = self._recorder(opts)
-        wl_root = rec.start("workload", n_queries=len(queries))
+        wl_root = rec.start("workload", context=opts.trace_context,
+                            n_queries=len(queries))
         try:
             if plan is None:
                 with rec.start("route", parent=wl_root, batch=True):
@@ -1554,17 +1579,42 @@ class BlotStore:
         if self._cost_model is None:
             return
         # Single-replica plans carry an all-zeros cost matrix (routing is
-        # trivial), so fall back to a direct Eq. 7 evaluation there.
-        multi = len(plan.replica_names) > 1
-        for i, q in enumerate(queries):
-            measured = results[i].stats.seconds
-            if multi:
+        # trivial), so fall back to a direct Eq. 7 evaluation there —
+        # vectorized per serving replica, since one scalar evaluation
+        # per query dominates the whole telemetry path on large batches.
+        if len(plan.replica_names) > 1:
+            for i in range(len(queries)):
                 obs.drift.record(serving[i], plan.cost_for(i, serving[i]),
-                                 measured)
-            else:
-                self._record_drift(obs, q, serving[i], measured)
+                                 results[i].stats.seconds)
+        else:
+            self._record_drift_batch(
+                obs, queries, serving,
+                [r.stats.seconds for r in results])
         for name in sorted(stats.per_replica_queries):
             self._after_telemetry(obs, name)
+
+    def _record_drift_batch(
+        self, obs: Observability, queries: list[Query],
+        serving: list[str], measured: list[float],
+    ) -> None:
+        """The batch form of :meth:`_record_drift`: group queries by
+        serving replica and predict each group's Eq. 7 costs in one
+        vectorized pass."""
+        by_name: dict[str, list[int]] = {}
+        for i, name in enumerate(serving):
+            by_name.setdefault(name, []).append(i)
+        for name, idxs in by_name.items():
+            stored = self._replicas.get(name)
+            if stored is None:
+                continue
+            try:
+                costs = self._cost_model.query_costs(
+                    [queries[i] for i in idxs],
+                    stored.profile(n_records=len(self._dataset)))
+            except KeyError:
+                continue  # no calibrated params for this encoding
+            for j, i in enumerate(idxs):
+                obs.drift.record(name, float(costs[j]), measured[i])
 
     def _next_fallback(
         self, plan: RoutingPlan, i: int, tried: set[str], opts: ExecOptions

@@ -715,11 +715,21 @@ class IngestingBlotStore:
         buffer_bytes = 0
         buffer_records = 0
         if delta:
-            t0 = time.perf_counter()
-            record_parts.extend(d.filter_box(box) for d in delta)
-            buffer_seconds = time.perf_counter() - t0
-            buffer_bytes = sum(d.binary_size_bytes() for d in delta)
-            buffer_records = sum(len(d) for d in delta)
+            # The buffer filter is engine work too: give it a span that
+            # joins the caller's trace (remote context included), so a
+            # stitched request tree shows time spent in the unindexed
+            # delta alongside the replica scans.
+            tracer = self._tracer if (options is not None
+                                      and options.trace) else NULL_RECORDER
+            ctx = options.trace_context if options is not None else None
+            with tracer.start("buffer_scan", context=ctx,
+                              batches=len(delta)) as bspan:
+                t0 = time.perf_counter()
+                record_parts.extend(d.filter_box(box) for d in delta)
+                buffer_seconds = time.perf_counter() - t0
+                buffer_bytes = sum(d.binary_size_bytes() for d in delta)
+                buffer_records = sum(len(d) for d in delta)
+                bspan.annotate(records=buffer_records, bytes=buffer_bytes)
         if len(record_parts) == 1 and not delta:
             merged = base_result.records
         else:

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs.distributed import TraceContext
+
 
 @dataclass(frozen=True, slots=True)
 class ExecOptions:
@@ -45,6 +47,13 @@ class ExecOptions:
       :class:`~repro.obs.TraceRecorder` (requires an
       :class:`~repro.obs.Observability` attached to the store;
       a no-op otherwise).
+    - ``trace_context``: a remote parent
+      (:class:`~repro.obs.distributed.TraceContext`) for this call's
+      root spans.  A shard worker sets it from the request frame so the
+      engine's ``query``/``workload`` roots join the front door's
+      trace instead of starting their own; None (the default) keeps
+      roots local.  Plain frozen data, so the options still pickle
+      across the spawn boundary.
     """
 
     parallelism: int = 1
@@ -55,6 +64,7 @@ class ExecOptions:
     failover: bool = True
     repair: bool = True
     trace: bool = False
+    trace_context: "TraceContext | None" = None
 
     def __post_init__(self) -> None:
         if self.parallelism < 1:

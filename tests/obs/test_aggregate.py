@@ -2,13 +2,14 @@
 
 import pytest
 
+from repro.errors import SnapshotMergeError
 from repro.obs import MetricsRegistry, merge_metric_snapshots
 from repro.obs.aggregate import merge_metric_snapshots as direct_import
 
 
-def snap(counters=(), gauges=(), histograms=()):
+def snap(counters=(), gauges=(), histograms=(), quantiles=()):
     return {"counters": list(counters), "gauges": list(gauges),
-            "histograms": list(histograms)}
+            "histograms": list(histograms), "quantiles": list(quantiles)}
 
 
 def counter(name, value, **labels):
@@ -47,7 +48,8 @@ class TestMergeScalars:
 
     def test_empty_input(self):
         assert merge_metric_snapshots([]) == {
-            "counters": [], "gauges": [], "histograms": []}
+            "counters": [], "gauges": [], "histograms": [],
+            "quantiles": []}
 
 
 class TestMergeHistograms:
@@ -64,12 +66,27 @@ class TestMergeHistograms:
         total_in_top = max(b["count"] for b in entry["buckets"])
         assert total_in_top == 4  # +Inf bucket holds everything
 
-    def test_mismatched_boundaries_rejected(self):
+    def test_mismatched_boundaries_raise_structured_error(self):
+        a = {"name": "h", "labels": {"replica": "grid"}, "count": 1,
+             "sum": 1.0, "buckets": [{"le": 1.0, "count": 1}]}
+        b = {"name": "h", "labels": {"replica": "grid"}, "count": 1,
+             "sum": 1.0, "buckets": [{"le": 2.0, "count": 1}]}
+        with pytest.raises(SnapshotMergeError) as exc_info:
+            merge_metric_snapshots([snap(histograms=[a]),
+                                    snap(histograms=[b])])
+        err = exc_info.value
+        assert err.name == "h"
+        assert err.labels == {"replica": "grid"}
+        assert err.ours == [1.0]
+        assert err.theirs == [2.0]
+        assert isinstance(err, ValueError)  # pre-existing catches hold
+
+    def test_mismatched_bounds_message_names_the_series(self):
         a = {"name": "h", "labels": {}, "count": 1, "sum": 1.0,
              "buckets": [{"le": 1.0, "count": 1}]}
         b = {"name": "h", "labels": {}, "count": 1, "sum": 1.0,
              "buckets": [{"le": 2.0, "count": 1}]}
-        with pytest.raises(ValueError, match="mismatched bucket"):
+        with pytest.raises(SnapshotMergeError, match="bucket bounds"):
             merge_metric_snapshots([snap(histograms=[a]),
                                     snap(histograms=[b])])
 
@@ -80,6 +97,47 @@ class TestMergeHistograms:
         merge_metric_snapshots([source, source])
         assert entry["count"] == 1
         assert entry["buckets"][0]["count"] == 1
+
+
+class TestMergeQuantiles:
+    def test_merged_sketch_equals_single_sketch_over_union(self):
+        regs = [MetricsRegistry(), MetricsRegistry()]
+        union = MetricsRegistry()
+        values = ([0.001 * i for i in range(1, 50)],
+                  [0.05 * i for i in range(1, 50)])
+        for reg, vals in zip(regs, values):
+            sketch = reg.quantile_sketch("lat", labels={"tenant": "a"})
+            for v in vals:
+                sketch.observe(v)
+                union.quantile_sketch("lat",
+                                      labels={"tenant": "a"}).observe(v)
+        merged = merge_metric_snapshots([r.snapshot() for r in regs])
+        [entry] = merged["quantiles"]
+        [want] = union.snapshot()["quantiles"]
+        assert entry["count"] == want["count"]
+        assert entry["sum"] == pytest.approx(want["sum"])
+        assert entry["buckets"] == want["buckets"]  # exactly mergeable
+        assert entry["quantiles"] == want["quantiles"]
+        assert entry["min"] == want["min"]
+        assert entry["max"] == want["max"]
+
+    def test_alpha_mismatch_raises_structured_error(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.quantile_sketch("lat", alpha=0.01).observe(1.0)
+        b.quantile_sketch("lat", alpha=0.05).observe(1.0)
+        with pytest.raises(SnapshotMergeError, match="alpha"):
+            merge_metric_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_empty_sketch_merges_cleanly(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.quantile_sketch("lat")  # never observed
+        b.quantile_sketch("lat").observe(2.0)
+        merged = merge_metric_snapshots([a.snapshot(), b.snapshot()])
+        [entry] = merged["quantiles"]
+        assert entry["count"] == 1
+        assert entry["quantiles"]["0.5"] == pytest.approx(2.0, rel=0.02)
 
 
 def test_exported_from_obs_package():

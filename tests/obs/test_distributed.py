@@ -1,0 +1,174 @@
+"""Cross-process trace propagation: contexts, stitching, validation."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    TraceContext,
+    TraceRecorder,
+    load_spans_jsonl,
+    new_trace_id,
+    stitch_files,
+    stitch_traces,
+    validate_trace_tree,
+)
+
+
+def span(span_id, parent_id=None, trace_id=None, name="query", start=0.0,
+         **attrs):
+    return {"trace_id": trace_id if trace_id is not None else span_id,
+            "span_id": span_id, "parent_id": parent_id, "name": name,
+            "start": start, "end": start + 1.0, "seconds": 1.0,
+            "attrs": attrs}
+
+
+class TestTraceIds:
+    def test_ids_are_unique_and_nonzero(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        assert 0 not in ids
+
+    def test_ids_are_wide(self):
+        # 128-bit ids: over a small sample at least one must exceed the
+        # 63-bit span-id space, or collisions with span counters loom.
+        assert any(new_trace_id() >= (1 << 63) for _ in range(32))
+
+
+class TestTraceContext:
+    def test_roundtrips_as_plain_data(self):
+        ctx = TraceContext(trace_id=7, parent_span_id=3, tenant="a",
+                           deadline=123.5)
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_pickles_across_the_spawn_boundary(self):
+        ctx = TraceContext(trace_id=7, parent_span_id=3, tenant="a")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_child_reparents_only(self):
+        ctx = TraceContext(trace_id=7, parent_span_id=3, tenant="a",
+                           deadline=9.0)
+        child = ctx.child(55)
+        assert child.parent_span_id == 55
+        assert (child.trace_id, child.tenant, child.deadline) == (7, "a", 9.0)
+
+    def test_deadline_expiry(self):
+        ctx = TraceContext(trace_id=1, deadline=100.0)
+        assert not ctx.expired(now=99.0)
+        assert ctx.expired(now=100.5)
+        assert ctx.remaining(now=99.0) == pytest.approx(1.0)
+        assert TraceContext(trace_id=1).expired(now=1e12) is False
+
+
+class TestStitching:
+    def test_parent_edges_reassemble_one_tree(self):
+        spans = [span(1, name="request"),
+                 span(2, parent_id=1, trace_id=1, name="batch"),
+                 span(3, parent_id=2, trace_id=1, name="query")]
+        result = stitch_traces(spans)
+        [tree] = result.requests
+        assert tree["children"][0]["children"][0]["span_id"] == 3
+        validate_trace_tree(tree)
+
+    def test_orphans_are_lifted_and_marked(self):
+        spans = [span(3, parent_id=99, trace_id=1, name="scan")]
+        result = stitch_traces(spans)
+        assert result.orphans == 1
+        [tree] = result.trees
+        assert tree["orphan"] is True
+
+    def test_links_graft_the_shared_subtree_into_every_request(self):
+        spans = [
+            span(1, name="request"),
+            span(2, name="request"),
+            span(3, parent_id=1, trace_id=1, name="batch",
+                 links=[[2, 2]]),
+            span(4, parent_id=3, trace_id=1, name="query"),
+        ]
+        result = stitch_traces(spans)
+        assert len(result.requests) == 2
+        owner, linked = sorted(result.requests,
+                               key=lambda t: t["span_id"])
+        assert not owner["children"][0].get("via_link")
+        graft = linked["children"][0]
+        assert graft["via_link"] is True
+        assert graft["name"] == "batch"
+        # The graft keeps its original trace identity and full subtree.
+        assert graft["trace_id"] == 1
+        assert graft["children"][0]["span_id"] == 4
+        for tree in result.requests:
+            validate_trace_tree(tree)
+
+    def test_stitch_ratio_counts_worker_engine_spans(self):
+        spans = [
+            span(1, name="request"),
+            dict(span(2, parent_id=1, trace_id=1, name="query"),
+                 worker="shard-0"),
+            dict(span(3, parent_id=99, trace_id=3, name="scan"),
+                 worker="shard-1"),  # orphaned engine span
+            dict(span(4, parent_id=1, trace_id=1, name="query"),
+                 worker="frontdoor"),  # frontdoor spans do not count
+        ]
+        result = stitch_traces(spans)
+        assert result.engine_spans == 2
+        assert result.stitched_engine_spans == 1
+        assert result.engine_stitch_ratio == pytest.approx(0.5)
+
+    def test_ratio_is_one_with_no_engine_spans(self):
+        assert stitch_traces([span(1, name="request")]) \
+            .engine_stitch_ratio == 1.0
+
+    def test_background_roots_are_classified(self):
+        result = stitch_traces([span(1, name="compact"),
+                                span(2, name="bg_reselect")])
+        assert {t["name"] for t in result.background} == \
+            {"compact", "bg_reselect"}
+        assert result.requests == []
+
+
+class TestValidation:
+    def test_rejects_missing_fields(self):
+        with pytest.raises(ValueError, match="missing"):
+            validate_trace_tree({"span_id": 1, "children": []})
+
+    def test_rejects_parent_mismatch(self):
+        tree = span(1, name="request")
+        tree["children"] = [dict(span(2, parent_id=42, trace_id=1),
+                                 children=[])]
+        with pytest.raises(ValueError, match="parent_id"):
+            validate_trace_tree(tree)
+
+    def test_rejects_cross_trace_child_unless_linked(self):
+        tree = span(1, name="request")
+        bad = dict(span(2, parent_id=1, trace_id=999), children=[])
+        tree["children"] = [bad]
+        with pytest.raises(ValueError, match="crosses traces"):
+            validate_trace_tree(tree)
+        bad["via_link"] = True
+        validate_trace_tree(tree)  # the graft marker exempts it
+
+
+class TestJsonl:
+    def test_round_trip_through_files(self, tmp_path):
+        rec = TraceRecorder()
+        root = rec.start("request")
+        rec.start("query", parent=root).finish()
+        root.finish()
+        path = tmp_path / "spans.jsonl"
+        rec.dump_jsonl(str(path))
+        assert len(load_spans_jsonl(path)) == 2
+        result = stitch_files([path])
+        assert len(result.requests) == 1
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        good = json.dumps(span(1, name="request"))
+        path.write_text(good + "\n" + '{"trace_id": 5, "span')
+        assert [s["span_id"] for s in load_spans_jsonl(path)] == [1]
+
+    def test_torn_middle_line_raises(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"broken\n' + json.dumps(span(1)) + "\n")
+        with pytest.raises(ValueError):
+            load_spans_jsonl(path)

@@ -271,3 +271,81 @@ class TestThreadSafety:
             t.join()
         assert reg.counter("n").value == 8000
         assert reg.histogram("h", buckets=(0.5,)).count == 8000
+
+
+class TestQuantileSketch:
+    def test_quantiles_within_relative_error(self):
+        reg = MetricsRegistry()
+        sketch = reg.quantile_sketch("lat", alpha=0.01)
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms..1s uniform
+        for v in values:
+            sketch.observe(v)
+        for q, want in ((0.5, 0.5), (0.95, 0.95), (0.99, 0.99)):
+            got = sketch.quantile(q)
+            assert got == pytest.approx(want, rel=0.03)
+
+    def test_empty_sketch_reads_none(self):
+        reg = MetricsRegistry()
+        assert reg.quantile_sketch("lat").quantile(0.5) is None
+
+    def test_negative_observations_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.quantile_sketch("lat").observe(-0.1)
+
+    def test_zero_and_tiny_values_land_in_the_zero_bucket(self):
+        reg = MetricsRegistry()
+        sketch = reg.quantile_sketch("lat")
+        sketch.observe(0.0)
+        sketch.observe(1e-12)
+        assert sketch.state()["zero"] == 2
+        assert sketch.quantile(0.5) == 0.0
+
+    def test_state_is_json_safe(self):
+        reg = MetricsRegistry()
+        sketch = reg.quantile_sketch("lat", labels={"tenant": "a"})
+        sketch.observe(0.25)
+        snapshot = reg.snapshot()
+        [entry] = snapshot["quantiles"]
+        json.dumps(snapshot)  # must not raise
+        assert entry["labels"] == {"tenant": "a"}
+        assert all(isinstance(k, str) for k in entry["buckets"])
+
+    def test_get_or_create_and_type_safety(self):
+        reg = MetricsRegistry()
+        a = reg.quantile_sketch("lat")
+        assert reg.quantile_sketch("lat") is a
+        with pytest.raises(TypeError):
+            reg.counter("lat")
+
+    def test_prometheus_renders_summary_lines(self):
+        reg = MetricsRegistry()
+        sketch = reg.quantile_sketch("repro_request_seconds",
+                                     labels={"tenant": "a"})
+        for _ in range(10):
+            sketch.observe(0.1)
+        text = reg.render_prometheus()
+        assert "# TYPE repro_request_seconds summary" in text
+        assert 'quantile="0.99"' in text
+        assert 'repro_request_seconds_count{tenant="a"} 10' in text
+
+    def test_unobserved_sketch_renders_no_quantile_lines(self):
+        reg = MetricsRegistry()
+        reg.quantile_sketch("lat")
+        text = reg.render_prometheus()
+        assert "quantile=" not in text
+        assert "lat_count 0" in text
+
+    def test_concurrent_observations_do_not_lose_counts(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.quantile_sketch("lat").observe(0.01)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.quantile_sketch("lat").state()["count"] == 8000

@@ -138,3 +138,70 @@ class TestValidateReport:
         report["extra_section"] = {"anything": True}
         report["cache"]["new_field"] = 42
         validate_report(report)
+
+
+class TestSloSection:
+    def make_firing_engine(self, obs):
+        from repro.obs import SLOEngine, SLObjective
+
+        engine = SLOEngine(
+            [SLObjective(tenant="*", kind="availability", target=0.999)],
+            metrics=obs.metrics)
+        for _ in range(20):
+            engine.record("a", ok=False, latency_seconds=0.01)
+        engine.evaluate()
+        return engine
+
+    def test_schema_version_is_4_with_required_slo_section(self):
+        report = build_report(make_obs())
+        assert report["schema_version"] == 4
+        assert report["slo"]["objectives"] == []
+        assert report["slo"]["firing"] == []
+        validate_report(report)
+
+    def test_firing_alert_lands_in_report_and_text(self):
+        obs = make_obs()
+        engine = self.make_firing_engine(obs)
+        report = build_report(obs, slo=engine)
+        validate_report(report)
+        assert report["slo"]["alerts"] == 1
+        assert report["slo"]["firing"] == [
+            {"tenant": "a", "objective": "availability(99.9%)"}]
+        [audit] = report["slo"]["audit"]
+        assert audit["action"] == "firing"
+        [status] = report["slo"]["status"]
+        assert status["firing"] is True
+        text = render_report_text(report)
+        assert "firing now: a:availability(99.9%)" in text
+        assert "[firing] a:availability(99.9%)" in text
+
+    def test_slo_audit_prefers_the_timeseries_store(self, tmp_path):
+        obs = make_obs()
+        ts = TimeseriesStore(str(tmp_path / "h.jsonl"), retention=None)
+        from repro.obs import SLOEngine, SLObjective
+
+        engine = SLOEngine(
+            [SLObjective(tenant="*", kind="availability", target=0.999)],
+            metrics=obs.metrics, timeseries=ts)
+        for _ in range(20):
+            engine.record("a", ok=False, latency_seconds=0.01)
+        engine.evaluate()
+        report = build_report(obs, timeseries=ts, slo=engine)
+        validate_report(report)
+        [audit] = report["slo"]["audit"]
+        assert audit["action"] == "firing"
+        assert "seq" in audit  # came through the durable store
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda r: r.pop("slo"), "slo"),
+        (lambda r: r["slo"].__setitem__("alerts", "many"), "alerts"),
+        (lambda r: r["slo"].__setitem__("firing", {}), "firing"),
+        (lambda r: r["slo"]["audit"].append({"action": "panic"}), "action"),
+    ])
+    def test_rejects_malformed_slo_section(self, mutate, message):
+        obs = make_obs()
+        report = copy.deepcopy(
+            build_report(obs, slo=self.make_firing_engine(obs)))
+        mutate(report)
+        with pytest.raises(ValueError, match=message):
+            validate_report(report)

@@ -1,0 +1,176 @@
+"""Burn-rate SLO engine: objectives, windows, transitions, sinks."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    MetricsRegistry,
+    SLOEngine,
+    SLObjective,
+    parse_slo_config,
+)
+
+
+def make_engine(objectives=None, windows=DEFAULT_WINDOWS, **kwargs):
+    """An engine on a settable clock, so tests place events in windows
+    deterministically."""
+    clock = {"t": 10_000.0}
+    engine = SLOEngine(
+        objectives or [SLObjective(tenant="*", kind="availability",
+                                   target=0.999)],
+        windows=windows, clock=lambda: clock["t"], **kwargs)
+    return engine, clock
+
+
+class TestObjectives:
+    def test_availability_bad_is_failure(self):
+        o = SLObjective(tenant="a", kind="availability", target=0.99)
+        assert o.bad(ok=False, latency_seconds=0.001)
+        assert not o.bad(ok=True, latency_seconds=99.0)
+        assert o.budget == pytest.approx(0.01)
+
+    def test_latency_bad_is_slow_or_failed(self):
+        o = SLObjective(tenant="a", kind="latency", target=0.99,
+                        latency_seconds=0.25)
+        assert o.bad(ok=True, latency_seconds=0.3)
+        assert o.bad(ok=False, latency_seconds=0.01)
+        assert not o.bad(ok=True, latency_seconds=0.2)
+        assert o.name == "latency_p99<250ms"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLObjective(tenant="a", kind="thruput", target=0.9)
+        with pytest.raises(ValueError, match="fraction"):
+            SLObjective(tenant="a", kind="availability", target=1.0)
+        with pytest.raises(ValueError, match="latency_seconds"):
+            SLObjective(tenant="a", kind="latency", target=0.99)
+
+    def test_explicit_tenant_overrides_star_defaults_entirely(self):
+        engine, _ = make_engine([
+            SLObjective(tenant="*", kind="availability", target=0.999),
+            SLObjective(tenant="gold", kind="latency", target=0.99,
+                        latency_seconds=0.1),
+        ])
+        assert [o.kind for o in engine.objectives_for("gold")] == ["latency"]
+        star = engine.objectives_for("anyone")
+        assert [o.tenant for o in star] == ["anyone"]
+        assert [o.kind for o in star] == ["availability"]
+
+
+class TestParseConfig:
+    def test_parses_availability_and_latency_keys(self):
+        objectives = parse_slo_config({"tenants": {
+            "*": {"availability": 0.999, "latency_p99_ms": 250},
+            "fleet-a": {"latency_p95_ms": 100},
+        }})
+        names = sorted(o.name for o in objectives)
+        assert names == ["availability(99.9%)", "latency_p95<100ms",
+                         "latency_p99<250ms"]
+
+    @pytest.mark.parametrize("config, message", [
+        ({}, "tenants"),
+        ({"tenants": {"a": {"rps": 5}}}, "unknown objective key"),
+        ({"tenants": {}}, "no objectives"),
+        ({"tenants": {"a": 5}}, "mapping"),
+    ])
+    def test_rejects_malformed_config(self, config, message):
+        with pytest.raises(ValueError, match=message):
+            parse_slo_config(config)
+
+
+class TestBurnRate:
+    def test_healthy_traffic_never_fires(self):
+        engine, _ = make_engine()
+        for _ in range(100):
+            engine.record("a", ok=True, latency_seconds=0.01)
+        statuses = engine.evaluate()
+        assert all(not s.firing for s in statuses)
+        assert engine.firing == ()
+
+    def test_all_windows_must_exceed_to_fire(self):
+        # Fast window bad, slow window still healthy: old good traffic
+        # pads the slow window below its burn threshold.
+        engine, clock = make_engine(
+            [SLObjective(tenant="*", kind="availability", target=0.99)])
+        for _ in range(2000):
+            engine.record("a", ok=True, latency_seconds=0.01)
+        clock["t"] += 3000.0  # good events age out of the 300s window
+        for _ in range(20):
+            engine.record("a", ok=False, latency_seconds=0.01)
+        [status] = engine.evaluate()
+        fast, slow = status.windows
+        assert fast["firing"] and not slow["firing"]
+        assert not status.firing
+
+    def test_sustained_badness_fires_and_resolves(self):
+        engine, clock = make_engine(
+            [SLObjective(tenant="*", kind="availability", target=0.999)])
+        for _ in range(50):
+            engine.record("a", ok=False, latency_seconds=0.01)
+        [status] = engine.evaluate()
+        assert status.firing
+        assert engine.firing == (("a", "availability(99.9%)"),)
+        # Once the bad burst ages past both windows, it resolves.
+        clock["t"] += 4000.0
+        for _ in range(50):
+            engine.record("a", ok=True, latency_seconds=0.01)
+        [status] = engine.evaluate()
+        assert not status.firing
+        assert engine.firing == ()
+        actions = [e["action"] for e in engine.audit_dicts()]
+        assert actions == ["firing", "resolved"]
+
+    def test_min_events_guards_small_samples(self):
+        engine, _ = make_engine(min_events=10)
+        for _ in range(9):
+            engine.record("a", ok=False, latency_seconds=0.01)
+        [status] = engine.evaluate()
+        assert not status.firing
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        engine, _ = make_engine(
+            [SLObjective(tenant="*", kind="availability", target=0.9)],
+            windows=(BurnWindow(seconds=300.0, max_burn=2.0),))
+        for i in range(100):
+            engine.record("a", ok=i % 2 == 0, latency_seconds=0.01)
+        [status] = engine.evaluate()
+        [window] = status.windows
+        assert window["bad_fraction"] == pytest.approx(0.5)
+        assert window["burn_rate"] == pytest.approx(5.0)  # 0.5 / 0.1
+
+
+class TestSinks:
+    def test_counters_and_audit_flow_to_the_registry(self):
+        metrics = MetricsRegistry()
+        engine, _ = make_engine(metrics=metrics)
+        for _ in range(20):
+            engine.record("a", ok=False, latency_seconds=0.01)
+        engine.evaluate()
+        engine.evaluate()  # still firing: no second alert
+        assert metrics.counter_value("repro_slo_evaluations_total") == 2
+        assert metrics.counter_value(
+            "repro_slo_alerts_total",
+            labels={"tenant": "a",
+                    "objective": "availability(99.9%)"}) == 1
+
+    def test_timeseries_receives_transitions(self):
+        class FakeTs:
+            def __init__(self):
+                self.entries = []
+
+            def append(self, kind, entry):
+                self.entries.append((kind, entry))
+
+        ts = FakeTs()
+        engine, _ = make_engine(timeseries=ts)
+        for _ in range(20):
+            engine.record("a", ok=False, latency_seconds=0.01)
+        engine.evaluate()
+        [(kind, entry)] = ts.entries
+        assert kind == "slo"
+        assert entry["action"] == "firing"
+
+    def test_status_dicts_empty_before_first_evaluation(self):
+        engine, _ = make_engine()
+        assert engine.status_dicts() == []

@@ -146,3 +146,68 @@ class TestNullRecorder:
     def test_shared_instance_flags_disabled(self):
         assert NULL_RECORDER.enabled is False
         assert TraceRecorder.enabled is True
+
+
+class TestCrossRecorderIds:
+    def test_two_recorders_never_collide(self):
+        """The serving tier stitches spans from one recorder per worker
+        process; ids counted from a shared origin would collide on
+        every span (the pre-fix behaviour)."""
+        a = TraceRecorder(capacity=4096, clock=ticking_clock())
+        b = TraceRecorder(capacity=4096, clock=ticking_clock())
+        for rec in (a, b):
+            for _ in range(1000):
+                rec.start("query").finish()
+        ids_a = {s.span_id for s in a.spans()}
+        ids_b = {s.span_id for s in b.spans()}
+        assert len(ids_a) == len(ids_b) == 1000
+        assert not ids_a & ids_b
+
+    def test_root_trace_ids_differ_across_recorders(self):
+        a = TraceRecorder().start("query")
+        b = TraceRecorder().start("query")
+        assert a.trace_id != b.trace_id
+
+    def test_ids_are_never_the_null_sentinel(self):
+        rec = TraceRecorder()
+        for _ in range(100):
+            assert rec.start("query").span_id != 0
+
+
+class TestRemoteContext:
+    class Ctx:
+        def __init__(self, trace_id, parent_span_id):
+            self.trace_id = trace_id
+            self.parent_span_id = parent_span_id
+
+    def test_context_adopts_remote_trace_and_parent(self):
+        rec = TraceRecorder(clock=ticking_clock())
+        span = rec.start("shard_serve", context=self.Ctx(777, 42))
+        span.finish()
+        [got] = rec.spans()
+        assert got.trace_id == 777
+        assert got.parent_id == 42
+        assert got.span_id != 777  # not a root
+
+    def test_local_parent_wins_over_context(self):
+        rec = TraceRecorder(clock=ticking_clock())
+        root = rec.start("query")
+        child = rec.start("scan", parent=root, context=self.Ctx(777, 42))
+        child.finish()
+        root.finish()
+        scan = rec.spans()[0]
+        assert scan.trace_id == root.trace_id
+        assert scan.parent_id == root.span_id
+
+    def test_no_context_still_roots_a_trace(self):
+        rec = TraceRecorder(clock=ticking_clock())
+        span = rec.start("query", context=None)
+        span.finish()
+        [got] = rec.spans()
+        assert got.trace_id == got.span_id
+        assert got.parent_id is None
+
+    def test_null_recorder_accepts_context(self):
+        handle = NULL_RECORDER.start("shard_serve",
+                                     context=self.Ctx(777, 42))
+        assert handle.span_id == 0

@@ -155,6 +155,57 @@ class TestAdmissionAndQuotas:
         assert stats["quota_rejected"] == len(rejected)
 
 
+class TestRefusalCounters:
+    """Refusals are not just structured errors — each kind lands in its
+    own counter, and those counters survive the fleet-wide merge."""
+
+    @staticmethod
+    def counter_value(snapshot, name, **labels):
+        return sum(c["value"] for c in snapshot["merged"]["counters"]
+                   if c["name"] == name
+                   and all(c["labels"].get(k) == v
+                           for k, v in labels.items()))
+
+    def test_sheds_increment_the_dedicated_counter(self, config, queries):
+        async def go():
+            async with ShardServer(config, n_shards=2,
+                                   max_inflight=1) as server:
+                results = await server.execute(queries)
+                snap = await server.metrics_snapshot()
+            return results, snap
+
+        results, snap = asyncio.run(go())
+        shed = sum(1 for r in results if isinstance(r, OverloadError))
+        assert shed >= 1
+        assert self.counter_value(
+            snap, "repro_admission_shed_total") == shed
+        assert self.counter_value(
+            snap, "repro_requests_total", outcome="shed") == shed
+
+    def test_quota_rejections_increment_per_tenant_counter(
+            self, config, queries):
+        quotas = TenantQuotas(QuotaConfig(rate=1.0, burst=5),
+                              clock=lambda: 0.0)
+
+        async def go():
+            async with ShardServer(config, n_shards=2,
+                                   quotas=quotas) as server:
+                results = await server.execute(queries)
+                snap = await server.metrics_snapshot()
+            return results, snap
+
+        results, snap = asyncio.run(go())
+        rejected = sum(1 for r in results
+                       if isinstance(r, QuotaExceededError))
+        assert rejected == len(queries) - 5
+        assert self.counter_value(
+            snap, "repro_quota_rejected_total",
+            tenant="default") == rejected
+        assert self.counter_value(
+            snap, "repro_requests_total", tenant="default",
+            outcome="quota_rejected") == rejected
+
+
 class TestFrontDoor:
     def test_duplicate_queries_share_one_dispatch(self, config, queries,
                                                   baseline):
@@ -188,7 +239,9 @@ class TestFrontDoor:
 
         snap = asyncio.run(go())
         assert sorted(snap["shards"]) == [0, 1, 2]
-        assert set(snap["merged"]) == {"counters", "gauges", "histograms"}
+        assert set(snap["merged"]) == {"counters", "gauges", "histograms",
+                                       "quantiles"}
+        assert set(snap["frontdoor"]) == set(snap["merged"])
         assert snap["server"]["queries_served"] == 6
 
 

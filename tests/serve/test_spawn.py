@@ -44,9 +44,13 @@ def test_spawn_workers_report_metrics(config, queries):
     snap = asyncio.run(go())
     assert sorted(snap["shards"]) == [0, 1]
     # Each worker hydrated its own telemetry bundle; the counters it
-    # published while scanning surface in the merged fleet view.
+    # published while scanning surface in the merged fleet view,
+    # alongside the front door's own request accounting.
     merged_total = sum(c["value"] for c in snap["merged"]["counters"])
     shard_total = sum(c["value"]
                       for s in snap["shards"].values()
                       for c in s["counters"])
-    assert merged_total == shard_total > 0
+    frontdoor_total = sum(c["value"]
+                          for c in snap["frontdoor"]["counters"])
+    assert shard_total > 0
+    assert merged_total == shard_total + frontdoor_total
